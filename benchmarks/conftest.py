@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper.  The benchmark
+timer measures how long the experiment takes to run; the experiment's table
+(the actual reproduction artifact) is printed and also written to
+``benchmarks/results/<name>.txt`` so it survives the run.
+
+The workload subsets below keep every benchmark in the tens-of-seconds range;
+pass ``--full-suites`` to run every kernel of both suites (slow).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Representative subsets used by default (full suites are available with
+#: ``--full-suites`` but take much longer in pure Python).
+SPEC_SUBSET = ["gzip_like", "vortex_like", "crafty_like", "parser_like", "twolf_like"]
+MEDIA_SUBSET = ["adpcm_decode_like", "gsm_decode_like", "jpeg_encode_like",
+                "epic_like", "mpeg2_encode_like"]
+CRITPATH_SPEC_SUBSET = ["gzip_like", "parser_like", "vortex_like"]
+CRITPATH_MEDIA_SUBSET = ["adpcm_decode_like", "gsm_decode_like", "mpeg2_encode_like"]
+
+
+def pytest_addoption(parser):
+    parser.addoption("--full-suites", action="store_true", default=False,
+                     help="run every workload of both suites in each benchmark")
+
+
+@pytest.fixture
+def suite_subsets(request):
+    """(spec_workloads, media_workloads) — None means the full suite."""
+    if request.config.getoption("--full-suites"):
+        return None, None
+    return SPEC_SUBSET, MEDIA_SUBSET
+
+
+@pytest.fixture
+def save_report():
+    """Print an ExperimentReport and persist it under benchmarks/results/."""
+
+    def _save(report, filename: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = str(report)
+        (RESULTS_DIR / filename).write_text(text + "\n")
+        print("\n" + text)
+        return report
+
+    return _save

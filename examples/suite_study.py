@@ -1,0 +1,33 @@
+"""Suite study: regenerate Figure 8 style rows for a handful of kernels.
+
+Runs several SPECint-like and MediaBench-like kernels under the baseline and
+full RENO, printing per-benchmark elimination breakdowns and speedups — the
+same quantities the paper's Figure 8 plots.
+
+Run with:  python examples/suite_study.py  [--full]
+"""
+
+import sys
+
+from repro.harness import figure8_elimination_and_speedup, instruction_mix
+
+SPEC_SUBSET = ["gzip_like", "vortex_like", "crafty_like", "parser_like"]
+MEDIA_SUBSET = ["adpcm_decode_like", "gsm_decode_like", "jpeg_encode_like", "epic_like"]
+
+
+def main():
+    full = "--full" in sys.argv
+    spec = None if full else SPEC_SUBSET
+    media = None if full else MEDIA_SUBSET
+
+    print(instruction_mix("specint", workloads=spec))
+    print()
+    print(instruction_mix("mediabench", workloads=media))
+    print()
+    print(figure8_elimination_and_speedup("specint", workloads=spec))
+    print()
+    print(figure8_elimination_and_speedup("mediabench", workloads=media))
+
+
+if __name__ == "__main__":
+    main()

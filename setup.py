@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+fully offline environments (no ``wheel`` package available, so PEP 660
+editable wheels cannot be built) can still do a legacy editable install with
+``pip install -e . --no-use-pep517 --no-build-isolation`` or
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

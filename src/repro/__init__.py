@@ -1,0 +1,16 @@
+"""repro: a from-scratch reproduction of RENO, the rename-based instruction optimizer.
+
+The package is organised as:
+
+* :mod:`repro.isa` — the AXP-lite instruction set and assembler DSL,
+* :mod:`repro.functional` — architectural simulation and dynamic traces,
+* :mod:`repro.workloads` — synthetic SPECint-like and MediaBench-like kernels,
+* :mod:`repro.uarch` — the cycle-level dynamically scheduled superscalar core,
+* :mod:`repro.core` — RENO itself (reference counting, extended map table,
+  move elimination, constant folding, integration/CSE+RA),
+* :mod:`repro.analysis` — critical-path analysis and reporting,
+* :mod:`repro.harness` — experiment definitions that regenerate the paper's
+  figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""Analysis utilities: critical-path breakdown (Figure 9) and report tables."""
+
+from repro.analysis.critpath import CriticalPathBreakdown, analyze_critical_path
+from repro.analysis.report import format_table, format_percent
+
+__all__ = [
+    "CriticalPathBreakdown",
+    "analyze_critical_path",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,116 @@
+"""Critical-path analysis (a simplified Fields-style model, §4.3 / Figure 9).
+
+The timing pipeline can record one :class:`~repro.uarch.inflight.TimingRecord`
+per retired instruction.  This module walks the dependence structure backwards
+from the last retired instruction, at each step following the constraint that
+actually determined the instruction's completion time:
+
+* a *data* edge to the producer whose result arrived last, or
+* a *fetch/dispatch* edge to the previous instruction in program order when
+  the instruction was ready before it could even dispatch (front-end
+  bandwidth, mispredictions, window fills).
+
+Every edge's latency contribution is charged to one of the paper's five
+buckets: ``fetch``, ``alu_exec``, ``load_exec`` (cache-hit dataflow),
+``load_mem`` (miss dataflow) and ``commit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.inflight import TimingRecord
+
+#: Loads whose cache latency exceeds this are charged to the memory bucket.
+_MEMORY_LATENCY_THRESHOLD = 10
+
+
+@dataclass
+class CriticalPathBreakdown:
+    """Critical-path cycles charged to each bucket."""
+
+    fetch: int = 0
+    alu_exec: int = 0
+    load_exec: int = 0
+    load_mem: int = 0
+    commit: int = 0
+    path_length: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.fetch + self.alu_exec + self.load_exec + self.load_mem + self.commit
+
+    def fractions(self) -> dict[str, float]:
+        """Bucket shares, in the order the paper's Figure 9 stacks them."""
+        total = self.total or 1
+        return {
+            "fetch": self.fetch / total,
+            "alu_exec": self.alu_exec / total,
+            "load_exec": self.load_exec / total,
+            "load_mem": self.load_mem / total,
+            "commit": self.commit / total,
+        }
+
+
+def _bucket_for(record: TimingRecord, via_data_edge: bool) -> str:
+    if not via_data_edge:
+        return "fetch"
+    if record.is_load:
+        if record.eliminated:
+            return "alu_exec"
+        if record.dcache_latency > _MEMORY_LATENCY_THRESHOLD:
+            return "load_mem"
+        return "load_exec"
+    return "alu_exec"
+
+
+def analyze_critical_path(records: list[TimingRecord]) -> CriticalPathBreakdown:
+    """Compute the critical-path bucket breakdown for one simulation.
+
+    Args:
+        records: Timing records from a pipeline run with ``collect_timing``.
+
+    Returns:
+        A :class:`CriticalPathBreakdown`.
+    """
+    if not records:
+        return CriticalPathBreakdown()
+    by_seq = {record.seq: record for record in records}
+    ordered = sorted(records, key=lambda record: record.seq)
+    breakdown = CriticalPathBreakdown()
+
+    last = ordered[-1]
+    # Commit bucket: the tail between the last completion and retirement.
+    breakdown.commit += max(0, last.retire_cycle - last.complete_cycle)
+
+    current = last
+    steps = 0
+    while steps < len(records) + 8:
+        steps += 1
+        producers = [
+            by_seq[producer]
+            for producer in current.source_producers
+            if producer >= 0 and producer in by_seq
+        ]
+        data_pred = max(producers, key=lambda record: record.complete_cycle, default=None)
+        data_bound = (
+            data_pred is not None
+            and data_pred.complete_cycle >= current.dispatch_cycle
+        )
+        if data_bound:
+            predecessor = data_pred
+        else:
+            predecessor = by_seq.get(current.seq - 1)
+        if predecessor is None or predecessor.seq >= current.seq:
+            # Reached the beginning of the window; charge the remaining depth
+            # to fetch and stop.
+            breakdown.fetch += max(0, current.complete_cycle)
+            breakdown.path_length += 1
+            break
+        edge_cost = max(0, current.complete_cycle - predecessor.complete_cycle)
+        bucket = _bucket_for(current, via_data_edge=data_bound)
+        setattr(breakdown, bucket, getattr(breakdown, bucket) + edge_cost)
+        breakdown.path_length += 1
+        current = predecessor
+    return breakdown

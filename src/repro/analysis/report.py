@@ -1,0 +1,31 @@
+"""Plain-text table formatting for harness reports."""
+
+from __future__ import annotations
+
+
+def format_percent(value: float, signed: bool = False) -> str:
+    """Format a ratio as a percentage string."""
+    if signed:
+        return f"{value * 100:+.1f}%"
+    return f"{value * 100:.1f}%"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an ASCII table (used by the experiment harness and examples)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def render_row(cells):
+        return "  ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * width for width in widths]))
+    for row in rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)

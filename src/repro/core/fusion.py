@@ -1,0 +1,71 @@
+"""Fusion latency model for RENO_CF (§3.3 of the paper).
+
+A folded register-immediate addition is deferred and *fused* into the
+instruction that consumes it: the consumer's operand is ``preg + disp``
+rather than ``preg``.  The paper's execution-core changes make the common
+fusions free:
+
+* address generation (loads/stores) uses a 3-input carry-save adder,
+* additions fused to additions likewise use a 3-input adder,
+* the store-data and branch-direction paths get their own 2-input adders.
+
+Fusions into shifters, multipliers/dividers and logical units cost one extra
+cycle, as does the rare case where *both* register inputs of a
+register-register operation carry displacements.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.core.config import RenoConfig
+
+#: Opcodes whose primary operation is an addition/subtraction/compare, and
+#: can therefore absorb a fused displacement with a 3-input adder.
+_ADDITIVE_OPCODES = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.ADDI, Opcode.SUBI, Opcode.LDAH, Opcode.MOV,
+    Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPULT,
+    Opcode.CMPEQI, Opcode.CMPLTI, Opcode.CMPLEI, Opcode.CMPULTI,
+})
+
+
+def fusion_extra_latency(opcode: Opcode, source_disps: list[int], config: RenoConfig) -> int:
+    """Extra execute cycles the consumer pays for its fused displacement(s).
+
+    Args:
+        opcode: The consumer's opcode.
+        source_disps: Displacements attached to the consumer's register
+            sources (in operand order).
+        config: The RENO configuration (penalty knobs).
+
+    Returns:
+        Additional execution cycles (0 in the common case).
+    """
+    displaced = [disp for disp in source_disps if disp]
+    if not displaced:
+        return 0
+    if config.fusion_penalty_all_ops:
+        return config.fusion_penalty_all_ops
+
+    from repro.isa.opcodes import spec_for
+
+    spec = spec_for(opcode)
+    op_class = spec.op_class
+
+    # Memory address generation, branch direction and store data all have
+    # dedicated adders; a single displaced operand is free.
+    if op_class in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.JUMP,
+                    OpClass.CALL, OpClass.RET):
+        return 0
+
+    # Shifts, multiplies, divides and logical operations cannot absorb the
+    # addition in the same cycle.
+    if op_class in (OpClass.SHIFT, OpClass.MUL, OpClass.DIV):
+        return config.fused_nonadd_penalty
+    if opcode not in _ADDITIVE_OPCODES:
+        return config.fused_nonadd_penalty
+
+    # Additive consumer: free with a 3-input adder unless both register
+    # inputs carry displacements (needs the augmented ALU, one extra cycle).
+    if len(displaced) >= 2:
+        return config.fused_double_disp_penalty
+    return 0

@@ -1,0 +1,60 @@
+"""The extended RENO map table: ``logical → [physical : displacement]``.
+
+RENO_CF extends the conventional ``l → [p]`` map table so that a logical
+register can be described as *a physical register plus an immediate*.  The
+interpretation of the mapping ``r → [p : d]`` is ``value(r) == value(p) + d``.
+Register-immediate additions are folded by writing a new displacement instead
+of allocating a register and executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import NUM_LOGICAL_REGS
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One map-table entry: a physical register and a displacement."""
+
+    preg: int
+    disp: int = 0
+
+    def displaced_by(self, extra: int) -> "Mapping":
+        """The mapping with ``extra`` folded into the displacement."""
+        return Mapping(self.preg, self.disp + extra)
+
+
+class ExtendedMapTable:
+    """Map table with per-entry displacements.
+
+    In a machine without RENO_CF every displacement is zero and this degrades
+    to the conventional map table.
+    """
+
+    def __init__(self, num_logical: int = NUM_LOGICAL_REGS):
+        self.num_logical = num_logical
+        self._entries: list[Mapping] = [Mapping(preg=index) for index in range(num_logical)]
+
+    def get(self, logical: int) -> Mapping:
+        """Current mapping of ``logical``."""
+        return self._entries[logical]
+
+    def set(self, logical: int, preg: int, disp: int = 0) -> Mapping:
+        """Overwrite the mapping of ``logical``; returns the previous mapping."""
+        previous = self._entries[logical]
+        self._entries[logical] = Mapping(preg, disp)
+        return previous
+
+    def snapshot(self) -> list[tuple[int, int]]:
+        """A copy of the table as (preg, disp) tuples, indexed by logical register."""
+        return [(mapping.preg, mapping.disp) for mapping in self._entries]
+
+    def pregs_in_use(self) -> set[int]:
+        """The set of physical registers currently named by the table."""
+        return {mapping.preg for mapping in self._entries}
+
+    def nonzero_displacements(self) -> int:
+        """How many entries currently carry a non-zero displacement."""
+        return sum(1 for mapping in self._entries if mapping.disp != 0)

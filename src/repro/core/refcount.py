@@ -1,0 +1,114 @@
+"""Physical register reference counting (§3.1 of the paper).
+
+All RENO optimizations rely on physical register *sharing*: several logical
+registers (and in-flight instructions) may map to the same physical register.
+The free list is therefore replaced by reference counts: a register is free
+exactly when its count is zero.  Allocations and sharing operations increment
+the count; the release that conventionally happens when the overwriting
+instruction commits becomes a decrement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+
+class ReferenceCountError(Exception):
+    """Raised when the reference-counting invariants are violated."""
+
+
+class ReferenceCountManager:
+    """Reference counts + implicit free list for the physical register file.
+
+    Counters are conceptually unbounded (the paper sizes them so overflow is
+    impossible: the maximum sharing degree is bounded by the number of
+    architectural registers plus in-flight instructions); Python integers
+    give us that for free, and :attr:`max_observed_count` reports the widest
+    counter an implementation would have needed.
+    """
+
+    def __init__(self, num_registers: int, initially_live: int,
+                 on_free: Callable[[int], None] | None = None):
+        """Create the manager.
+
+        Args:
+            num_registers: Total physical registers.
+            initially_live: How many low-numbered registers start with a
+                count of one (the registers holding the initial architectural
+                state).
+            on_free: Optional callback invoked with the register number each
+                time a register's count drops to zero (used to invalidate
+                integration-table entries that name the register).
+        """
+        if initially_live > num_registers:
+            raise ReferenceCountError("more live registers than physical registers")
+        self.num_registers = num_registers
+        self.counts: list[int] = [0] * num_registers
+        for register in range(initially_live):
+            self.counts[register] = 1
+        self._free: deque[int] = deque(range(initially_live, num_registers))
+        self._on_free = on_free
+        self.max_observed_count = 1
+        self.total_allocations = 0
+        self.total_shares = 0
+
+    # ------------------------------------------------------------------
+
+    def free_count(self) -> int:
+        """Number of physical registers available for allocation."""
+        return len(self._free)
+
+    def in_use_count(self) -> int:
+        """Number of physical registers with a non-zero reference count."""
+        return self.num_registers - len(self._free)
+
+    def count(self, register: int) -> int:
+        return self.counts[register]
+
+    def allocate(self) -> int:
+        """Allocate a free register with an initial count of one."""
+        if not self._free:
+            raise ReferenceCountError("no free physical registers")
+        register = self._free.popleft()
+        if self.counts[register] != 0:
+            raise ReferenceCountError(f"register p{register} on the free list with count "
+                                      f"{self.counts[register]}")
+        self.counts[register] = 1
+        self.total_allocations += 1
+        return register
+
+    def share(self, register: int) -> None:
+        """A RENO sharing operation: one more mapping points at ``register``."""
+        if self.counts[register] <= 0:
+            raise ReferenceCountError(f"cannot share free register p{register}")
+        self.counts[register] += 1
+        self.total_shares += 1
+        if self.counts[register] > self.max_observed_count:
+            self.max_observed_count = self.counts[register]
+
+    def release(self, register: int) -> None:
+        """Drop one reference; the register becomes free when the count hits zero."""
+        if self.counts[register] <= 0:
+            raise ReferenceCountError(f"reference count underflow on p{register}")
+        self.counts[register] -= 1
+        if self.counts[register] == 0:
+            self._free.append(register)
+            if self._on_free is not None:
+                self._on_free(register)
+
+    def is_live(self, register: int) -> bool:
+        """True while the register holds a value some mapping still needs."""
+        return self.counts[register] > 0
+
+    def check_conservation(self) -> None:
+        """Invariant: every register is either free or has a positive count."""
+        for register, count in enumerate(self.counts):
+            if count < 0:
+                raise ReferenceCountError(f"negative count on p{register}")
+        free_set = set(self._free)
+        for register, count in enumerate(self.counts):
+            if count == 0 and register not in free_set:
+                raise ReferenceCountError(f"p{register} leaked (count 0, not free)")
+            if count > 0 and register in free_set:
+                raise ReferenceCountError(f"p{register} free while still referenced")

@@ -1,0 +1,328 @@
+"""The RENO renamer.
+
+This is the paper's mechanism: a register renamer that, in addition to the
+conventional map-table update, recognises instructions whose output value
+already exists (or can be described as an existing value plus an immediate)
+and collapses them out of the execution stream by *sharing* physical
+registers:
+
+* moves (RENO_ME) and register-immediate additions (RENO_CF) short-circuit
+  the map table, the latter by accumulating displacements in the extended
+  ``[p : d]`` map-table format;
+* loads (and, in the full-integration policy, ALU operations) whose dataflow
+  signature hits in the integration table share the physical register that
+  already holds their value (RENO_CSE and RENO_RA).
+
+The renamer operates purely on physical register *names* and immediates: it
+never reads the physical register file.  The only value information it keeps
+is carried inside integration-table entries, where it stands in for the
+pre-retirement re-execution check of the original register-integration
+proposal (see DESIGN.md, "Validation strategy").
+"""
+
+from __future__ import annotations
+
+from repro.core.config import IT_POLICY_FULL, RenoConfig
+from repro.core.fusion import fusion_extra_latency
+from repro.core.integration import IntegrationEntry, IntegrationTable
+from repro.core.maptable import ExtendedMapTable, Mapping
+from repro.core.refcount import ReferenceCountManager
+from repro.functional.trace import DynamicInstruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import NUM_LOGICAL_REGS
+from repro.isa.semantics import fits_signed
+from repro.uarch.rename import RenameResult, Renamer, SourceOperand
+
+#: Store opcode → the load opcode a reverse (memory bypassing) entry targets.
+_STORE_TO_LOAD = {
+    Opcode.ST: Opcode.LD,
+    Opcode.STW: Opcode.LDW,
+    Opcode.STB: Opcode.LDBU,
+}
+
+#: Canonical key opcode for all register-immediate additions, so that
+#: ``addi r, 16`` matches a reverse entry created by ``subi r, 16``.
+_CANONICAL_ADD = "addi"
+
+
+class RenoRenamer(Renamer):
+    """Renamer implementing RENO_ME, RENO_CF and RENO_CSE+RA."""
+
+    def __init__(self, num_physical_regs: int, config: RenoConfig | None = None):
+        self.config = config or RenoConfig()
+        self.config.validate()
+        if num_physical_regs <= NUM_LOGICAL_REGS:
+            raise ValueError("need more physical than logical registers")
+        self.num_physical_regs = num_physical_regs
+        self.map_table = ExtendedMapTable()
+        self.integration_table: IntegrationTable | None = (
+            IntegrationTable(self.config.it_entries, self.config.it_associativity)
+            if self.config.enable_integration else None
+        )
+        self.refcounts = ReferenceCountManager(
+            num_physical_regs, NUM_LOGICAL_REGS, on_free=self._on_register_freed
+        )
+        self._group_eliminated_logicals: set[int] = set()
+        self.stats: dict[str, int] = {
+            "eliminated_moves": 0,
+            "eliminated_folds": 0,
+            "eliminated_cse": 0,
+            "eliminated_ra": 0,
+            "overflow_cancellations": 0,
+            "dependent_elimination_blocks": 0,
+            "it_lookups": 0,
+            "it_hits": 0,
+            "it_insertions": 0,
+            "it_value_mismatches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Renamer interface
+    # ------------------------------------------------------------------
+
+    def free_register_count(self) -> int:
+        return self.refcounts.free_count()
+
+    def begin_group(self) -> None:
+        self._group_eliminated_logicals = set()
+
+    def end_group(self) -> None:
+        self._group_eliminated_logicals = set()
+
+    def rename_next(self, dyn: DynamicInstruction) -> RenameResult | None:
+        instruction = dyn.instruction
+        source_logicals = instruction.source_registers()
+        source_mappings = [self.map_table.get(logical) for logical in source_logicals]
+        dest = instruction.dest_register
+
+        elimination = self._try_eliminate(dyn, source_logicals, source_mappings, dest)
+
+        if elimination is None and dest is not None and self.refcounts.free_count() == 0:
+            return None  # must allocate, but no physical register is free
+
+        result = RenameResult(
+            sources=[SourceOperand(mapping.preg, mapping.disp) for mapping in source_mappings]
+        )
+
+        if elimination is not None:
+            kind, shared_preg, out_disp, needs_reexec = elimination
+            self.refcounts.share(shared_preg)
+            previous = self.map_table.set(dest, shared_preg, out_disp)
+            result.dest_preg = shared_preg
+            result.dest_disp = out_disp
+            result.prev_dest_preg = previous.preg
+            result.eliminated = True
+            result.elim_kind = kind
+            result.needs_reexecution = needs_reexec
+            self._group_eliminated_logicals.add(dest)
+            self._count_elimination(kind)
+            return result
+
+        if dest is not None:
+            new_preg = self.refcounts.allocate()
+            previous = self.map_table.set(dest, new_preg, 0)
+            result.dest_preg = new_preg
+            result.prev_dest_preg = previous.preg
+            result.allocated = True
+        result.fusion_extra_latency = fusion_extra_latency(
+            instruction.opcode,
+            [mapping.disp for mapping in source_mappings],
+            self.config,
+        )
+        self._insert_it_entries(dyn, source_mappings, result)
+        return result
+
+    def commit(self, result: RenameResult) -> None:
+        if result.prev_dest_preg is not None:
+            self.refcounts.release(result.prev_dest_preg)
+
+    def mapping_snapshot(self) -> list[tuple[int, int]]:
+        return self.map_table.snapshot()
+
+    # ------------------------------------------------------------------
+    # Elimination decisions
+    # ------------------------------------------------------------------
+
+    def _count_elimination(self, kind: str) -> None:
+        key = {
+            "move": "eliminated_moves",
+            "cf": "eliminated_folds",
+            "cse": "eliminated_cse",
+            "ra": "eliminated_ra",
+        }[kind]
+        self.stats[key] += 1
+
+    def _try_eliminate(
+        self,
+        dyn: DynamicInstruction,
+        source_logicals: tuple[int, ...],
+        source_mappings: list[Mapping],
+        dest: int | None,
+    ) -> tuple[str, int, int, bool] | None:
+        """Decide whether the instruction can be collapsed.
+
+        Returns ``(kind, shared_preg, out_disp, needs_reexecution)`` or None.
+        """
+        if dest is None:
+            return None
+        instruction = dyn.instruction
+        config = self.config
+
+        fold = self._try_fold(instruction, source_logicals, source_mappings)
+        if fold is not None:
+            return fold
+
+        if config.enable_integration and self._it_lookup_eligible(instruction):
+            return self._try_integrate(dyn, source_mappings)
+        return None
+
+    def _try_fold(
+        self,
+        instruction: Instruction,
+        source_logicals: tuple[int, ...],
+        source_mappings: list[Mapping],
+    ) -> tuple[str, int, int, bool] | None:
+        """RENO_ME / RENO_CF: collapse moves and register-immediate additions."""
+        config = self.config
+        if not instruction.is_reg_imm_add:
+            return None
+        is_move = instruction.is_move
+        if is_move:
+            if not (config.enable_move_elimination or config.enable_constant_folding):
+                return None
+        elif not config.enable_constant_folding:
+            return None
+
+        source_logical = source_logicals[0]
+        if (source_logical in self._group_eliminated_logicals
+                and not config.allow_dependent_eliminations):
+            # Two dependent eliminations in one rename group are disallowed
+            # to bound the output-selection mux complexity (§3.2).
+            self.stats["dependent_elimination_blocks"] += 1
+            return None
+
+        source = source_mappings[0]
+        new_disp = source.disp + instruction.folded_displacement
+        if not fits_signed(new_disp, config.displacement_bits):
+            self.stats["overflow_cancellations"] += 1
+            return None
+        kind = "move" if is_move else "cf"
+        return (kind, source.preg, new_disp, False)
+
+    def _try_integrate(
+        self, dyn: DynamicInstruction, source_mappings: list[Mapping]
+    ) -> tuple[str, int, int, bool] | None:
+        """RENO_CSE+RA: probe the integration table for an existing value."""
+        instruction = dyn.instruction
+        key = self._it_key(instruction, source_mappings)
+        self.stats["it_lookups"] += 1
+        entry = self.integration_table.lookup(key)
+        if entry is None:
+            return None
+        if not self.refcounts.is_live(entry.out_preg):
+            return None
+        # Stand-in for the pre-retirement re-execution check: integrate only
+        # when the shared register will hold the architecturally correct
+        # value.  A mismatch corresponds to a squashed integration.
+        if entry.value is None or dyn.result is None or entry.value != dyn.result:
+            self.stats["it_value_mismatches"] += 1
+            return None
+        self.stats["it_hits"] += 1
+        kind = "ra" if entry.origin == "store" else "cse"
+        needs_reexec = instruction.is_load
+        return (kind, entry.out_preg, entry.out_disp, needs_reexec)
+
+    # ------------------------------------------------------------------
+    # Integration-table maintenance
+    # ------------------------------------------------------------------
+
+    def _it_lookup_eligible(self, instruction: Instruction) -> bool:
+        """Which instructions probe the IT under the configured policy."""
+        if instruction.is_load:
+            return True
+        if self.config.integration_policy != IT_POLICY_FULL:
+            return False
+        return instruction.spec.op_class in (OpClass.ALU, OpClass.SHIFT)
+
+    def _it_key(self, instruction: Instruction, source_mappings: list[Mapping]) -> tuple:
+        inputs = tuple((mapping.preg, mapping.disp) for mapping in source_mappings)
+        if instruction.is_reg_imm_add:
+            return IntegrationTable.make_key(
+                _CANONICAL_ADD, instruction.folded_displacement, inputs
+            )
+        return IntegrationTable.make_key(instruction.opcode.value, instruction.imm, inputs)
+
+    def _insert_it_entries(
+        self,
+        dyn: DynamicInstruction,
+        source_mappings: list[Mapping],
+        result: RenameResult,
+    ) -> None:
+        """Create IT entries for a non-eliminated instruction."""
+        if self.integration_table is None:
+            return
+        instruction = dyn.instruction
+        policy_full = self.config.integration_policy == IT_POLICY_FULL
+
+        if instruction.is_store:
+            self._insert_reverse_store_entry(dyn, source_mappings)
+            return
+        if instruction.is_load and result.dest_preg is not None:
+            key = self._it_key(instruction, source_mappings)
+            self._insert(IntegrationEntry(
+                key=key, out_preg=result.dest_preg, out_disp=0,
+                origin="load", value=dyn.result,
+            ))
+            return
+        if not policy_full or result.dest_preg is None:
+            return
+        op_class = instruction.spec.op_class
+        if op_class not in (OpClass.ALU, OpClass.SHIFT):
+            return
+        key = self._it_key(instruction, source_mappings)
+        self._insert(IntegrationEntry(
+            key=key, out_preg=result.dest_preg, out_disp=0,
+            origin="alu", value=dyn.result,
+        ))
+        if instruction.is_reg_imm_add:
+            # Reverse entry: lets the matching future increment share the
+            # pre-decrement register (bootstraps memory bypassing across
+            # calls when constant folding is disabled).
+            source = source_mappings[0]
+            reverse_key = IntegrationTable.make_key(
+                _CANONICAL_ADD,
+                -instruction.folded_displacement,
+                ((result.dest_preg, 0),),
+            )
+            self._insert(IntegrationEntry(
+                key=reverse_key, out_preg=source.preg, out_disp=source.disp,
+                origin="alu", value=dyn.rs1_value,
+            ))
+
+    def _insert_reverse_store_entry(
+        self, dyn: DynamicInstruction, source_mappings: list[Mapping]
+    ) -> None:
+        """Stores create entries shaped like the load that will read the value."""
+        instruction = dyn.instruction
+        load_opcode = _STORE_TO_LOAD[instruction.opcode]
+        base_mapping = source_mappings[0]            # rs1 is the base register
+        data_mapping = source_mappings[1]            # rs2 is the data register
+        key = IntegrationTable.make_key(
+            load_opcode.value, instruction.imm, ((base_mapping.preg, base_mapping.disp),)
+        )
+        # Sharing the data register is only correct if the future load reads
+        # back exactly the data register's value.  Recording that value here
+        # lets the hit-time check reject truncating/size-mismatched cases.
+        self._insert(IntegrationEntry(
+            key=key, out_preg=data_mapping.preg, out_disp=data_mapping.disp,
+            origin="store", value=dyn.store_value,
+        ))
+
+    def _insert(self, entry: IntegrationEntry) -> None:
+        self.integration_table.insert(entry)
+        self.stats["it_insertions"] += 1
+
+    def _on_register_freed(self, preg: int) -> None:
+        if self.integration_table is not None:
+            self.integration_table.invalidate_preg(preg)

@@ -1,0 +1,28 @@
+"""Functional (architectural) simulation of AXP-lite programs.
+
+The functional simulator executes a program to completion and records the
+dynamic instruction trace.  The timing simulator in :mod:`repro.uarch`
+consumes this trace (trace-driven, execute-in-execute), and the final
+architectural state produced here is the golden reference used to validate
+RENO's renaming transformations end to end.
+"""
+
+from repro.functional.memory import Memory
+from repro.functional.state import ArchState
+from repro.functional.trace import DynamicInstruction, InstructionMix, mix_statistics
+from repro.functional.simulator import (
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    FunctionalSimulator,
+)
+
+__all__ = [
+    "Memory",
+    "ArchState",
+    "DynamicInstruction",
+    "InstructionMix",
+    "mix_statistics",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "FunctionalSimulator",
+]

@@ -1,0 +1,48 @@
+"""Architectural register state."""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_LOGICAL_REGS, ZERO_REG, reg_name
+from repro.isa.semantics import mask64
+
+
+class ArchState:
+    """The architectural integer register file and program counter.
+
+    Register ``r31`` reads as zero and ignores writes, as in the Alpha ISA.
+    """
+
+    def __init__(self, pc: int = 0):
+        self.regs: list[int] = [0] * NUM_LOGICAL_REGS
+        self.pc = pc
+
+    def read(self, register: int) -> int:
+        """Read a logical register (the zero register always reads 0)."""
+        if register == ZERO_REG:
+            return 0
+        return self.regs[register]
+
+    def write(self, register: int, value: int) -> None:
+        """Write a logical register (writes to the zero register are dropped)."""
+        if register == ZERO_REG:
+            return
+        self.regs[register] = mask64(value)
+
+    def snapshot(self) -> tuple[int, ...]:
+        """An immutable copy of all registers (zero register normalised to 0)."""
+        values = list(self.regs)
+        values[ZERO_REG] = 0
+        return tuple(values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArchState):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(
+            f"{reg_name(index)}={value:#x}"
+            for index, value in enumerate(self.regs)
+            if value
+        )
+        return f"ArchState(pc={self.pc:#x}, {pairs})"

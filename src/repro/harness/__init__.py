@@ -1,0 +1,37 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+Each ``figure*`` function in :mod:`repro.harness.experiments` corresponds to
+one figure (or in-text result) of the paper and returns an
+:class:`~repro.harness.experiments.ExperimentReport` whose rows mirror the
+series the paper plots.  The benchmarks in ``benchmarks/`` and the examples in
+``examples/`` are thin wrappers around these functions.
+"""
+
+from repro.harness.runner import run_matrix, SPEEDUP_BASELINE
+from repro.harness.experiments import (
+    ExperimentReport,
+    figure8_elimination_and_speedup,
+    figure9_critical_path,
+    figure10_division_of_labor,
+    figure11_register_file,
+    figure11_issue_width,
+    figure12_scheduler,
+    instruction_mix,
+    fusion_sensitivity,
+    integration_table_cost,
+)
+
+__all__ = [
+    "run_matrix",
+    "SPEEDUP_BASELINE",
+    "ExperimentReport",
+    "figure8_elimination_and_speedup",
+    "figure9_critical_path",
+    "figure10_division_of_labor",
+    "figure11_register_file",
+    "figure11_issue_width",
+    "figure12_scheduler",
+    "instruction_mix",
+    "fusion_sensitivity",
+    "integration_table_cost",
+]

@@ -1,0 +1,404 @@
+"""One experiment per figure / in-text result of the paper's evaluation.
+
+Every function returns an :class:`ExperimentReport` whose rows mirror the
+series of the corresponding figure.  ``workloads=None`` runs the full suite;
+passing an explicit subset (as the benchmarks do) keeps runtimes bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.critpath import analyze_critical_path
+from repro.analysis.report import format_percent, format_table
+from repro.core.config import RenoConfig
+from repro.functional.simulator import FunctionalSimulator
+from repro.functional.trace import mix_statistics
+from repro.harness.runner import SPEEDUP_BASELINE, run_matrix
+from repro.uarch.config import MachineConfig
+from repro.workloads.base import Workload
+from repro.workloads.suites import suite_by_name
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated table/figure: labelled rows plus the raw data."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[list[str]]
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")
+
+
+def _workload_list(suite: str, workloads: list[str] | None) -> list[str | Workload]:
+    if workloads is not None:
+        return list(workloads)
+    return [workload.name for workload in suite_by_name(suite)]
+
+
+def _label(name: str) -> str:
+    from repro.workloads.base import get_workload
+
+    return get_workload(name).label
+
+
+_RENO_STACK = {
+    SPEEDUP_BASELINE: None,
+    "ME": RenoConfig.reno_me(),
+    "CF+ME": RenoConfig.reno_cf_me(),
+    "RENO": RenoConfig.reno_default(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: elimination rates and speedups, 4- and 6-wide
+# ---------------------------------------------------------------------------
+
+
+def figure8_elimination_and_speedup(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """Fraction of dynamic instructions eliminated (ME/CF/RA+CSE stack) and
+    the speedup of full RENO over the baseline, on 4- and 6-wide machines."""
+    names = _workload_list(suite, workloads)
+    machines = {"4wide": MachineConfig.default_4wide(), "6wide": MachineConfig.default_6wide()}
+    renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()}
+    matrix = run_matrix(names, machines, renos, scale=scale)
+
+    headers = ["benchmark", "ME%", "CF%", "RA+CSE%", "total%",
+               "speedup 4w", "speedup 6w"]
+    rows = []
+    data = {}
+    sums = [0.0] * 6
+    for name in matrix.workloads:
+        stats4 = matrix.get(name, "4wide", "RENO").stats
+        speedup4 = matrix.speedup(name, "4wide", "RENO") - 1
+        speedup6 = matrix.speedup(name, "6wide", "RENO") - 1
+        values = [stats4.move_elimination_rate, stats4.fold_rate, stats4.cse_ra_rate,
+                  stats4.elimination_rate, speedup4, speedup6]
+        data[name] = dict(zip(["me", "cf", "cse_ra", "total", "speedup4", "speedup6"], values))
+        sums = [total + value for total, value in zip(sums, values)]
+        rows.append([_label(name)] + [format_percent(v) for v in values[:4]]
+                    + [format_percent(v, signed=True) for v in values[4:]])
+    count = len(matrix.workloads) or 1
+    averages = [total / count for total in sums]
+    rows.append(["amean"] + [format_percent(v) for v in averages[:4]]
+                + [format_percent(v, signed=True) for v in averages[4:]])
+    data["amean"] = dict(zip(["me", "cf", "cse_ra", "total", "speedup4", "speedup6"], averages))
+    return ExperimentReport(
+        name=f"Figure 8 ({suite})",
+        description="instructions eliminated/folded and RENO speedups (4- and 6-wide)",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: critical-path breakdown
+# ---------------------------------------------------------------------------
+
+
+def figure9_critical_path(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """Critical-path bucket shares for baseline, CF+ME, and full RENO."""
+    names = _workload_list(suite, workloads)
+    machines = {"4wide": MachineConfig.default_4wide()}
+    renos = {SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
+             "RENO": RenoConfig.reno_default()}
+    matrix = run_matrix(names, machines, renos, scale=scale, collect_timing=True)
+
+    headers = ["benchmark", "config", "fetch", "alu", "load", "mem", "commit"]
+    rows = []
+    data = {}
+    for name in matrix.workloads:
+        for reno_label in renos:
+            outcome = matrix.get(name, "4wide", reno_label)
+            breakdown = analyze_critical_path(outcome.timing.timing_records or [])
+            fractions = breakdown.fractions()
+            data[(name, reno_label)] = fractions
+            rows.append([
+                _label(name), reno_label,
+                format_percent(fractions["fetch"]),
+                format_percent(fractions["alu_exec"]),
+                format_percent(fractions["load_exec"]),
+                format_percent(fractions["load_mem"]),
+                format_percent(fractions["commit"]),
+            ])
+    return ExperimentReport(
+        name=f"Figure 9 ({suite})",
+        description="critical-path breakdown: baseline vs CF+ME vs full RENO",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: division of labor between RENO_CF and RENO_CSE+RA
+# ---------------------------------------------------------------------------
+
+
+def figure10_division_of_labor(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """Speedups of RENO, RENO+full IT, full integration only, loads-only
+    integration (the four bars of Figure 10)."""
+    names = _workload_list(suite, workloads)
+    machines = {"4wide": MachineConfig.default_4wide()}
+    renos = {
+        SPEEDUP_BASELINE: None,
+        "RENO": RenoConfig.reno_default(),
+        "RENO+FullInteg": RenoConfig.reno_full_integration(),
+        "FullInteg": RenoConfig.integration_only_full(),
+        "LoadsInteg": RenoConfig.integration_only_loads(),
+    }
+    matrix = run_matrix(names, machines, renos, scale=scale)
+    config_labels = [label for label in renos if label != SPEEDUP_BASELINE]
+    headers = ["benchmark"] + [f"{label} speedup" for label in config_labels]
+    rows = []
+    data = {}
+    sums = {label: 0.0 for label in config_labels}
+    for name in matrix.workloads:
+        row = [_label(name)]
+        for label in config_labels:
+            speedup = matrix.speedup(name, "4wide", label) - 1
+            sums[label] += speedup
+            data[(name, label)] = speedup
+            row.append(format_percent(speedup, signed=True))
+        rows.append(row)
+    count = len(matrix.workloads) or 1
+    rows.append(["avg"] + [format_percent(sums[label] / count, signed=True)
+                           for label in config_labels])
+    for label in config_labels:
+        data[("avg", label)] = sums[label] / count
+    return ExperimentReport(
+        name=f"Figure 10 ({suite})",
+        description="cooperation between RENO_CF and RENO_CSE+RA",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: compensating for smaller register files / narrower issue
+# ---------------------------------------------------------------------------
+
+
+def figure11_register_file(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    register_sizes: tuple[int, ...] = (96, 112, 128, 160),
+) -> ExperimentReport:
+    """Relative performance at several register-file sizes for BASE, CF+ME,
+    RA+CSE (full RENO); 100% = baseline machine with 160 registers."""
+    names = _workload_list(suite, workloads)
+    machines = {f"p{size}": MachineConfig.default_4wide().with_registers(size)
+                for size in register_sizes}
+    renos = dict(_RENO_STACK)
+    matrix = run_matrix(names, machines, renos, scale=scale)
+    reference_machine = f"p{max(register_sizes)}"
+
+    headers = ["config"] + [f"p{size}" for size in register_sizes]
+    rows = []
+    data = {}
+    for reno_label in (SPEEDUP_BASELINE, "CF+ME", "RENO"):
+        row = [reno_label]
+        for size in register_sizes:
+            relative = 0.0
+            for name in matrix.workloads:
+                reference = matrix.get(name, reference_machine, SPEEDUP_BASELINE).cycles
+                target = matrix.get(name, f"p{size}", reno_label).cycles
+                relative += reference / target
+            relative /= len(matrix.workloads) or 1
+            data[(reno_label, size)] = relative
+            row.append(format_percent(relative))
+        rows.append(row)
+    return ExperimentReport(
+        name=f"Figure 11 top ({suite})",
+        description="RENO compensating for physical register file size",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+def figure11_issue_width(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    widths: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 4)),
+) -> ExperimentReport:
+    """Relative performance at i2t2 / i2t3 / i3t4 issue widths; 100% = the
+    baseline i3t4 machine without RENO."""
+    names = _workload_list(suite, workloads)
+    machines = {f"i{i}t{t}": MachineConfig.default_4wide().with_issue(i, t)
+                for i, t in widths}
+    renos = dict(_RENO_STACK)
+    matrix = run_matrix(names, machines, renos, scale=scale)
+    reference_machine = f"i{widths[-1][0]}t{widths[-1][1]}"
+
+    headers = ["config"] + list(machines)
+    rows = []
+    data = {}
+    for reno_label in (SPEEDUP_BASELINE, "CF+ME", "RENO"):
+        row = [reno_label]
+        for machine_label in machines:
+            relative = 0.0
+            for name in matrix.workloads:
+                reference = matrix.get(name, reference_machine, SPEEDUP_BASELINE).cycles
+                target = matrix.get(name, machine_label, reno_label).cycles
+                relative += reference / target
+            relative /= len(matrix.workloads) or 1
+            data[(reno_label, machine_label)] = relative
+            row.append(format_percent(relative))
+        rows.append(row)
+    return ExperimentReport(
+        name=f"Figure 11 bottom ({suite})",
+        description="RENO compensating for reduced issue width",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: 2-cycle wakeup/select loop
+# ---------------------------------------------------------------------------
+
+
+def figure12_scheduler(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """Relative performance with 1- vs 2-cycle scheduling loops; 100% = the
+    1-cycle baseline without RENO."""
+    names = _workload_list(suite, workloads)
+    machines = {"sched1": MachineConfig.default_4wide(),
+                "sched2": MachineConfig.default_4wide().with_scheduler_latency(2)}
+    renos = dict(_RENO_STACK)
+    matrix = run_matrix(names, machines, renos, scale=scale)
+
+    headers = ["config", "1-cycle", "2-cycle"]
+    rows = []
+    data = {}
+    for reno_label in (SPEEDUP_BASELINE, "CF+ME", "RENO"):
+        row = [reno_label]
+        for machine_label in machines:
+            relative = 0.0
+            for name in matrix.workloads:
+                reference = matrix.get(name, "sched1", SPEEDUP_BASELINE).cycles
+                target = matrix.get(name, machine_label, reno_label).cycles
+                relative += reference / target
+            relative /= len(matrix.workloads) or 1
+            data[(reno_label, machine_label)] = relative
+            row.append(format_percent(relative))
+        rows.append(row)
+    return ExperimentReport(
+        name=f"Figure 12 ({suite})",
+        description="RENO with a 2-cycle wakeup-select loop",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
+# In-text results
+# ---------------------------------------------------------------------------
+
+
+def instruction_mix(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """Dynamic fractions of moves and register-immediate additions (§2.3)."""
+    names = _workload_list(suite, workloads)
+    headers = ["benchmark", "moves", "reg-imm adds", "loads", "stores", "branches"]
+    rows = []
+    data = {}
+    sums = [0.0] * 5
+    for entry in names:
+        from repro.workloads.base import get_workload
+
+        workload = get_workload(entry) if isinstance(entry, str) else entry
+        result = FunctionalSimulator(workload.build(scale), 2_000_000).run()
+        mix = mix_statistics(result.trace)
+        values = [mix.move_fraction, mix.reg_imm_add_fraction, mix.load_fraction,
+                  mix.store_fraction, mix.branch_fraction]
+        sums = [total + value for total, value in zip(sums, values)]
+        data[workload.name] = dict(zip(["moves", "addis", "loads", "stores", "branches"], values))
+        rows.append([workload.label] + [format_percent(value) for value in values])
+    count = len(names) or 1
+    rows.append(["amean"] + [format_percent(total / count) for total in sums])
+    data["amean"] = dict(zip(["moves", "addis", "loads", "stores", "branches"],
+                             [total / count for total in sums]))
+    return ExperimentReport(
+        name=f"Instruction mix ({suite})",
+        description="dynamic move / register-immediate-addition fractions (§2.3)",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+def fusion_sensitivity(
+    suite: str = "mediabench",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """§3.3: how much of RENO_CF's benefit survives if every fusion costs a cycle."""
+    names = _workload_list(suite, workloads)
+    machines = {"4wide": MachineConfig.default_4wide()}
+    renos = {SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
+             "CF+ME slow fusion": RenoConfig.reno_cf_me().with_slow_fusion()}
+    matrix = run_matrix(names, machines, renos, scale=scale)
+    headers = ["benchmark", "CF+ME speedup", "slow-fusion speedup", "benefit retained"]
+    rows = []
+    data = {}
+    for name in matrix.workloads:
+        fast = matrix.speedup(name, "4wide", "CF+ME") - 1
+        slow = matrix.speedup(name, "4wide", "CF+ME slow fusion") - 1
+        retained = slow / fast if fast > 0 else 1.0
+        data[name] = {"fast": fast, "slow": slow, "retained": retained}
+        rows.append([_label(name), format_percent(fast, signed=True),
+                     format_percent(slow, signed=True), format_percent(retained)])
+    return ExperimentReport(
+        name=f"Fusion sensitivity ({suite})",
+        description="RENO_CF benefit with 0-cycle vs 1-cycle fusion (§3.3)",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+def integration_table_cost(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+) -> ExperimentReport:
+    """§4.4: IT bandwidth (lookups + insertions) for the default division of
+    labor versus a full integration table."""
+    names = _workload_list(suite, workloads)
+    machines = {"4wide": MachineConfig.default_4wide()}
+    renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default(),
+             "RENO+FullInteg": RenoConfig.reno_full_integration()}
+    matrix = run_matrix(names, machines, renos, scale=scale)
+    headers = ["benchmark", "RENO IT accesses", "FullInteg IT accesses", "saved", "elim RENO", "elim FullInteg"]
+    rows = []
+    data = {}
+    for name in matrix.workloads:
+        default_stats = matrix.get(name, "4wide", "RENO").stats
+        full_stats = matrix.get(name, "4wide", "RENO+FullInteg").stats
+        default_accesses = default_stats.it_lookups + default_stats.it_insertions
+        full_accesses = full_stats.it_lookups + full_stats.it_insertions
+        saved = 1 - default_accesses / full_accesses if full_accesses else 0.0
+        data[name] = {"default": default_accesses, "full": full_accesses, "saved": saved}
+        rows.append([_label(name), str(default_accesses), str(full_accesses),
+                     format_percent(saved),
+                     format_percent(default_stats.elimination_rate),
+                     format_percent(full_stats.elimination_rate)])
+    return ExperimentReport(
+        name=f"Integration table cost ({suite})",
+        description="IT bandwidth: loads-only division of labor vs full integration (§4.4)",
+        headers=headers, rows=rows, data=data,
+    )

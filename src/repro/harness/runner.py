@@ -1,0 +1,78 @@
+"""Grid runner: (workload × machine × RENO config) simulation matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RenoConfig
+from repro.core.simulator import SimulationOutcome, simulate
+from repro.functional.simulator import FunctionalSimulator
+from repro.uarch.config import MachineConfig
+from repro.workloads.base import Workload, get_workload
+
+#: Label conventionally used for the RENO-less machine in config dictionaries.
+SPEEDUP_BASELINE = "BASE"
+
+
+@dataclass
+class MatrixResult:
+    """All simulation outcomes of one experiment grid."""
+
+    outcomes: dict[tuple[str, str, str], SimulationOutcome]
+    workloads: list[str]
+    machine_labels: list[str]
+    reno_labels: list[str]
+
+    def get(self, workload: str, machine: str, reno: str) -> SimulationOutcome:
+        return self.outcomes[(workload, machine, reno)]
+
+    def speedup(self, workload: str, machine: str, reno: str,
+                baseline_machine: str | None = None,
+                baseline_reno: str = SPEEDUP_BASELINE) -> float:
+        """Cycles(baseline) / cycles(config) for one workload."""
+        baseline = self.get(workload, baseline_machine or machine, baseline_reno)
+        target = self.get(workload, machine, reno)
+        return baseline.cycles / target.cycles if target.cycles else 1.0
+
+
+def _resolve_workloads(workloads: list[str | Workload]) -> list[Workload]:
+    resolved = []
+    for entry in workloads:
+        resolved.append(get_workload(entry) if isinstance(entry, str) else entry)
+    return resolved
+
+
+def run_matrix(
+    workloads: list[str | Workload],
+    machines: dict[str, MachineConfig],
+    renos: dict[str, RenoConfig | None],
+    scale: int = 1,
+    collect_timing: bool = False,
+    max_instructions: int = 2_000_000,
+) -> MatrixResult:
+    """Simulate every (workload, machine, RENO config) combination.
+
+    The functional trace for each workload is computed once and shared by all
+    machine/RENO points, so every configuration sees the identical dynamic
+    instruction stream (as in the paper's methodology).
+    """
+    resolved = _resolve_workloads(workloads)
+    outcomes: dict[tuple[str, str, str], SimulationOutcome] = {}
+    for workload in resolved:
+        program = workload.build(scale)
+        functional = FunctionalSimulator(program, max_instructions).run()
+        for machine_label, machine in machines.items():
+            for reno_label, reno in renos.items():
+                outcomes[(workload.name, machine_label, reno_label)] = simulate(
+                    program,
+                    machine,
+                    reno,
+                    trace=functional,
+                    collect_timing=collect_timing,
+                )
+    return MatrixResult(
+        outcomes=outcomes,
+        workloads=[workload.name for workload in resolved],
+        machine_labels=list(machines),
+        reno_labels=list(renos),
+    )

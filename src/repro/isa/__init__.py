@@ -1,0 +1,53 @@
+"""AXP-lite: the Alpha-like RISC instruction set used throughout the reproduction.
+
+The paper evaluates RENO on the Alpha AXP ISA.  We cannot run real Alpha
+binaries here, so this package defines a compact 64-bit RISC ISA with the
+properties RENO cares about:
+
+* 32 integer logical registers with ``r31`` hardwired to zero,
+* 16-bit signed immediates on register-immediate ALU operations and on
+  load/store displacements,
+* register moves expressed as explicit ``mov`` pseudo-instructions (which the
+  decoder recognises, exactly like the move idiom recognition the paper
+  describes),
+* compare-and-branch-on-zero control flow, subroutine call/return, and a
+  small set of byte/word/quadword memory operations.
+
+The public surface is:
+
+* :class:`~repro.isa.instruction.Instruction` — a single static instruction,
+* :class:`~repro.isa.opcodes.Opcode` / :class:`~repro.isa.opcodes.OpSpec` —
+  the opcode enumeration and its static metadata,
+* :class:`~repro.isa.assembler.Assembler` — a small DSL for writing programs,
+* :class:`~repro.isa.program.Program` — an assembled program (code, data,
+  labels) ready to run on the functional or timing simulators.
+"""
+
+from repro.isa.registers import (
+    NUM_LOGICAL_REGS,
+    ZERO_REG,
+    RegisterNames,
+    reg_name,
+)
+from repro.isa.opcodes import Opcode, OpClass, OpSpec, OPCODE_SPECS
+from repro.isa.instruction import Instruction
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.isa.program import Program, CODE_BASE, DATA_BASE, STACK_BASE
+
+__all__ = [
+    "NUM_LOGICAL_REGS",
+    "ZERO_REG",
+    "RegisterNames",
+    "reg_name",
+    "Opcode",
+    "OpClass",
+    "OpSpec",
+    "OPCODE_SPECS",
+    "Instruction",
+    "Assembler",
+    "AssemblyError",
+    "Program",
+    "CODE_BASE",
+    "DATA_BASE",
+    "STACK_BASE",
+]

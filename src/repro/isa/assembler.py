@@ -1,0 +1,390 @@
+"""A small assembler DSL for writing AXP-lite programs in Python.
+
+The workload kernels in :mod:`repro.workloads` are written against this DSL.
+It deliberately encourages compiler-like code: there are helpers for stack
+frames (prologue/epilogue with callee-save spills), for loading constants and
+data-symbol addresses, and the usual label/branch machinery.  These idioms
+are exactly the ones RENO exploits (register moves at call boundaries, stack
+pointer adjustment by register-immediate addition, spill/reload pairs).
+
+Example::
+
+    asm = Assembler("count")
+    buf = asm.word_array("buf", [3, 1, 4, 1, 5])
+    asm.la(a0, "buf")
+    asm.li(t0, 5)
+    asm.li(v0, 0)
+    asm.label("loop")
+    asm.ld(t1, 0, a0)
+    asm.add(v0, v0, t1)
+    asm.addi(a0, a0, 8)
+    asm.subi(t0, t0, 1)
+    asm.bgt(t0, "loop")
+    asm.halt()
+    program = asm.assemble()
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE, Program
+from repro.isa.registers import RegisterNames as R
+from repro.isa.registers import ZERO_REG
+from repro.isa.semantics import fits_signed, to_signed
+
+#: Width of ALU immediates and memory displacements.
+IMMEDIATE_BITS = 16
+
+
+class AssemblyError(Exception):
+    """Raised for malformed programs (unknown labels, oversized immediates...)."""
+
+
+class Assembler:
+    """Builder for :class:`~repro.isa.program.Program` objects."""
+
+    def __init__(self, name: str = "program", data_base: int = DATA_BASE):
+        self.name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._symbols: dict[str, int] = {}
+        self._memory: dict[int, int] = {}
+        self._data_cursor = data_base
+
+    # ------------------------------------------------------------------
+    # Data segment
+    # ------------------------------------------------------------------
+
+    def _allocate(self, name: str, size_bytes: int, align: int = 8) -> int:
+        if name in self._symbols:
+            raise AssemblyError(f"data symbol {name!r} defined twice")
+        cursor = self._data_cursor
+        if cursor % align:
+            cursor += align - (cursor % align)
+        self._symbols[name] = cursor
+        self._data_cursor = cursor + size_bytes
+        return cursor
+
+    def word_array(self, name: str, values: list[int]) -> int:
+        """Allocate and initialise an array of 64-bit words; returns its address."""
+        address = self._allocate(name, 8 * len(values))
+        for offset, value in enumerate(values):
+            self._write_word(address + 8 * offset, value)
+        return address
+
+    def byte_array(self, name: str, values: bytes | list[int]) -> int:
+        """Allocate and initialise an array of bytes; returns its address."""
+        address = self._allocate(name, len(values))
+        for offset, value in enumerate(values):
+            self._memory[address + offset] = value & 0xFF
+        return address
+
+    def zeros(self, name: str, num_words: int) -> int:
+        """Allocate ``num_words`` zero-initialised 64-bit words."""
+        return self.word_array(name, [0] * num_words)
+
+    def fill_words(self, name: str, values: list[int], word_offset: int = 0) -> None:
+        """Overwrite words of an already-declared symbol with ``values``.
+
+        Useful when the initial contents depend on the symbol's own address
+        (e.g. linked structures whose nodes store absolute pointers).
+        """
+        address = self.symbol(name) + 8 * word_offset
+        for offset, value in enumerate(values):
+            self._write_word(address + 8 * offset, value)
+
+    def symbol(self, name: str) -> int:
+        """Return the address of a previously declared data symbol."""
+        try:
+            return self._symbols[name]
+        except KeyError as exc:
+            raise AssemblyError(f"unknown data symbol {name!r}") from exc
+
+    def _write_word(self, address: int, value: int) -> None:
+        value &= (1 << 64) - 1
+        for byte_index in range(8):
+            self._memory[address + byte_index] = (value >> (8 * byte_index)) & 0xFF
+
+    # ------------------------------------------------------------------
+    # Labels and raw emission
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Define a code label at the current position."""
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._instructions)
+
+    def emit(self, instruction: Instruction) -> None:
+        """Append a raw instruction."""
+        self._instructions.append(instruction)
+
+    def _check_imm(self, imm: int, opcode: Opcode) -> None:
+        if not fits_signed(imm, IMMEDIATE_BITS):
+            raise AssemblyError(
+                f"immediate {imm} does not fit in {IMMEDIATE_BITS} bits for {opcode.value}"
+            )
+
+    def _emit_rr(self, opcode: Opcode, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2))
+
+    def _emit_ri(self, opcode: Opcode, rd: int, rs1: int, imm: int) -> None:
+        self._check_imm(imm, opcode)
+        self.emit(Instruction(opcode, rd=rd, rs1=rs1, imm=imm))
+
+    # ------------------------------------------------------------------
+    # Register-register ALU
+    # ------------------------------------------------------------------
+
+    def add(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.SUB, rd, rs1, rs2)
+
+    def and_(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.XOR, rd, rs1, rs2)
+
+    def sll(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.SRL, rd, rs1, rs2)
+
+    def sra(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.SRA, rd, rs1, rs2)
+
+    def mul(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.DIV, rd, rs1, rs2)
+
+    def cmpeq(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.CMPEQ, rd, rs1, rs2)
+
+    def cmplt(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.CMPLT, rd, rs1, rs2)
+
+    def cmple(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.CMPLE, rd, rs1, rs2)
+
+    def cmpult(self, rd, rs1, rs2):
+        self._emit_rr(Opcode.CMPULT, rd, rs1, rs2)
+
+    # ------------------------------------------------------------------
+    # Register-immediate ALU
+    # ------------------------------------------------------------------
+
+    def addi(self, rd, rs1, imm):
+        self._emit_ri(Opcode.ADDI, rd, rs1, imm)
+
+    def subi(self, rd, rs1, imm):
+        self._emit_ri(Opcode.SUBI, rd, rs1, imm)
+
+    def andi(self, rd, rs1, imm):
+        self._emit_ri(Opcode.ANDI, rd, rs1, imm)
+
+    def ori(self, rd, rs1, imm):
+        self._emit_ri(Opcode.ORI, rd, rs1, imm)
+
+    def xori(self, rd, rs1, imm):
+        self._emit_ri(Opcode.XORI, rd, rs1, imm)
+
+    def slli(self, rd, rs1, imm):
+        self._emit_ri(Opcode.SLLI, rd, rs1, imm)
+
+    def srli(self, rd, rs1, imm):
+        self._emit_ri(Opcode.SRLI, rd, rs1, imm)
+
+    def srai(self, rd, rs1, imm):
+        self._emit_ri(Opcode.SRAI, rd, rs1, imm)
+
+    def muli(self, rd, rs1, imm):
+        self._emit_ri(Opcode.MULI, rd, rs1, imm)
+
+    def cmpeqi(self, rd, rs1, imm):
+        self._emit_ri(Opcode.CMPEQI, rd, rs1, imm)
+
+    def cmplti(self, rd, rs1, imm):
+        self._emit_ri(Opcode.CMPLTI, rd, rs1, imm)
+
+    def cmplei(self, rd, rs1, imm):
+        self._emit_ri(Opcode.CMPLEI, rd, rs1, imm)
+
+    def cmpulti(self, rd, rs1, imm):
+        self._emit_ri(Opcode.CMPULTI, rd, rs1, imm)
+
+    def ldah(self, rd, rs1, imm):
+        self._emit_ri(Opcode.LDAH, rd, rs1, imm)
+
+    # ------------------------------------------------------------------
+    # Moves and constants
+    # ------------------------------------------------------------------
+
+    def mov(self, rd, rs1):
+        """Register move (the RENO_ME idiom)."""
+        self.emit(Instruction(Opcode.MOV, rd=rd, rs1=rs1))
+
+    def li(self, rd, value: int) -> None:
+        """Load a constant into ``rd`` (1 or 2 instructions).
+
+        Small constants become a single ``addi rd, zero, value``; larger
+        32-bit constants use an ``ldah``/``addi`` pair, mirroring how Alpha
+        compilers build constants.
+        """
+        value = to_signed(value & ((1 << 64) - 1)) if value >= (1 << 63) else value
+        if fits_signed(value, IMMEDIATE_BITS):
+            self.addi(rd, ZERO_REG, value)
+            return
+        low = to_signed(value & 0xFFFF, 16)
+        high = (value - low) >> 16
+        if not fits_signed(high, IMMEDIATE_BITS):
+            raise AssemblyError(f"constant {value:#x} does not fit in 32 bits")
+        self.ldah(rd, ZERO_REG, high)
+        if low != 0:
+            self.addi(rd, rd, low)
+
+    def la(self, rd, symbol: str) -> None:
+        """Load the address of data symbol ``symbol`` into ``rd``.
+
+        The symbol must already have been declared (data before code), so the
+        expansion is known at emission time.
+        """
+        self.li(rd, self.symbol(symbol))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def ld(self, rd, imm, base):
+        self._check_imm(imm, Opcode.LD)
+        self.emit(Instruction(Opcode.LD, rd=rd, rs1=base, imm=imm))
+
+    def ldw(self, rd, imm, base):
+        self._check_imm(imm, Opcode.LDW)
+        self.emit(Instruction(Opcode.LDW, rd=rd, rs1=base, imm=imm))
+
+    def ldbu(self, rd, imm, base):
+        self._check_imm(imm, Opcode.LDBU)
+        self.emit(Instruction(Opcode.LDBU, rd=rd, rs1=base, imm=imm))
+
+    def st(self, rs, imm, base):
+        self._check_imm(imm, Opcode.ST)
+        self.emit(Instruction(Opcode.ST, rs1=base, rs2=rs, imm=imm))
+
+    def stw(self, rs, imm, base):
+        self._check_imm(imm, Opcode.STW)
+        self.emit(Instruction(Opcode.STW, rs1=base, rs2=rs, imm=imm))
+
+    def stb(self, rs, imm, base):
+        self._check_imm(imm, Opcode.STB)
+        self.emit(Instruction(Opcode.STB, rs1=base, rs2=rs, imm=imm))
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+
+    def _emit_branch(self, opcode: Opcode, rs1: int, target: str) -> None:
+        self.emit(Instruction(opcode, rs1=rs1, target=target))
+
+    def beq(self, rs1, target):
+        self._emit_branch(Opcode.BEQ, rs1, target)
+
+    def bne(self, rs1, target):
+        self._emit_branch(Opcode.BNE, rs1, target)
+
+    def blt(self, rs1, target):
+        self._emit_branch(Opcode.BLT, rs1, target)
+
+    def bge(self, rs1, target):
+        self._emit_branch(Opcode.BGE, rs1, target)
+
+    def ble(self, rs1, target):
+        self._emit_branch(Opcode.BLE, rs1, target)
+
+    def bgt(self, rs1, target):
+        self._emit_branch(Opcode.BGT, rs1, target)
+
+    def br(self, target):
+        self.emit(Instruction(Opcode.BR, target=target))
+
+    def jsr(self, target, link_register: int = R.RA):
+        """Call a subroutine: jumps to ``target`` and writes the return address."""
+        self.emit(Instruction(Opcode.JSR, rd=link_register, target=target))
+
+    def ret(self, register: int = R.RA):
+        """Return through ``register`` (the return-address register by default)."""
+        self.emit(Instruction(Opcode.RET, rs1=register))
+
+    def nop(self):
+        self.emit(Instruction(Opcode.NOP))
+
+    def halt(self):
+        self.emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    # Compiler-style macros
+    # ------------------------------------------------------------------
+
+    def prologue(self, frame_size: int, save_registers: tuple[int, ...] = ()) -> None:
+        """Emit a standard function prologue.
+
+        Allocates a stack frame, saves the return address at offset 0 and any
+        callee-saved registers at consecutive offsets.  This produces the
+        stack-pointer decrement and spill stores that RENO_RA bypasses.
+        """
+        self.subi(R.SP, R.SP, frame_size)
+        self.st(R.RA, 0, R.SP)
+        for slot, register in enumerate(save_registers, start=1):
+            self.st(register, 8 * slot, R.SP)
+
+    def epilogue(self, frame_size: int, save_registers: tuple[int, ...] = ()) -> None:
+        """Emit the matching epilogue: reload saves, pop the frame, return."""
+        for slot, register in enumerate(save_registers, start=1):
+            self.ld(register, 8 * slot, R.SP)
+        self.ld(R.RA, 0, R.SP)
+        self.addi(R.SP, R.SP, frame_size)
+        self.ret()
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def assemble(self) -> Program:
+        """Resolve labels and produce an executable :class:`Program`."""
+        resolved: list[Instruction] = []
+        for index, instruction in enumerate(self._instructions):
+            target = instruction.target
+            if isinstance(target, str):
+                if target not in self._labels:
+                    raise AssemblyError(
+                        f"instruction {index} ({instruction.opcode.value}) references "
+                        f"unknown label {target!r}"
+                    )
+                instruction = Instruction(
+                    opcode=instruction.opcode,
+                    rd=instruction.rd,
+                    rs1=instruction.rs1,
+                    rs2=instruction.rs2,
+                    imm=instruction.imm,
+                    target=self._labels[target],
+                    comment=instruction.comment,
+                )
+            resolved.append(instruction)
+        if not resolved:
+            raise AssemblyError("cannot assemble an empty program")
+        return Program(
+            name=self.name,
+            instructions=resolved,
+            labels=dict(self._labels),
+            symbols=dict(self._symbols),
+            initial_memory=dict(self._memory),
+        )

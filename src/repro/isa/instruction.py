@@ -1,0 +1,150 @@
+"""Static instruction representation for AXP-lite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode, OpSpec, spec_for
+from repro.isa.registers import ZERO_REG, reg_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static AXP-lite instruction.
+
+    Operand fields that an opcode does not use are left at their defaults;
+    :class:`~repro.isa.opcodes.OpSpec` describes which fields are meaningful
+    for a given opcode.
+
+    Attributes:
+        opcode: The operation.
+        rd: Destination logical register (or None).
+        rs1: First source logical register (base register for memory ops,
+            tested register for branches, target register for ``ret``).
+        rs2: Second source logical register (store data register).
+        imm: Immediate / displacement value (signed Python int).
+        target: Branch/call target; a label string before assembly and an
+            instruction index (int) after label resolution.
+        comment: Optional free-form annotation carried through for debugging.
+    """
+
+    opcode: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int = 0
+    target: int | str | None = None
+    comment: str = ""
+
+    # Cached spec lookup (not part of equality/hash).
+    _spec: OpSpec = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_spec", spec_for(self.opcode))
+
+    @property
+    def spec(self) -> OpSpec:
+        """Static metadata for this instruction's opcode."""
+        return self._spec
+
+    # -- operand helpers --------------------------------------------------
+
+    def source_registers(self) -> tuple[int, ...]:
+        """Logical registers read by this instruction (zero register included)."""
+        sources = []
+        if self.spec.reads_rs1 and self.rs1 is not None:
+            sources.append(self.rs1)
+        if self.spec.reads_rs2 and self.rs2 is not None:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    @property
+    def dest_register(self) -> int | None:
+        """Logical register written by this instruction, or None.
+
+        Writes to the hardwired zero register are treated as no destination,
+        which matches how renaming handles them (no mapping update).
+        """
+        if not self.spec.writes_rd:
+            return None
+        if self.rd is None or self.rd == ZERO_REG:
+            return None
+        return self.rd
+
+    # -- classification shortcuts used throughout the pipeline ------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.spec.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.spec.is_store
+
+    @property
+    def is_mem(self) -> bool:
+        return self.spec.is_mem
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.spec.is_cond_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.spec.is_control
+
+    @property
+    def is_call(self) -> bool:
+        return self.spec.is_call
+
+    @property
+    def is_return(self) -> bool:
+        return self.spec.is_return
+
+    @property
+    def is_move(self) -> bool:
+        return self.spec.is_move
+
+    @property
+    def is_reg_imm_add(self) -> bool:
+        """True if this is a register-immediate addition in the RENO_CF sense."""
+        return self.spec.is_reg_imm_add
+
+    @property
+    def folded_displacement(self) -> int:
+        """The signed displacement this instruction adds to its source register.
+
+        Only meaningful for register-immediate additions: ``mov`` contributes
+        0, ``addi`` contributes ``imm``, ``subi`` contributes ``-imm`` and
+        ``ldah`` contributes ``imm << 16``.
+        """
+        if self.opcode is Opcode.MOV:
+            return 0
+        if self.opcode is Opcode.SUBI:
+            return -self.imm
+        return self.imm << self.spec.fold_shift
+
+    # -- pretty printing ---------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        spec = self.spec
+        name = self.opcode.value
+        if spec.fmt == "rr":
+            return f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}, {reg_name(self.rs2)}"
+        if spec.fmt == "ri":
+            return f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}, {self.imm}"
+        if spec.fmt == "mov":
+            return f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}"
+        if spec.fmt == "load":
+            return f"{name} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+        if spec.fmt == "store":
+            return f"{name} {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if spec.fmt == "br":
+            return f"{name} {reg_name(self.rs1)}, {self.target}"
+        if spec.fmt == "jmp":
+            return f"{name} {self.target}"
+        if spec.fmt == "call":
+            return f"{name} {reg_name(self.rd)}, {self.target}"
+        if spec.fmt == "ret":
+            return f"{name} ({reg_name(self.rs1)})"
+        return name

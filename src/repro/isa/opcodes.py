@@ -1,0 +1,274 @@
+"""Opcode enumeration and static per-opcode metadata for AXP-lite.
+
+Every opcode has an :class:`OpSpec` describing how its operands are read and
+written, which functional-unit class executes it, its execution latency, and
+the properties RENO's decoder needs: whether it is a register move, whether
+it is a register-immediate addition (and therefore foldable by RENO_CF), and
+whether it is a load/store/branch.
+
+The operand conventions are:
+
+========  =======================================================
+format    meaning
+========  =======================================================
+``rr``    ``op rd, rs1, rs2``      (reg-reg ALU)
+``ri``    ``op rd, rs1, imm``      (reg-imm ALU)
+``mov``   ``mov rd, rs1``          (register move pseudo-op)
+``load``  ``op rd, imm(rs1)``      (memory load)
+``store`` ``op rs2, imm(rs1)``     (memory store; rs2 is the data)
+``br``    ``op rs1, target``       (conditional branch, compares rs1 to 0)
+``jmp``   ``op target``            (unconditional direct branch)
+``call``  ``op target``            (subroutine call, writes the RA register)
+``ret``   ``op rs1``               (indirect jump, usually through RA)
+``none``  no operands (``nop``, ``halt``)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.Enum):
+    """Coarse functional classes used by the scheduler and statistics."""
+
+    ALU = "alu"          # single-cycle integer op (add/logic/compare)
+    SHIFT = "shift"      # single-cycle shifts (only ALU0 has a shifter)
+    MUL = "mul"          # pipelined multi-cycle multiply
+    DIV = "div"          # unpipelined long-latency divide
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"    # conditional branches
+    JUMP = "jump"        # unconditional direct jumps
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+    HALT = "halt"
+
+
+class Opcode(enum.Enum):
+    """All AXP-lite opcodes."""
+
+    # Register-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    MUL = "mul"
+    DIV = "div"
+    CMPEQ = "cmpeq"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPULT = "cmpult"
+
+    # Register-immediate ALU.
+    ADDI = "addi"
+    SUBI = "subi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    MULI = "muli"
+    CMPEQI = "cmpeqi"
+    CMPLTI = "cmplti"
+    CMPLEI = "cmplei"
+    CMPULTI = "cmpulti"
+    LDAH = "ldah"        # rd = rs1 + (imm << 16): builds 32-bit constants.
+
+    # Register move pseudo-instruction (recognised by the decoder).
+    MOV = "mov"
+
+    # Memory.
+    LD = "ld"            # 8-byte load
+    LDW = "ldw"          # 4-byte sign-extending load
+    LDBU = "ldbu"        # 1-byte zero-extending load
+    ST = "st"            # 8-byte store
+    STW = "stw"          # 4-byte store
+    STB = "stb"          # 1-byte store
+
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+    BR = "br"
+    JSR = "jsr"
+    RET = "ret"
+    NOP = "nop"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static metadata for one opcode.
+
+    Attributes:
+        opcode: The opcode this spec describes.
+        op_class: Functional class (drives issue-port selection and latency).
+        fmt: Operand format string (see module docstring).
+        latency: Execution latency in cycles once issued (loads add cache
+            latency on top of this address-generation cycle).
+        reads_rs1: True if the instruction reads logical register ``rs1``.
+        reads_rs2: True if the instruction reads logical register ``rs2``.
+        writes_rd: True if the instruction writes logical register ``rd``.
+        is_move: True for the register-move pseudo-op (RENO_ME target).
+        is_reg_imm_add: True for register-immediate additions in the RENO_CF
+            sense: the result equals a register value plus a (possibly
+            negative) immediate.  ``mov`` is included because it is an
+            addition with an immediate of zero; ``ldah`` is included because
+            it adds ``imm << 16``.
+        fold_shift: Number of bits the immediate is shifted left before being
+            added (16 for ``ldah``, 0 otherwise).
+        mem_bytes: Access size in bytes for loads/stores, else 0.
+        mem_signed: True if a load sign-extends its result.
+        is_stack_pointer_idiom_candidate: marker used by tests/documentation
+            only; stack-pointer recognition itself is dynamic (based on the
+            register number), not static.
+    """
+
+    opcode: Opcode
+    op_class: OpClass
+    fmt: str
+    latency: int = 1
+    reads_rs1: bool = False
+    reads_rs2: bool = False
+    writes_rd: bool = False
+    is_move: bool = False
+    is_reg_imm_add: bool = False
+    fold_shift: int = 0
+    mem_bytes: int = 0
+    mem_signed: bool = False
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op_class is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.op_class in (
+            OpClass.BRANCH,
+            OpClass.JUMP,
+            OpClass.CALL,
+            OpClass.RET,
+        )
+
+    @property
+    def is_call(self) -> bool:
+        return self.op_class is OpClass.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.op_class is OpClass.RET
+
+
+def _rr(op: Opcode, op_class: OpClass = OpClass.ALU, latency: int = 1) -> OpSpec:
+    return OpSpec(op, op_class, "rr", latency=latency,
+                  reads_rs1=True, reads_rs2=True, writes_rd=True)
+
+
+def _ri(op: Opcode, op_class: OpClass = OpClass.ALU, latency: int = 1,
+        is_reg_imm_add: bool = False, fold_shift: int = 0) -> OpSpec:
+    return OpSpec(op, op_class, "ri", latency=latency,
+                  reads_rs1=True, writes_rd=True,
+                  is_reg_imm_add=is_reg_imm_add, fold_shift=fold_shift)
+
+
+def _load(op: Opcode, size: int, signed: bool) -> OpSpec:
+    return OpSpec(op, OpClass.LOAD, "load", latency=1,
+                  reads_rs1=True, writes_rd=True,
+                  mem_bytes=size, mem_signed=signed)
+
+
+def _store(op: Opcode, size: int) -> OpSpec:
+    return OpSpec(op, OpClass.STORE, "store", latency=1,
+                  reads_rs1=True, reads_rs2=True, mem_bytes=size)
+
+
+def _branch(op: Opcode) -> OpSpec:
+    return OpSpec(op, OpClass.BRANCH, "br", latency=1, reads_rs1=True)
+
+
+OPCODE_SPECS: dict[Opcode, OpSpec] = {
+    spec.opcode: spec
+    for spec in [
+        # Register-register ALU.
+        _rr(Opcode.ADD),
+        _rr(Opcode.SUB),
+        _rr(Opcode.AND),
+        _rr(Opcode.OR),
+        _rr(Opcode.XOR),
+        _rr(Opcode.SLL, OpClass.SHIFT),
+        _rr(Opcode.SRL, OpClass.SHIFT),
+        _rr(Opcode.SRA, OpClass.SHIFT),
+        _rr(Opcode.MUL, OpClass.MUL, latency=3),
+        _rr(Opcode.DIV, OpClass.DIV, latency=12),
+        _rr(Opcode.CMPEQ),
+        _rr(Opcode.CMPLT),
+        _rr(Opcode.CMPLE),
+        _rr(Opcode.CMPULT),
+        # Register-immediate ALU.  ``addi``/``subi`` are the RENO_CF targets.
+        _ri(Opcode.ADDI, is_reg_imm_add=True),
+        _ri(Opcode.SUBI, is_reg_imm_add=True),
+        _ri(Opcode.ANDI),
+        _ri(Opcode.ORI),
+        _ri(Opcode.XORI),
+        _ri(Opcode.SLLI, OpClass.SHIFT),
+        _ri(Opcode.SRLI, OpClass.SHIFT),
+        _ri(Opcode.SRAI, OpClass.SHIFT),
+        _ri(Opcode.MULI, OpClass.MUL, latency=3),
+        _ri(Opcode.CMPEQI),
+        _ri(Opcode.CMPLTI),
+        _ri(Opcode.CMPLEI),
+        _ri(Opcode.CMPULTI),
+        _ri(Opcode.LDAH, is_reg_imm_add=True, fold_shift=16),
+        # Register move (an addition with an immediate of zero).
+        OpSpec(Opcode.MOV, OpClass.ALU, "mov", latency=1,
+               reads_rs1=True, writes_rd=True,
+               is_move=True, is_reg_imm_add=True),
+        # Memory.
+        _load(Opcode.LD, 8, signed=True),
+        _load(Opcode.LDW, 4, signed=True),
+        _load(Opcode.LDBU, 1, signed=False),
+        _store(Opcode.ST, 8),
+        _store(Opcode.STW, 4),
+        _store(Opcode.STB, 1),
+        # Control.
+        _branch(Opcode.BEQ),
+        _branch(Opcode.BNE),
+        _branch(Opcode.BLT),
+        _branch(Opcode.BGE),
+        _branch(Opcode.BLE),
+        _branch(Opcode.BGT),
+        OpSpec(Opcode.BR, OpClass.JUMP, "jmp", latency=1),
+        OpSpec(Opcode.JSR, OpClass.CALL, "call", latency=1, writes_rd=True),
+        OpSpec(Opcode.RET, OpClass.RET, "ret", latency=1, reads_rs1=True),
+        OpSpec(Opcode.NOP, OpClass.NOP, "none", latency=1),
+        OpSpec(Opcode.HALT, OpClass.HALT, "none", latency=1),
+    ]
+}
+
+
+def spec_for(opcode: Opcode) -> OpSpec:
+    """Return the :class:`OpSpec` for ``opcode``."""
+    return OPCODE_SPECS[opcode]

@@ -1,0 +1,89 @@
+"""Logical (architectural) register definitions for the AXP-lite ISA.
+
+The register file follows Alpha conventions: 32 integer registers, with
+``r31`` hardwired to zero.  The symbolic names mirror the Alpha calling
+convention so that the hand-written workload kernels read like compiler
+output (stack pointer, return address, argument registers, callee-saved
+registers, and temporaries).
+"""
+
+from __future__ import annotations
+
+#: Number of integer logical registers.
+NUM_LOGICAL_REGS = 32
+
+#: Register hardwired to zero (Alpha's ``r31``).
+ZERO_REG = 31
+
+
+class RegisterNames:
+    """Symbolic register numbers following the Alpha calling convention.
+
+    These are plain integers (not an enum) so they can be used directly as
+    register operands in the assembler DSL without any conversion.
+    """
+
+    # Function result.
+    V0 = 0
+    # Caller-saved temporaries.
+    T0 = 1
+    T1 = 2
+    T2 = 3
+    T3 = 4
+    T4 = 5
+    T5 = 6
+    T6 = 7
+    T7 = 8
+    # Callee-saved registers.
+    S0 = 9
+    S1 = 10
+    S2 = 11
+    S3 = 12
+    S4 = 13
+    S5 = 14
+    # Frame pointer (callee-saved).
+    FP = 15
+    # Argument registers.
+    A0 = 16
+    A1 = 17
+    A2 = 18
+    A3 = 19
+    A4 = 20
+    A5 = 21
+    # More caller-saved temporaries.
+    T8 = 22
+    T9 = 23
+    T10 = 24
+    T11 = 25
+    # Return address.
+    RA = 26
+    # Procedure value / scratch.
+    T12 = 27
+    # Assembler temporary.
+    AT = 28
+    # Global pointer.
+    GP = 29
+    # Stack pointer.
+    SP = 30
+    # Hardwired zero.
+    ZERO = 31
+
+
+_NAME_TABLE = {
+    0: "v0",
+    1: "t0", 2: "t1", 3: "t2", 4: "t3", 5: "t4", 6: "t5", 7: "t6", 8: "t7",
+    9: "s0", 10: "s1", 11: "s2", 12: "s3", 13: "s4", 14: "s5",
+    15: "fp",
+    16: "a0", 17: "a1", 18: "a2", 19: "a3", 20: "a4", 21: "a5",
+    22: "t8", 23: "t9", 24: "t10", 25: "t11",
+    26: "ra", 27: "t12", 28: "at", 29: "gp", 30: "sp", 31: "zero",
+}
+
+
+def reg_name(reg: int) -> str:
+    """Return the conventional symbolic name for logical register ``reg``.
+
+    Unknown register numbers fall back to ``r<n>`` so debug output never
+    raises while printing malformed instructions.
+    """
+    return _NAME_TABLE.get(reg, f"r{reg}")

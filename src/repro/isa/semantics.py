@@ -1,0 +1,140 @@
+"""Shared operation semantics for AXP-lite.
+
+Both the functional (architectural) simulator and the timing simulator's
+execute stage evaluate instructions through these helpers, so the two can be
+cross-checked value-for-value.  All arithmetic is 64-bit two's complement.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode
+
+#: 64-bit mask.
+MASK64 = (1 << 64) - 1
+
+
+def mask64(value: int) -> int:
+    """Wrap ``value`` to an unsigned 64-bit quantity."""
+    return value & MASK64
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Interpret the low ``bits`` of ``value`` as a two's-complement integer."""
+    value &= (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value`` to a 64-bit quantity."""
+    return mask64(to_signed(value, bits))
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """Return True if ``value`` is representable as a signed ``bits``-bit int."""
+    limit = 1 << (bits - 1)
+    return -limit <= value < limit
+
+
+_SHIFT_MASK = 63
+
+
+def alu_eval(opcode: Opcode, a: int, b: int, imm: int) -> int:
+    """Evaluate a non-memory, non-control operation.
+
+    Args:
+        opcode: The operation.
+        a: Value of ``rs1`` (unsigned 64-bit representation).
+        b: Value of ``rs2`` (unsigned 64-bit representation); ignored by
+            register-immediate forms.
+        imm: The instruction immediate (a plain Python int, already signed).
+
+    Returns:
+        The 64-bit (unsigned representation) result value.
+    """
+    sa = to_signed(a)
+    sb = to_signed(b)
+    if opcode is Opcode.ADD:
+        return mask64(a + b)
+    if opcode is Opcode.SUB:
+        return mask64(a - b)
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.SLL:
+        return mask64(a << (b & _SHIFT_MASK))
+    if opcode is Opcode.SRL:
+        return a >> (b & _SHIFT_MASK)
+    if opcode is Opcode.SRA:
+        return mask64(sa >> (b & _SHIFT_MASK))
+    if opcode is Opcode.MUL:
+        return mask64(sa * sb)
+    if opcode is Opcode.DIV:
+        if sb == 0:
+            return 0
+        return mask64(int(sa / sb))
+    if opcode is Opcode.CMPEQ:
+        return 1 if a == b else 0
+    if opcode is Opcode.CMPLT:
+        return 1 if sa < sb else 0
+    if opcode is Opcode.CMPLE:
+        return 1 if sa <= sb else 0
+    if opcode is Opcode.CMPULT:
+        return 1 if a < b else 0
+    if opcode is Opcode.ADDI:
+        return mask64(a + imm)
+    if opcode is Opcode.SUBI:
+        return mask64(a - imm)
+    if opcode is Opcode.ANDI:
+        return a & mask64(imm)
+    if opcode is Opcode.ORI:
+        return a | mask64(imm)
+    if opcode is Opcode.XORI:
+        return a ^ mask64(imm)
+    if opcode is Opcode.SLLI:
+        return mask64(a << (imm & _SHIFT_MASK))
+    if opcode is Opcode.SRLI:
+        return a >> (imm & _SHIFT_MASK)
+    if opcode is Opcode.SRAI:
+        return mask64(sa >> (imm & _SHIFT_MASK))
+    if opcode is Opcode.MULI:
+        return mask64(sa * imm)
+    if opcode is Opcode.CMPEQI:
+        return 1 if sa == imm else 0
+    if opcode is Opcode.CMPLTI:
+        return 1 if sa < imm else 0
+    if opcode is Opcode.CMPLEI:
+        return 1 if sa <= imm else 0
+    if opcode is Opcode.CMPULTI:
+        return 1 if a < mask64(imm) else 0
+    if opcode is Opcode.LDAH:
+        return mask64(a + (imm << 16))
+    if opcode is Opcode.MOV:
+        return a
+    raise ValueError(f"alu_eval cannot evaluate opcode {opcode}")
+
+
+def branch_taken(opcode: Opcode, a: int) -> bool:
+    """Return the direction of a conditional branch given its register value."""
+    sa = to_signed(a)
+    if opcode is Opcode.BEQ:
+        return sa == 0
+    if opcode is Opcode.BNE:
+        return sa != 0
+    if opcode is Opcode.BLT:
+        return sa < 0
+    if opcode is Opcode.BGE:
+        return sa >= 0
+    if opcode is Opcode.BLE:
+        return sa <= 0
+    if opcode is Opcode.BGT:
+        return sa > 0
+    raise ValueError(f"branch_taken cannot evaluate opcode {opcode}")
+
+
+def effective_address(base: int, displacement: int) -> int:
+    """Compute a load/store effective address (base register + displacement)."""
+    return mask64(base + displacement)

@@ -1,0 +1,187 @@
+"""Branch prediction: hybrid direction predictor, BTB and return address stack.
+
+The paper's front end uses a 16 Kbit hybrid predictor, a 2K-entry 4-way BTB
+and a 32-entry RAS, and can fetch past one taken branch per cycle.  The
+predictor here follows the classic bimodal + gshare + chooser organisation
+with the storage budget split three ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.functional.trace import DynamicInstruction
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import MachineConfig
+
+
+class SaturatingCounterTable:
+    """A table of 2-bit saturating counters indexed by a hashed key."""
+
+    def __init__(self, entries: int, initial: int = 1):
+        if entries & (entries - 1):
+            raise ValueError("counter table size must be a power of two")
+        self._mask = entries - 1
+        self._counters = [initial] * entries
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        slot = index & self._mask
+        value = self._counters[slot]
+        if taken:
+            self._counters[slot] = min(3, value + 1)
+        else:
+            self._counters[slot] = max(0, value - 1)
+
+
+class HybridPredictor:
+    """Bimodal + gshare with a chooser, McFarling style."""
+
+    def __init__(self, budget_bits: int):
+        # Three equal tables of 2-bit counters.
+        entries = max(256, (budget_bits // 2) // 3)
+        entries = 1 << (entries.bit_length() - 1)
+        self.bimodal = SaturatingCounterTable(entries)
+        self.gshare = SaturatingCounterTable(entries)
+        self.chooser = SaturatingCounterTable(entries, initial=2)
+        self.history = 0
+        self._history_mask = entries - 1
+
+    def _indices(self, pc: int) -> tuple[int, int]:
+        base = (pc >> 2) & self._history_mask
+        return base, base ^ (self.history & self._history_mask)
+
+    def predict(self, pc: int) -> bool:
+        bimodal_index, gshare_index = self._indices(pc)
+        use_gshare = self.chooser.predict(bimodal_index)
+        if use_gshare:
+            return self.gshare.predict(gshare_index)
+        return self.bimodal.predict(bimodal_index)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_index, gshare_index = self._indices(pc)
+        bimodal_correct = self.bimodal.predict(bimodal_index) == taken
+        gshare_correct = self.gshare.predict(gshare_index) == taken
+        if bimodal_correct != gshare_correct:
+            self.chooser.update(bimodal_index, gshare_correct)
+        self.bimodal.update(bimodal_index, taken)
+        self.gshare.update(gshare_index, taken)
+        self.history = ((self.history << 1) | int(taken)) & 0xFFFF
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB mapping branch PCs to predicted targets."""
+
+    def __init__(self, entries: int, associativity: int):
+        self.num_sets = max(1, entries // associativity)
+        self.associativity = associativity
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+
+    def _set_for(self, pc: int) -> list[tuple[int, int]]:
+        return self._sets[(pc >> 2) % self.num_sets]
+
+    def predict(self, pc: int) -> int | None:
+        ways = self._set_for(pc)
+        for tag, target in ways:
+            if tag == pc:
+                ways.remove((tag, target))
+                ways.insert(0, (tag, target))
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        ways = self._set_for(pc)
+        for entry in ways:
+            if entry[0] == pc:
+                ways.remove(entry)
+                break
+        ways.insert(0, (pc, target))
+        if len(ways) > self.associativity:
+            ways.pop()
+
+
+class ReturnAddressStack:
+    """Bounded return address stack."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._stack: list[int] = []
+
+    def push(self, address: int) -> None:
+        self._stack.append(address)
+        if len(self._stack) > self.entries:
+            self._stack.pop(0)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+
+@dataclass
+class BranchOutcome:
+    """Result of processing one control instruction at fetch."""
+
+    mispredicted: bool
+    reason: str = ""
+
+
+class BranchUnit:
+    """Front-end branch handling for the trace-driven pipeline.
+
+    ``process`` is called for every fetched control-flow instruction with its
+    actual outcome (from the trace); it returns whether the front end would
+    have mispredicted, and trains all predictor state.
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.direction = HybridPredictor(config.branch_predictor_bits)
+        self.btb = BranchTargetBuffer(config.btb_entries, config.btb_associativity)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.conditional_branches = 0
+        self.mispredictions = 0
+        self.btb_misses = 0
+        self.ras_mispredictions = 0
+
+    def process(self, dyn: DynamicInstruction) -> BranchOutcome:
+        instruction = dyn.instruction
+        op_class = instruction.spec.op_class
+        taken = bool(dyn.taken)
+        outcome = BranchOutcome(mispredicted=False)
+
+        if op_class is OpClass.BRANCH:
+            self.conditional_branches += 1
+            predicted_taken = self.direction.predict(dyn.pc)
+            self.direction.update(dyn.pc, taken)
+            if predicted_taken != taken:
+                self.mispredictions += 1
+                outcome = BranchOutcome(True, "direction")
+            elif taken:
+                outcome = self._check_target(dyn)
+        elif op_class is OpClass.JUMP:
+            outcome = self._check_target(dyn)
+        elif op_class is OpClass.CALL:
+            outcome = self._check_target(dyn)
+            self.ras.push(dyn.pc + 4)
+        elif op_class is OpClass.RET:
+            predicted = self.ras.pop()
+            if predicted != dyn.target_pc:
+                self.ras_mispredictions += 1
+                outcome = BranchOutcome(True, "ras")
+        return outcome
+
+    def _check_target(self, dyn: DynamicInstruction) -> BranchOutcome:
+        predicted_target = self.btb.predict(dyn.pc)
+        self.btb.update(dyn.pc, dyn.target_pc)
+        if predicted_target != dyn.target_pc:
+            self.btb_misses += 1
+            return BranchOutcome(True, "btb")
+        return BranchOutcome(False)
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.conditional_branches:
+            return 0.0
+        return self.mispredictions / self.conditional_branches

@@ -1,0 +1,141 @@
+"""Machine configuration for the timing simulator.
+
+The defaults reproduce §4.1 of the paper: a 4-wide fetch/issue/commit
+dynamically scheduled processor with a 13-stage pipeline, 128-entry ROB,
+50-entry issue queue, 48/24-entry load/store queues, 160 physical registers,
+16 KB L1I / 32 KB L1D / 512 KB L2 caches and a hybrid branch predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    latency: int
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.block_bytes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All microarchitectural parameters of the simulated machine.
+
+    Attributes mirror §4.1 of the paper.  Width-related attributes:
+
+    * ``fetch_width`` / ``rename_width`` / ``commit_width``: the "4-wide" or
+      "6-wide" machine width.
+    * ``int_issue`` / ``load_issue`` / ``store_issue`` / ``fp_issue``:
+      per-class issue limits (3/1/1/1 for the 4-wide machine, 4/2/1/2 for the
+      6-wide machine).
+    * ``total_issue``: total instructions issued per cycle (the ``t`` in the
+      ``i3t4`` labels of Figure 11).
+    """
+
+    name: str = "4wide"
+
+    # Widths.
+    fetch_width: int = 4
+    rename_width: int = 4
+    commit_width: int = 4
+    int_issue: int = 3
+    load_issue: int = 1
+    store_issue: int = 1
+    fp_issue: int = 1
+    total_issue: int = 4
+
+    # Windows and buffers.
+    rob_size: int = 128
+    issue_queue_size: int = 50
+    load_queue_size: int = 48
+    store_queue_size: int = 24
+    num_physical_regs: int = 160
+
+    # Scheduling.
+    scheduler_latency: int = 1       # 2 models the pipelined wakeup/select loop
+    register_read_stages: int = 2
+
+    # Front end.
+    front_end_depth: int = 7         # bpred(1) + I$(2) + decode(1) + rename(2) + dispatch(1)
+    taken_branches_per_fetch: int = 1
+    branch_predictor_bits: int = 16 * 1024
+    btb_entries: int = 2048
+    btb_associativity: int = 4
+    ras_entries: int = 32
+
+    # Memory system.
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(16 * 1024, 2, 32, 1))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2, 32, 2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(512 * 1024, 4, 64, 10))
+    memory_latency: int = 100
+    max_outstanding_misses: int = 16
+
+    # Memory dependence prediction.
+    store_set_entries: int = 64
+    # Squash/replay penalty charged when a load violates memory ordering.
+    memory_violation_penalty: int = 12
+
+    # D-cache retirement port shared by committing stores and by RENO_CSE+RA
+    # loads that re-execute before retirement.
+    retire_dcache_ports: int = 1
+
+    # Safety valve for the cycle loop.
+    max_cycles: int = 50_000_000
+
+    # ------------------------------------------------------------------
+    # Paper configurations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def default_4wide() -> "MachineConfig":
+        """The baseline 4-wide machine of §4.1."""
+        return MachineConfig()
+
+    @staticmethod
+    def default_6wide() -> "MachineConfig":
+        """The 6-wide machine of §4.1 (issues 4 int, 2 loads, 1 store, 2 fp)."""
+        return MachineConfig(
+            name="6wide",
+            fetch_width=6,
+            rename_width=6,
+            commit_width=6,
+            int_issue=4,
+            load_issue=2,
+            store_issue=1,
+            fp_issue=2,
+            total_issue=6,
+        )
+
+    def with_registers(self, num_physical_regs: int) -> "MachineConfig":
+        """A copy with a different physical register file size (Figure 11 top)."""
+        return replace(self, name=f"{self.name}-p{num_physical_regs}",
+                       num_physical_regs=num_physical_regs)
+
+    def with_issue(self, int_issue: int, total_issue: int) -> "MachineConfig":
+        """A copy with reduced issue width (Figure 11 bottom: i2t2 / i2t3 / i3t4)."""
+        return replace(self, name=f"{self.name}-i{int_issue}t{total_issue}",
+                       int_issue=int_issue, total_issue=total_issue)
+
+    def with_scheduler_latency(self, latency: int) -> "MachineConfig":
+        """A copy with a pipelined (2-cycle) wakeup/select loop (Figure 12)."""
+        return replace(self, name=f"{self.name}-sched{latency}", scheduler_latency=latency)
+
+    def validate(self) -> None:
+        """Sanity-check the configuration; raises ValueError when inconsistent."""
+        if self.num_physical_regs < 32 + self.rename_width:
+            raise ValueError("need at least 32 + rename_width physical registers")
+        if self.scheduler_latency < 1:
+            raise ValueError("scheduler latency must be at least one cycle")
+        if self.total_issue < 1 or self.int_issue < 1:
+            raise ValueError("issue widths must be positive")
+        for cache in (self.l1i, self.l1d, self.l2):
+            if cache.num_sets <= 0 or cache.num_sets & (cache.num_sets - 1):
+                raise ValueError(f"cache set count must be a power of two: {cache}")

@@ -1,0 +1,548 @@
+"""The cycle-level out-of-order pipeline.
+
+The pipeline is trace-driven: it consumes the dynamic instruction stream the
+functional simulator produced, models all timing (front end, renaming,
+scheduling, execution, memory system, commit) and *recomputes every value* on
+the physical register file.  Values are checked against the architectural
+trace at commit, which is how RENO transformations are verified end to end.
+
+Modelling notes (also summarised in DESIGN.md):
+
+* Wrong-path instructions are not injected; a branch misprediction stalls the
+  front end until the branch resolves plus the front-end refill depth.
+* The wakeup/select loop latency is modelled through the producer readiness
+  timestamp: a dependent may issue ``max(latency, scheduler_latency)`` cycles
+  after its producer.
+* Memory-ordering violations are detected when a load would consume stale
+  data (an older overlapping store has not executed); the load is held back
+  and charged a squash penalty, and the store-set predictor is trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.functional.memory import Memory
+from repro.functional.trace import DynamicInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.program import DATA_BASE, STACK_BASE, Program
+from repro.isa.registers import NUM_LOGICAL_REGS, RegisterNames
+from repro.isa.semantics import branch_taken, mask64, sign_extend
+from repro.uarch.branch import BranchUnit
+from repro.uarch.cache import CacheHierarchy
+from repro.uarch.config import MachineConfig
+from repro.uarch.execute import (
+    compute_alu_value,
+    effective_address,
+    execution_latency,
+    operand_values,
+    store_value,
+)
+from repro.uarch.inflight import InFlightInst, Stage, TimingRecord, make_timing_record
+from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry
+from repro.uarch.regfile import PhysicalRegisterFile
+from repro.uarch.rename import BaselineRenamer, Renamer
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.scheduler import IssueQueue
+from repro.uarch.stats import SimStats
+from repro.uarch.storesets import StoreSets
+
+#: Sentinel for "front end stalled until further notice" (mispredicted branch
+#: still unresolved).
+_STALLED = 1 << 60
+
+
+class CommitMismatchError(Exception):
+    """Raised when an executed value disagrees with the architectural trace.
+
+    This is the end-to-end correctness check for renaming (and for RENO's
+    register-sharing transformations).  It should never fire.
+    """
+
+
+@dataclass
+class SimResult:
+    """Outcome of one timing simulation."""
+
+    stats: SimStats
+    config: MachineConfig
+    final_registers: list[int] = field(default_factory=list)
+    timing_records: list[TimingRecord] | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+
+class Pipeline:
+    """A dynamically scheduled superscalar processor model."""
+
+    def __init__(
+        self,
+        program: Program,
+        trace: list[DynamicInstruction],
+        config: MachineConfig | None = None,
+        renamer: Renamer | None = None,
+        collect_timing: bool = False,
+    ):
+        """Create a pipeline for one program run.
+
+        Args:
+            program: The assembled program (provides initial memory).
+            trace: The dynamic instruction trace from the functional simulator.
+            config: Machine parameters; defaults to the paper's 4-wide core.
+            renamer: The renaming implementation; defaults to the conventional
+                renamer.  Pass a :class:`repro.core.renamer.RenoRenamer` to
+                enable RENO.
+            collect_timing: If True, keep a per-retired-instruction timing
+                record for critical-path analysis (costs memory).
+        """
+        self.config = config or MachineConfig.default_4wide()
+        self.config.validate()
+        self.program = program
+        self.trace = trace
+        self.collect_timing = collect_timing
+
+        initial_regs = [0] * NUM_LOGICAL_REGS
+        initial_regs[RegisterNames.SP] = STACK_BASE
+        initial_regs[RegisterNames.GP] = DATA_BASE
+        self.prf = PhysicalRegisterFile(self.config.num_physical_regs, initial_regs)
+        self.renamer: Renamer = renamer or BaselineRenamer(self.config.num_physical_regs)
+
+        self.branch_unit = BranchUnit(self.config)
+        self.caches = CacheHierarchy(self.config)
+        self.store_sets = StoreSets(self.config.store_set_entries)
+        self.issue_queue = IssueQueue(self.config)
+        self.rob = ReorderBuffer(self.config.rob_size)
+        self.store_queue = StoreQueue(self.config.store_queue_size)
+        self.load_queue = LoadQueue(self.config.load_queue_size)
+        self.memory = Memory(program.initial_memory)
+
+        self.stats = SimStats()
+        self.timing_records: list[TimingRecord] = []
+
+        # Front-end state.
+        self._fetch_index = 0
+        self._fetch_resume_cycle = 0
+        self._waiting_branch: InFlightInst | None = None
+        self._last_fetch_block = -1
+
+        # preg -> sequence number of the instruction producing it (for the
+        # critical-path model).
+        self._preg_writer: dict[int, int] = {}
+        self._producers: dict[int, tuple[int, ...]] = {}
+
+        # Loads currently being held back because of an ordering violation.
+        self._violated_loads: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Simulate until every trace instruction has retired."""
+        cycle = 0
+        total = len(self.trace)
+        while self.stats.committed < total:
+            if cycle >= self.config.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.config.max_cycles} cycles "
+                    f"({self.stats.committed}/{total} instructions retired)"
+                )
+            self._commit(cycle)
+            self._issue(cycle)
+            self._dispatch(cycle)
+            cycle += 1
+        self.stats.cycles = cycle
+        self._merge_component_stats()
+        return SimResult(
+            stats=self.stats,
+            config=self.config,
+            final_registers=self._final_registers(),
+            timing_records=self.timing_records if self.collect_timing else None,
+        )
+
+    def _merge_component_stats(self) -> None:
+        stats = self.stats
+        stats.branch_mispredictions = self.branch_unit.mispredictions
+        stats.btb_misses = self.branch_unit.btb_misses
+        stats.ras_mispredictions = self.branch_unit.ras_mispredictions
+        stats.icache_misses = self.caches.l1i.misses
+        stats.dcache_accesses = self.caches.l1d.accesses
+        stats.dcache_misses = self.caches.l1d.misses
+        stats.l2_misses = self.caches.l2.misses
+        extra_stats = getattr(self.renamer, "stats", None)
+        if extra_stats:
+            stats.it_lookups = extra_stats.get("it_lookups", 0)
+            stats.it_hits = extra_stats.get("it_hits", 0)
+            stats.it_insertions = extra_stats.get("it_insertions", 0)
+            stats.integration_value_mismatches = extra_stats.get("it_value_mismatches", 0)
+
+    def _final_registers(self) -> list[int]:
+        """Architectural register values reconstructed from the map table."""
+        values = []
+        for preg, disp in self.renamer.mapping_snapshot():
+            values.append(mask64(self.prf.read(preg) + disp))
+        return values
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, cycle: int) -> None:
+        budget = self.config.commit_width
+        dcache_ports = self.config.retire_dcache_ports
+        while budget > 0:
+            head = self.rob.head()
+            if head is None or head.stage == Stage.WAITING or head.stage == Stage.ISSUED:
+                break
+            if head.complete_cycle >= cycle:
+                break
+            if head.is_store:
+                if dcache_ports == 0:
+                    break
+                self._commit_store(head, cycle)
+                dcache_ports -= 1
+            elif head.eliminated and head.rename.needs_reexecution:
+                if dcache_ports == 0:
+                    break
+                self._reexecute_load(head, cycle)
+                dcache_ports -= 1
+            self._check_value(head)
+            self._retire(head, cycle)
+            budget -= 1
+
+    def _commit_store(self, inst: InFlightInst, cycle: int) -> None:
+        size = inst.dyn.instruction.spec.mem_bytes
+        self.memory.write(inst.eff_addr, size, inst.value)
+        self.caches.access_data_write(inst.eff_addr, cycle)
+        self.store_queue.pop_committed(inst.seq)
+
+    def _reexecute_load(self, inst: InFlightInst, cycle: int) -> None:
+        """Re-execute an integration-eliminated load through the retire port."""
+        dyn = inst.dyn
+        spec = dyn.instruction.spec
+        raw = self.memory.read(dyn.eff_addr, spec.mem_bytes)
+        value = sign_extend(raw, 8 * spec.mem_bytes) if spec.mem_signed else raw
+        shared = mask64(self.prf.read(inst.rename.dest_preg) + inst.rename.dest_disp)
+        if value != shared:
+            self.stats.integration_value_mismatches += 1
+        self.stats.reexecuted_loads += 1
+        self.caches.access_data_read(dyn.eff_addr, cycle)
+
+    def _check_value(self, inst: InFlightInst) -> None:
+        dyn = inst.dyn
+        if dyn.instruction.dest_register is None or dyn.result is None:
+            return
+        if inst.eliminated:
+            produced = mask64(self.prf.read(inst.rename.dest_preg) + inst.rename.dest_disp)
+        else:
+            produced = inst.value
+        if produced != dyn.result:
+            raise CommitMismatchError(
+                f"instruction #{dyn.seq} {dyn.instruction} produced {produced:#x}, "
+                f"architectural result is {dyn.result:#x} "
+                f"(eliminated={inst.eliminated}, kind={inst.rename.elim_kind})"
+            )
+
+    def _retire(self, inst: InFlightInst, cycle: int) -> None:
+        inst.retire_cycle = cycle
+        inst.stage = Stage.RETIRED
+        self.rob.pop_head()
+        if inst.is_load:
+            self.load_queue.remove(inst.seq)
+        self.renamer.commit(inst.rename)
+        stats = self.stats
+        stats.committed += 1
+        if inst.eliminated:
+            kind = inst.rename.elim_kind
+            if kind == "move":
+                stats.eliminated_moves += 1
+            elif kind == "cf":
+                stats.eliminated_folds += 1
+            elif kind == "cse":
+                stats.eliminated_cse += 1
+            elif kind == "ra":
+                stats.eliminated_ra += 1
+        if self.collect_timing:
+            producers = self._producers.pop(inst.seq, ())
+            self.timing_records.append(make_timing_record(inst, producers))
+
+    # ------------------------------------------------------------------
+    # Issue / execute
+    # ------------------------------------------------------------------
+
+    def _issue(self, cycle: int) -> None:
+        selected = self.issue_queue.select(cycle, self._can_issue)
+        for inst in selected:
+            self._execute(inst, cycle)
+
+    def _can_issue(self, inst: InFlightInst, cycle: int) -> bool:
+        for source in inst.rename.sources:
+            if not self.prf.is_ready(source.preg, cycle):
+                return False
+        if inst.is_load:
+            return self._load_can_issue(inst, cycle)
+        return True
+
+    def _load_can_issue(self, inst: InFlightInst, cycle: int) -> bool:
+        dyn = inst.dyn
+        # Store-set predicted dependence: wait until every older in-flight
+        # store belonging to the load's store set has executed.
+        load_set = self.store_sets.set_for(dyn.pc)
+        if load_set is not None:
+            for entry in self.store_queue.entries:
+                if (entry.seq < dyn.seq and not entry.executed
+                        and self.store_sets.set_for(entry.pc) == load_set):
+                    return False
+        spec = dyn.instruction.spec
+        check = self.store_queue.check_load(dyn.seq, dyn.eff_addr, spec.mem_bytes)
+        if check.action == "violation":
+            # The load would consume stale data.  Model the squash: hold the
+            # load until the conflicting store executes, charge the penalty
+            # once, and train the store-set predictor.
+            if dyn.seq not in self._violated_loads:
+                self._violated_loads.add(dyn.seq)
+                self.stats.memory_order_violations += 1
+                self.stats.load_replays += 1
+                inst.replayed = True
+                self.store_sets.train_violation(dyn.pc, check.store.pc)
+            return False
+        if check.action == "wait_store":
+            return False
+        return True
+
+    def _execute(self, inst: InFlightInst, cycle: int) -> None:
+        dyn = inst.dyn
+        rename = inst.rename
+        spec = dyn.instruction.spec
+        operands = operand_values(rename, self.prf.read)
+        inst.issue_cycle = cycle
+        inst.stage = Stage.ISSUED
+        self.stats.issued += 1
+        if any(source.disp for source in rename.sources):
+            self.stats.fused_operations += 1
+            self.stats.fusion_penalty_cycles += rename.fusion_extra_latency
+
+        latency = execution_latency(dyn) + rename.fusion_extra_latency
+        op_class = spec.op_class
+
+        if op_class is OpClass.LOAD:
+            self._execute_load(inst, operands, cycle, latency)
+        elif op_class is OpClass.STORE:
+            self._execute_store(inst, operands, cycle, latency)
+        else:
+            inst.complete_cycle = cycle + latency
+            if spec.is_cond_branch:
+                computed_taken = branch_taken(dyn.instruction.opcode, operands[0])
+                if computed_taken != dyn.taken:
+                    raise CommitMismatchError(
+                        f"branch #{dyn.seq} computed direction {computed_taken}, "
+                        f"architectural direction {dyn.taken}"
+                    )
+            elif dyn.instruction.dest_register is not None:
+                value = compute_alu_value(dyn, operands)
+                inst.value = value
+                if rename.allocated:
+                    ready = cycle + max(latency, self.config.scheduler_latency)
+                    self.prf.write(rename.dest_preg, value, ready)
+        inst.stage = Stage.COMPLETED
+        if inst.mispredicted_branch and self._waiting_branch is inst:
+            self._fetch_resume_cycle = inst.complete_cycle + self.config.front_end_depth
+            self._waiting_branch = None
+
+    def _execute_load(self, inst: InFlightInst, operands: list[int], cycle: int, latency: int) -> None:
+        dyn = inst.dyn
+        spec = dyn.instruction.spec
+        address = effective_address(dyn, operands)
+        if address != dyn.eff_addr:
+            raise CommitMismatchError(
+                f"load #{dyn.seq} computed address {address:#x}, "
+                f"architectural address {dyn.eff_addr:#x}"
+            )
+        inst.eff_addr = address
+        check = self.store_queue.check_load(dyn.seq, address, spec.mem_bytes)
+        if check.action == "forward":
+            raw = check.value
+            dcache_latency = self.config.l1d.latency
+            self.stats.store_forwards += 1
+        else:
+            raw = self.memory.read(address, spec.mem_bytes)
+            access = self.caches.access_data_read(address, cycle)
+            dcache_latency = access.latency
+        value = sign_extend(raw, 8 * spec.mem_bytes) if spec.mem_signed else raw
+        if value != dyn.result:
+            # A store the model believed non-conflicting actually overlapped
+            # (should be prevented by the violation check); fall back to the
+            # architectural value and account for it as a replay.
+            self.stats.memory_order_violations += 1
+            self.stats.load_replays += 1
+            value = dyn.result
+            dcache_latency += self.config.memory_violation_penalty
+        if inst.replayed:
+            dcache_latency += self.config.memory_violation_penalty
+        inst.value = value
+        inst.dcache_latency = dcache_latency
+        total_latency = latency + dcache_latency
+        inst.latency = total_latency
+        inst.complete_cycle = cycle + total_latency
+        if inst.rename.allocated:
+            ready = cycle + max(total_latency, self.config.scheduler_latency)
+            self.prf.write(inst.rename.dest_preg, value, ready)
+
+    def _execute_store(self, inst: InFlightInst, operands: list[int], cycle: int, latency: int) -> None:
+        dyn = inst.dyn
+        address = effective_address(dyn, operands)
+        if address != dyn.eff_addr:
+            raise CommitMismatchError(
+                f"store #{dyn.seq} computed address {address:#x}, "
+                f"architectural address {dyn.eff_addr:#x}"
+            )
+        value = store_value(dyn, operands)
+        inst.eff_addr = address
+        inst.value = value
+        inst.complete_cycle = cycle + latency
+        entry = self.store_queue.find(dyn.seq)
+        entry.addr = address
+        entry.value = value
+        entry.executed = True
+        entry.complete_cycle = inst.complete_cycle
+
+    # ------------------------------------------------------------------
+    # Fetch + rename + dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, cycle: int) -> None:
+        if self._fetch_index >= len(self.trace):
+            return
+        if cycle < self._fetch_resume_cycle:
+            self.stats.fetch_stall_cycles += 1
+            return
+
+        config = self.config
+        taken_branches = 0
+        dispatched = 0
+        self.renamer.begin_group()
+        while dispatched < config.rename_width and self._fetch_index < len(self.trace):
+            dyn = self.trace[self._fetch_index]
+            instruction = dyn.instruction
+
+            # Structural stalls (checked conservatively before renaming).
+            if self.rob.full:
+                self.stats.rob_stall_cycles += 1
+                break
+            if self.issue_queue.full:
+                self.stats.iq_stall_cycles += 1
+                break
+            if instruction.is_store and self.store_queue.full:
+                self.stats.lsq_stall_cycles += 1
+                break
+            if instruction.is_load and self.load_queue.full:
+                self.stats.lsq_stall_cycles += 1
+                break
+
+            # Instruction cache: one access per new block.
+            block = dyn.pc // config.l1i.block_bytes
+            if block != self._last_fetch_block:
+                access = self.caches.access_instruction(dyn.pc, cycle)
+                self._last_fetch_block = block
+                if not access.l1_hit:
+                    self._fetch_resume_cycle = cycle + access.latency
+                    break
+
+            # Taken-branch fetch limit.
+            is_taken_control = instruction.is_control and bool(dyn.taken)
+            if is_taken_control and taken_branches >= config.taken_branches_per_fetch:
+                break
+
+            # Rename (may stall on physical registers).
+            result = self.renamer.rename_next(dyn)
+            if result is None:
+                self.stats.rename_stall_cycles += 1
+                break
+
+            inst = InFlightInst(dyn=dyn, rename=result,
+                                fetch_cycle=cycle, rename_cycle=cycle,
+                                dispatch_cycle=cycle)
+            inst.latency = execution_latency(dyn)
+            self._record_producers(inst)
+            if result.allocated:
+                self.prf.mark_pending(result.dest_preg)
+                self._preg_writer[result.dest_preg] = dyn.seq
+                self.stats.pregs_allocated += 1
+
+            if is_taken_control:
+                taken_branches += 1
+
+            # Branch prediction.
+            stop_after = False
+            if instruction.is_control:
+                outcome = self.branch_unit.process(dyn)
+                if outcome.mispredicted and outcome.reason == "btb":
+                    # Target unknown at fetch but computable at decode: a
+                    # short front-end bubble, not a full misprediction.
+                    self._fetch_resume_cycle = cycle + 2
+                    stop_after = True
+                elif outcome.mispredicted:
+                    inst.mispredicted_branch = True
+                    self._waiting_branch = inst
+                    self._fetch_resume_cycle = _STALLED
+                    stop_after = True
+
+            self._insert(inst, cycle)
+            self._fetch_index += 1
+            dispatched += 1
+            self.stats.fetched += 1
+            if stop_after:
+                break
+        self.renamer.end_group()
+
+        in_use = self.config.num_physical_regs - self.renamer.free_register_count()
+        if in_use > self.stats.max_pregs_in_use:
+            self.stats.max_pregs_in_use = in_use
+
+    def _record_producers(self, inst: InFlightInst) -> None:
+        if not self.collect_timing:
+            return
+        producers = tuple(
+            self._preg_writer.get(source.preg, -1) for source in inst.rename.sources
+        )
+        if inst.eliminated and inst.rename.dest_preg is not None:
+            producers = producers + (self._preg_writer.get(inst.rename.dest_preg, -1),)
+        self._producers[inst.seq] = producers
+
+    def _insert(self, inst: InFlightInst, cycle: int) -> None:
+        """Place a renamed instruction into the ROB and, if needed, the IQ/LSQ."""
+        dyn = inst.dyn
+        instruction = dyn.instruction
+        self.rob.add(inst)
+
+        if inst.eliminated:
+            # Collapsed out of the execution core: no issue-queue entry, no
+            # execution.  It is immediately complete for retirement purposes.
+            inst.complete_cycle = cycle
+            inst.stage = Stage.COMPLETED
+            return
+
+        op_class = instruction.spec.op_class
+        if op_class in (OpClass.NOP, OpClass.HALT):
+            inst.complete_cycle = cycle
+            inst.stage = Stage.COMPLETED
+            return
+
+        if instruction.is_store:
+            self.store_queue.add(StoreQueueEntry(
+                seq=dyn.seq,
+                pc=dyn.pc,
+                size=instruction.spec.mem_bytes,
+                trace_addr=dyn.eff_addr,
+            ))
+        elif instruction.is_load:
+            self.load_queue.add(dyn.seq)
+
+        inst.stage = Stage.WAITING
+        self.issue_queue.add(inst)

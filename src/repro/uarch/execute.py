@@ -1,0 +1,63 @@
+"""Execution helpers: latencies and value computation on physical registers.
+
+The pipeline is execute-in-execute: ALU results are recomputed from physical
+register values (plus RENO_CF map-table displacements, i.e. fused additions)
+and later checked against the architectural trace at commit.
+"""
+
+from __future__ import annotations
+
+from repro.functional.trace import DynamicInstruction
+from repro.isa.opcodes import OpClass
+from repro.isa.semantics import alu_eval, mask64
+from repro.uarch.rename import RenameResult
+
+
+def execution_latency(dyn: DynamicInstruction) -> int:
+    """Base execution latency (cache latency for loads is added separately)."""
+    return dyn.instruction.spec.latency
+
+
+def operand_values(
+    rename: RenameResult, read_preg, *, fused: bool = True
+) -> list[int]:
+    """Materialise source operand values.
+
+    Args:
+        rename: The instruction's rename result.
+        read_preg: Callable ``preg -> value``.
+        fused: If True, add the map-table displacement to the register value
+            (the fused-operation data path).  The conventional pipeline always
+            has zero displacements, so this is a no-op there.
+    """
+    values = []
+    for source in rename.sources:
+        value = read_preg(source.preg)
+        if fused and source.disp:
+            value = mask64(value + source.disp)
+        values.append(value)
+    return values
+
+
+def compute_alu_value(dyn: DynamicInstruction, operands: list[int]) -> int:
+    """Compute the result of a non-memory instruction from operand values."""
+    instruction = dyn.instruction
+    op_class = instruction.spec.op_class
+    if op_class is OpClass.CALL:
+        # The link value is the fall-through PC, independent of operands.
+        return mask64(dyn.pc + 4)
+    a = operands[0] if operands else 0
+    b = operands[1] if len(operands) > 1 else 0
+    return alu_eval(instruction.opcode, a, b, instruction.imm)
+
+
+def effective_address(dyn: DynamicInstruction, operands: list[int]) -> int:
+    """Effective address of a load/store from its (fused) base operand."""
+    return mask64(operands[0] + dyn.instruction.imm)
+
+
+def store_value(dyn: DynamicInstruction, operands: list[int]) -> int:
+    """Value a store writes to memory (after the store-data-path addition)."""
+    size = dyn.instruction.spec.mem_bytes
+    mask = (1 << (8 * size)) - 1
+    return operands[1] & mask

@@ -1,0 +1,109 @@
+"""In-flight instruction state and per-instruction timing records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.functional.trace import DynamicInstruction
+from repro.uarch.rename import RenameResult
+
+
+class Stage:
+    """In-flight instruction lifecycle states."""
+
+    RENAMED = "renamed"
+    WAITING = "waiting"      # sitting in the issue queue
+    ISSUED = "issued"
+    COMPLETED = "completed"
+    RETIRED = "retired"
+
+
+@dataclass
+class InFlightInst:
+    """One instruction travelling down the pipeline.
+
+    Combines the architectural trace record (what the instruction does), the
+    rename result (which physical registers it touches), and the evolving
+    timing state.
+    """
+
+    dyn: DynamicInstruction
+    rename: RenameResult
+    fetch_cycle: int = 0
+    rename_cycle: int = 0
+    dispatch_cycle: int = 0
+    issue_cycle: int = -1
+    complete_cycle: int = -1
+    retire_cycle: int = -1
+    stage: str = Stage.RENAMED
+    # Execution details.
+    latency: int = 1
+    value: int | None = None
+    eff_addr: int | None = None
+    dcache_latency: int = 0
+    replayed: bool = False
+    mispredicted_branch: bool = False
+    # Load/store bookkeeping.
+    store_data_ready_cycle: int = -1
+
+    @property
+    def seq(self) -> int:
+        return self.dyn.seq
+
+    @property
+    def is_load(self) -> bool:
+        return self.dyn.instruction.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.dyn.instruction.is_store
+
+    @property
+    def eliminated(self) -> bool:
+        return self.rename.eliminated
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<InFlight #{self.seq} {self.dyn.instruction} {self.stage}>"
+
+
+@dataclass
+class TimingRecord:
+    """Compact per-retired-instruction record used by the critical-path model."""
+
+    seq: int
+    opcode: str
+    fetch_cycle: int
+    dispatch_cycle: int
+    issue_cycle: int
+    complete_cycle: int
+    retire_cycle: int
+    is_load: bool
+    is_store: bool
+    is_branch: bool
+    mispredicted: bool
+    eliminated: bool
+    dcache_latency: int
+    latency: int
+    source_producers: tuple[int, ...] = field(default_factory=tuple)
+
+
+def make_timing_record(inst: InFlightInst, producers: tuple[int, ...]) -> TimingRecord:
+    """Build a :class:`TimingRecord` for a retired instruction."""
+    dyn = inst.dyn
+    return TimingRecord(
+        seq=dyn.seq,
+        opcode=dyn.instruction.opcode.value,
+        fetch_cycle=inst.fetch_cycle,
+        dispatch_cycle=inst.dispatch_cycle,
+        issue_cycle=inst.issue_cycle,
+        complete_cycle=inst.complete_cycle,
+        retire_cycle=inst.retire_cycle,
+        is_load=inst.is_load,
+        is_store=inst.is_store,
+        is_branch=dyn.instruction.is_control,
+        mispredicted=inst.mispredicted_branch,
+        eliminated=inst.eliminated,
+        dcache_latency=inst.dcache_latency,
+        latency=inst.latency,
+        source_producers=producers,
+    )

@@ -1,0 +1,134 @@
+"""Load and store queues with store-to-load forwarding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StoreQueueEntry:
+    """One in-flight store.
+
+    The address/value become known when the store issues (executes its
+    address generation); the entry leaves the queue when the store commits
+    and writes the data cache.
+    """
+
+    seq: int
+    pc: int
+    size: int
+    trace_addr: int                 # architecturally correct address (from the trace)
+    addr: int | None = None         # known after the store executes
+    value: int | None = None
+    executed: bool = False
+    complete_cycle: int = -1
+
+
+def ranges_overlap(addr_a: int, size_a: int, addr_b: int, size_b: int) -> bool:
+    """True if the byte ranges [a, a+size_a) and [b, b+size_b) intersect."""
+    return addr_a < addr_b + size_b and addr_b < addr_a + size_a
+
+
+def range_covers(addr_a: int, size_a: int, addr_b: int, size_b: int) -> bool:
+    """True if range A fully covers range B."""
+    return addr_a <= addr_b and addr_a + size_a >= addr_b + size_b
+
+
+@dataclass
+class LoadCheck:
+    """Outcome of disambiguating a load against the store queue."""
+
+    action: str                      # "forward" | "wait_store" | "violation" | "memory"
+    store: StoreQueueEntry | None = None
+    value: int | None = None
+
+
+class StoreQueue:
+    """In-order store queue (program order) with forwarding search."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: list[StoreQueueEntry] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def add(self, entry: StoreQueueEntry) -> None:
+        if self.full:
+            raise RuntimeError("store queue overflow (dispatch should have stalled)")
+        self.entries.append(entry)
+
+    def find(self, seq: int) -> StoreQueueEntry | None:
+        for entry in self.entries:
+            if entry.seq == seq:
+                return entry
+        return None
+
+    def pop_committed(self, seq: int) -> StoreQueueEntry:
+        """Remove the (oldest) entry for ``seq`` at commit."""
+        for index, entry in enumerate(self.entries):
+            if entry.seq == seq:
+                return self.entries.pop(index)
+        raise KeyError(f"store {seq} not in the store queue")
+
+    def has_unexecuted_older(self, seq: int) -> bool:
+        """True if any store older than ``seq`` has not executed yet."""
+        return any(e.seq < seq and not e.executed for e in self.entries)
+
+    def check_load(self, seq: int, addr: int, size: int) -> LoadCheck:
+        """Disambiguate a load at address ``addr`` against older stores.
+
+        Scans older stores from youngest to oldest:
+
+        * an older not-yet-executed store whose (architectural) address
+          overlaps the load → the load would consume stale data: this is a
+          memory-ordering **violation** if the load goes ahead now;
+        * an executed, overlapping store that fully covers the load →
+          **forward** its value;
+        * an executed, partially overlapping store → the load must
+          **wait_store** until that store commits;
+        * otherwise the load reads the **memory** image.
+        """
+        for entry in sorted(
+            (e for e in self.entries if e.seq < seq), key=lambda e: -e.seq
+        ):
+            if not entry.executed:
+                if ranges_overlap(entry.trace_addr, entry.size, addr, size):
+                    return LoadCheck("violation", store=entry)
+                continue
+            if entry.addr is None or not ranges_overlap(entry.addr, entry.size, addr, size):
+                continue
+            if range_covers(entry.addr, entry.size, addr, size):
+                offset = addr - entry.addr
+                mask = (1 << (8 * size)) - 1
+                value = (entry.value >> (8 * offset)) & mask
+                return LoadCheck("forward", store=entry, value=value)
+            return LoadCheck("wait_store", store=entry)
+        return LoadCheck("memory")
+
+
+class LoadQueue:
+    """Bookkeeping-only load queue (capacity limit on in-flight loads)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.entries: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def add(self, seq: int) -> None:
+        if self.full:
+            raise RuntimeError("load queue overflow (dispatch should have stalled)")
+        self.entries.add(seq)
+
+    def remove(self, seq: int) -> None:
+        self.entries.discard(seq)

@@ -1,0 +1,43 @@
+"""Physical register file: values plus readiness timestamps."""
+
+from __future__ import annotations
+
+#: Ready-cycle sentinel for registers whose producer has not issued yet.
+NOT_READY = 1 << 60
+
+
+class PhysicalRegisterFile:
+    """The physical register file used by the execute-in-execute pipeline.
+
+    Each physical register carries both its 64-bit value and the cycle at
+    which that value becomes available to dependents (the wakeup time).  The
+    first 32 physical registers are initialised from the architectural state
+    so that logical register ``i`` initially maps to physical register ``i``.
+    """
+
+    def __init__(self, num_registers: int, initial_arch_values: list[int]):
+        if num_registers < len(initial_arch_values):
+            raise ValueError("physical register file smaller than the architectural state")
+        self.num_registers = num_registers
+        self.values: list[int] = [0] * num_registers
+        self.ready_cycle: list[int] = [NOT_READY] * num_registers
+        for index, value in enumerate(initial_arch_values):
+            self.values[index] = value
+            self.ready_cycle[index] = 0
+
+    def read(self, preg: int) -> int:
+        """Read a physical register's value (must have been produced already)."""
+        return self.values[preg]
+
+    def is_ready(self, preg: int, cycle: int) -> bool:
+        """True if dependents of ``preg`` may issue at ``cycle``."""
+        return self.ready_cycle[preg] <= cycle
+
+    def mark_pending(self, preg: int) -> None:
+        """Mark a newly allocated register as not yet produced."""
+        self.ready_cycle[preg] = NOT_READY
+
+    def write(self, preg: int, value: int, ready_cycle: int) -> None:
+        """Produce a value into ``preg``, waking dependents at ``ready_cycle``."""
+        self.values[preg] = value
+        self.ready_cycle[preg] = ready_cycle

@@ -1,0 +1,44 @@
+"""Re-order buffer."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.uarch.inflight import InFlightInst
+
+
+class ReorderBuffer:
+    """A bounded, in-order window of in-flight instructions.
+
+    Every renamed instruction (including RENO-eliminated ones) occupies an
+    entry until it retires; retirement is in program order from the head.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: deque[InFlightInst] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def add(self, inst: InFlightInst) -> None:
+        if self.full:
+            raise RuntimeError("ROB overflow (dispatch should have stalled)")
+        self._entries.append(inst)
+
+    def head(self) -> InFlightInst | None:
+        return self._entries[0] if self._entries else None
+
+    def pop_head(self) -> InFlightInst:
+        return self._entries.popleft()

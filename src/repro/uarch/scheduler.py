@@ -1,0 +1,97 @@
+"""Issue queue and wakeup/select scheduling."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import MachineConfig
+from repro.uarch.inflight import InFlightInst
+
+#: Issue-port classes.
+INT_CLASS = "int"
+LOAD_CLASS = "load"
+STORE_CLASS = "store"
+FP_CLASS = "fp"
+
+
+def issue_class(inst: InFlightInst) -> str:
+    """Which issue port class an instruction competes for."""
+    op_class = inst.dyn.instruction.spec.op_class
+    if op_class is OpClass.LOAD:
+        return LOAD_CLASS
+    if op_class is OpClass.STORE:
+        return STORE_CLASS
+    return INT_CLASS
+
+
+class IssueQueue:
+    """The unified out-of-order issue window.
+
+    Selection is oldest-first among ready instructions, subject to per-class
+    and total issue-width limits.  The wakeup/select loop latency is modelled
+    by the producer's readiness timestamp (see the pipeline), not here.
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.capacity = config.issue_queue_size
+        self.config = config
+        self.entries: list[InFlightInst] = []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self.entries)
+
+    def add(self, inst: InFlightInst) -> None:
+        if self.full:
+            raise RuntimeError("issue queue overflow (dispatch should have stalled)")
+        self.entries.append(inst)
+
+    def select(
+        self,
+        cycle: int,
+        ready_fn: Callable[[InFlightInst, int], bool],
+    ) -> list[InFlightInst]:
+        """Pick the instructions to issue this cycle and remove them.
+
+        Args:
+            cycle: Current cycle.
+            ready_fn: Callback deciding whether an instruction's operands
+                (and, for memory operations, its queue conditions) allow it
+                to issue at ``cycle``.
+
+        Returns:
+            Selected instructions, oldest first.
+        """
+        config = self.config
+        limits = {
+            INT_CLASS: config.int_issue,
+            LOAD_CLASS: config.load_issue,
+            STORE_CLASS: config.store_issue,
+            FP_CLASS: config.fp_issue,
+        }
+        remaining_total = config.total_issue
+        selected: list[InFlightInst] = []
+        for inst in sorted(self.entries, key=lambda entry: entry.seq):
+            if remaining_total == 0:
+                break
+            port = issue_class(inst)
+            if limits[port] == 0:
+                continue
+            if inst.dispatch_cycle >= cycle:
+                continue  # dispatched this very cycle; earliest issue is next cycle
+            if not ready_fn(inst, cycle):
+                continue
+            limits[port] -= 1
+            remaining_total -= 1
+            selected.append(inst)
+        for inst in selected:
+            self.entries.remove(inst)
+        return selected

@@ -1,0 +1,60 @@
+"""Store-sets memory dependence predictor (Chrysos & Emer).
+
+Loads are scheduled aggressively: a load may issue before older stores whose
+addresses are still unknown, unless the predictor says it collided with one
+of those stores in the past.  On a memory-ordering violation the offending
+load/store pair is merged into a store set; from then on the load waits until
+every older in-flight store belonging to its set has executed.
+
+This is the SSIT half of the original proposal.  The LFST indirection is
+folded into the pipeline's store-queue scan (the queue is small), which
+naturally handles multiple in-flight instances of the same static store —
+the case the LFST's store-to-store chaining exists to solve.
+"""
+
+from __future__ import annotations
+
+
+class StoreSets:
+    """Store Set ID Table (SSIT) keyed by hashed instruction addresses."""
+
+    def __init__(self, entries: int = 64):
+        if entries & (entries - 1):
+            raise ValueError("store-set table size must be a power of two")
+        self.entries = entries
+        self._ssit: list[int | None] = [None] * entries
+        self._next_set_id = 0
+        self.violations_trained = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def set_for(self, pc: int) -> int | None:
+        """The store-set id assigned to the instruction at ``pc`` (or None)."""
+        return self._ssit[self._index(pc)]
+
+    def load_predicted_dependent(self, load_pc: int) -> bool:
+        """True if the load has collided with some store in the past."""
+        return self.set_for(load_pc) is not None
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the load and store into a common store set after a violation."""
+        self.violations_trained += 1
+        load_index = self._index(load_pc)
+        store_index = self._index(store_pc)
+        load_set = self._ssit[load_index]
+        store_set = self._ssit[store_index]
+        if load_set is None and store_set is None:
+            set_id = self._next_set_id
+            self._next_set_id += 1
+            self._ssit[load_index] = set_id
+            self._ssit[store_index] = set_id
+        elif load_set is None:
+            self._ssit[load_index] = store_set
+        elif store_set is None:
+            self._ssit[store_index] = load_set
+        else:
+            # Merge: both already assigned, keep the smaller id.
+            winner = min(load_set, store_set)
+            self._ssit[load_index] = winner
+            self._ssit[store_index] = winner

@@ -1,0 +1,44 @@
+"""Synthetic workload suites.
+
+The paper evaluates RENO on SPECint2000 and MediaBench.  Neither the Alpha
+binaries nor the inputs are available here, so this package provides
+hand-written kernels in the AXP-lite assembler DSL whose *dynamic behaviour*
+(instruction mix, branch behaviour, memory access patterns, call/stack
+traffic) mirrors the published characteristics of those programs.  Each paper
+benchmark has a corresponding ``*_like`` kernel; see DESIGN.md for the
+substitution rationale.
+
+Public API:
+
+* :class:`~repro.workloads.base.Workload` — a named, parameterised kernel,
+* :func:`~repro.workloads.base.get_workload` / ``list_workloads`` — registry,
+* :func:`~repro.workloads.suites.specint_suite` and
+  :func:`~repro.workloads.suites.mediabench_suite` — the two benchmark suites
+  used by every experiment.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadRegistry,
+    REGISTRY,
+    get_workload,
+    list_workloads,
+)
+from repro.workloads.suites import (
+    mediabench_suite,
+    microbench_suite,
+    specint_suite,
+    suite_by_name,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadRegistry",
+    "REGISTRY",
+    "get_workload",
+    "list_workloads",
+    "specint_suite",
+    "mediabench_suite",
+    "microbench_suite",
+    "suite_by_name",
+]

@@ -1,0 +1,125 @@
+"""Workload abstraction and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, parameterised synthetic kernel.
+
+    Attributes:
+        name: Unique workload name (e.g. ``"gzip_like"``).
+        suite: Suite it belongs to: ``"specint"``, ``"mediabench"`` or
+            ``"micro"``.
+        builder: Callable ``builder(scale) -> Program``.  ``scale`` controls
+            the amount of dynamic work (roughly linearly); ``scale=1`` is the
+            default used by the experiment harness, tests use smaller values.
+        description: One-line description of what the kernel computes and
+            which paper benchmark it stands in for.
+        paper_name: The benchmark name used in the paper's figures (so report
+            rows can be labelled identically).
+    """
+
+    name: str
+    suite: str
+    builder: Callable[[int], Program]
+    description: str = ""
+    paper_name: str = ""
+
+    def build(self, scale: int = 1) -> Program:
+        """Build the program at the requested scale (must be >= 1)."""
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        program = self.builder(scale)
+        if not isinstance(program, Program):
+            raise TypeError(f"workload {self.name} builder returned {type(program)!r}")
+        return program
+
+    @property
+    def label(self) -> str:
+        """Label used in report rows (the paper's name when available)."""
+        return self.paper_name or self.name
+
+
+class WorkloadRegistry:
+    """A simple name → :class:`Workload` registry."""
+
+    def __init__(self):
+        self._workloads: dict[str, Workload] = {}
+
+    def register(self, workload: Workload) -> Workload:
+        if workload.name in self._workloads:
+            raise ValueError(f"workload {workload.name!r} registered twice")
+        self._workloads[workload.name] = workload
+        return workload
+
+    def get(self, name: str) -> Workload:
+        try:
+            return self._workloads[name]
+        except KeyError as exc:
+            known = ", ".join(sorted(self._workloads))
+            raise KeyError(f"unknown workload {name!r}; known: {known}") from exc
+
+    def by_suite(self, suite: str) -> list[Workload]:
+        return [w for w in self._workloads.values() if w.suite == suite]
+
+    def names(self) -> list[str]:
+        return sorted(self._workloads)
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._workloads
+
+
+#: The global registry populated by the suite modules at import time.
+REGISTRY = WorkloadRegistry()
+
+
+def register(
+    name: str,
+    suite: str,
+    description: str = "",
+    paper_name: str = "",
+) -> Callable[[Callable[[int], Program]], Callable[[int], Program]]:
+    """Decorator that registers a builder function as a workload."""
+
+    def decorator(builder: Callable[[int], Program]) -> Callable[[int], Program]:
+        REGISTRY.register(
+            Workload(
+                name=name,
+                suite=suite,
+                builder=builder,
+                description=description,
+                paper_name=paper_name,
+            )
+        )
+        return builder
+
+    return decorator
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (importing the suite modules as needed)."""
+    _ensure_suites_loaded()
+    return REGISTRY.get(name)
+
+
+def list_workloads(suite: str | None = None) -> list[Workload]:
+    """All registered workloads, optionally filtered by suite."""
+    _ensure_suites_loaded()
+    if suite is None:
+        return [REGISTRY.get(name) for name in REGISTRY.names()]
+    return sorted(REGISTRY.by_suite(suite), key=lambda w: w.name)
+
+
+def _ensure_suites_loaded() -> None:
+    # Imported lazily to avoid circular imports (the suite modules import the
+    # ``register`` decorator from this module).
+    from repro.workloads import mediabench, microbench, specint  # noqa: F401

@@ -1,0 +1,107 @@
+"""Shared helpers for writing workload kernels.
+
+These utilities keep the hand-written kernels deterministic (a tiny LCG
+replaces benchmark input files) and idiomatic (inline macros for the code
+patterns a compiler would emit).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.registers import RegisterNames as R
+
+#: Multiplier/increment of the 31-bit linear congruential generator used for
+#: all synthetic "input data".  Small enough to build with ``li``.
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+LCG_MASK = 0x7FFFFFFF
+
+
+def lcg_sequence(seed: int, count: int, modulo: int | None = None) -> list[int]:
+    """Generate ``count`` deterministic pseudo-random values (Python side).
+
+    This is how workloads get "input files": the data is computed at assembly
+    time and placed in the program's data segment.
+    """
+    values = []
+    state = seed & LCG_MASK
+    for _ in range(count):
+        state = (state * LCG_MULTIPLIER + LCG_INCREMENT) & LCG_MASK
+        values.append(state if modulo is None else state % modulo)
+    return values
+
+
+def lcg_bytes(seed: int, count: int, alphabet: int = 256) -> bytes:
+    """Deterministic pseudo-random byte string (for text-processing kernels)."""
+    return bytes(lcg_sequence(seed, count, alphabet))
+
+
+def permutation(seed: int, count: int) -> list[int]:
+    """A deterministic pseudo-random permutation of ``range(count)``.
+
+    Used to lay out pointer-chasing structures with poor spatial locality,
+    mimicking mcf-style memory behaviour.
+    """
+    order = list(range(count))
+    randoms = lcg_sequence(seed, count)
+    for index in range(count - 1, 0, -1):
+        swap = randoms[index] % (index + 1)
+        order[index], order[swap] = order[swap], order[index]
+    return order
+
+
+def emit_lcg_step(asm: Assembler, state_reg: int, scratch_reg: int) -> None:
+    """Advance an in-register LCG: ``state = (state * A + C) & MASK``.
+
+    Emits the multiply/addi/andi sequence inline, the way a compiler would
+    inline a small ``rand()`` helper.
+    """
+    asm.li(scratch_reg, LCG_MULTIPLIER)
+    asm.mul(state_reg, state_reg, scratch_reg)
+    asm.addi(state_reg, state_reg, LCG_INCREMENT)
+    asm.li(scratch_reg, LCG_MASK)
+    asm.and_(state_reg, state_reg, scratch_reg)
+
+
+def emit_counted_loop_header(asm: Assembler, counter_reg: int, count: int, label: str) -> None:
+    """Initialise a counter register and define the loop head label."""
+    asm.li(counter_reg, count)
+    asm.label(label)
+
+
+def emit_counted_loop_footer(asm: Assembler, counter_reg: int, label: str) -> None:
+    """Decrement the counter and branch back while it is positive."""
+    asm.subi(counter_reg, counter_reg, 1)
+    asm.bgt(counter_reg, label)
+
+
+def emit_argument_moves(asm: Assembler, *pairs: tuple[int, int]) -> None:
+    """Emit the register moves a compiler produces at a call site.
+
+    ``pairs`` are ``(argument_register, source_register)`` tuples.  Using
+    explicit ``mov`` instructions here is deliberate: these are exactly the
+    compilation artifacts RENO_ME eliminates.
+    """
+    for argument_register, source_register in pairs:
+        asm.mov(argument_register, source_register)
+
+
+def scaled(base: int, scale: int, minimum: int = 1) -> int:
+    """Scale an iteration count, clamped from below."""
+    return max(minimum, base * scale)
+
+
+__all__ = [
+    "LCG_MULTIPLIER",
+    "LCG_INCREMENT",
+    "LCG_MASK",
+    "lcg_sequence",
+    "lcg_bytes",
+    "permutation",
+    "emit_lcg_step",
+    "emit_counted_loop_header",
+    "emit_counted_loop_footer",
+    "emit_argument_moves",
+    "scaled",
+    "R",
+]

@@ -1,0 +1,876 @@
+"""MediaBench-like synthetic kernels.
+
+One kernel per benchmark row in the paper's MediaBench figures.  These are
+integer/fixed-point DSP kernels: streaming array access with address
+increments, multiply-accumulate recurrences, clamping branches and byte I/O.
+That structure is what gives MediaBench its higher register-immediate-addition
+fraction (16-17 % in the paper) and its ALU criticality.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import RegisterNames as R
+from repro.workloads.base import register
+from repro.workloads.builder import (
+    emit_argument_moves,
+    lcg_bytes,
+    lcg_sequence,
+    scaled,
+)
+
+#: A small IMA-ADPCM style step-size table (subset of the real 89-entry table).
+_STEP_TABLE = [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31,
+               34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143]
+
+
+# ---------------------------------------------------------------------------
+# ADPCM
+# ---------------------------------------------------------------------------
+
+
+@register("adpcm_encode_like", "mediabench", "IMA-ADPCM style sample encoder.", paper_name="adpcm.en")
+def adpcm_encode_like(scale: int = 1) -> Program:
+    samples = scaled(128, scale)
+    asm = Assembler("adpcm_encode_like")
+    asm.word_array("samples", lcg_sequence(211, samples, 2048))
+    asm.word_array("steps", _STEP_TABLE)
+    asm.zeros("codes", (samples + 7) // 8 + 1)
+    asm.la(R.S0, "samples")
+    asm.la(R.S1, "steps")
+    asm.la(R.S2, "codes")
+    asm.li(R.S3, samples)
+    asm.li(R.S4, 0)                  # predicted value
+    asm.li(R.S5, 0)                  # step index
+    asm.li(R.V0, 0)
+
+    asm.label("sample")
+    asm.ld(R.T0, 0, R.S0)
+    asm.sub(R.T1, R.T0, R.S4)        # diff
+    asm.li(R.T2, 0)                  # sign bit
+    asm.bge(R.T1, "positive")
+    asm.li(R.T2, 8)
+    asm.sub(R.T1, R.ZERO, R.T1)
+    asm.label("positive")
+    # current step size
+    asm.slli(R.T3, R.S5, 3)
+    asm.add(R.T3, R.S1, R.T3)
+    asm.ld(R.T4, 0, R.T3)
+    # quantise diff against step, building a 3-bit code
+    asm.li(R.T5, 0)
+    asm.cmplt(R.T6, R.T1, R.T4)
+    asm.bne(R.T6, "q1")
+    asm.ori(R.T5, R.T5, 4)
+    asm.sub(R.T1, R.T1, R.T4)
+    asm.label("q1")
+    asm.srai(R.T7, R.T4, 1)
+    asm.cmplt(R.T6, R.T1, R.T7)
+    asm.bne(R.T6, "q2")
+    asm.ori(R.T5, R.T5, 2)
+    asm.sub(R.T1, R.T1, R.T7)
+    asm.label("q2")
+    asm.srai(R.T7, R.T4, 2)
+    asm.cmplt(R.T6, R.T1, R.T7)
+    asm.bne(R.T6, "q3")
+    asm.ori(R.T5, R.T5, 1)
+    asm.label("q3")
+    asm.or_(R.T5, R.T5, R.T2)
+    # update the predictor by the quantised amount
+    asm.andi(R.T8, R.T5, 7)
+    asm.mul(R.T9, R.T8, R.T4)
+    asm.srai(R.T9, R.T9, 2)
+    asm.beq(R.T2, "pred_up")
+    asm.sub(R.S4, R.S4, R.T9)
+    asm.br("pred_done")
+    asm.label("pred_up")
+    asm.add(R.S4, R.S4, R.T9)
+    asm.label("pred_done")
+    # update the step index (+1 for large codes, -1 otherwise), clamped
+    asm.cmplei(R.T6, R.T8, 3)
+    asm.beq(R.T6, "idx_up")
+    asm.subi(R.S5, R.S5, 1)
+    asm.br("idx_clamp")
+    asm.label("idx_up")
+    asm.addi(R.S5, R.S5, 1)
+    asm.label("idx_clamp")
+    asm.bge(R.S5, "idx_low_ok")
+    asm.li(R.S5, 0)
+    asm.label("idx_low_ok")
+    asm.cmplti(R.T6, R.S5, 32)
+    asm.bne(R.T6, "idx_high_ok")
+    asm.li(R.S5, 31)
+    asm.label("idx_high_ok")
+    # emit the code
+    asm.add(R.T10, R.S2, R.V0)
+    asm.stb(R.T5, 0, R.T10)
+    asm.addi(R.V0, R.V0, 1)
+    asm.addi(R.S0, R.S0, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "sample")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("adpcm_decode_like", "mediabench", "IMA-ADPCM style sample decoder.", paper_name="adpcm.de")
+def adpcm_decode_like(scale: int = 1) -> Program:
+    codes = scaled(144, scale)
+    asm = Assembler("adpcm_decode_like")
+    asm.byte_array("codes", lcg_bytes(223, codes, 16))
+    asm.word_array("steps", _STEP_TABLE)
+    asm.zeros("samples", codes)
+    asm.la(R.S0, "codes")
+    asm.la(R.S1, "steps")
+    asm.la(R.S2, "samples")
+    asm.li(R.S3, codes)
+    asm.li(R.S4, 0)                  # predicted value
+    asm.li(R.S5, 0)                  # step index
+    asm.li(R.V0, 0)
+
+    asm.label("code")
+    asm.ldbu(R.T0, 0, R.S0)
+    asm.andi(R.T1, R.T0, 7)          # magnitude
+    asm.andi(R.T2, R.T0, 8)          # sign
+    asm.slli(R.T3, R.S5, 3)
+    asm.add(R.T3, R.S1, R.T3)
+    asm.ld(R.T4, 0, R.T3)            # step
+    asm.mul(R.T5, R.T1, R.T4)
+    asm.srai(R.T5, R.T5, 2)
+    asm.beq(R.T2, "add_delta")
+    asm.sub(R.S4, R.S4, R.T5)
+    asm.br("delta_done")
+    asm.label("add_delta")
+    asm.add(R.S4, R.S4, R.T5)
+    asm.label("delta_done")
+    # clamp the predictor to a 16-bit range
+    asm.li(R.T6, 32767)
+    asm.cmplt(R.T7, R.T6, R.S4)
+    asm.beq(R.T7, "no_clip_high")
+    asm.mov(R.S4, R.T6)
+    asm.label("no_clip_high")
+    asm.li(R.T6, -32768)
+    asm.cmplt(R.T7, R.S4, R.T6)
+    asm.beq(R.T7, "no_clip_low")
+    asm.mov(R.S4, R.T6)
+    asm.label("no_clip_low")
+    # adapt the step index
+    asm.cmplei(R.T7, R.T1, 3)
+    asm.beq(R.T7, "bump")
+    asm.subi(R.S5, R.S5, 1)
+    asm.br("clamp_idx")
+    asm.label("bump")
+    asm.addi(R.S5, R.S5, 2)
+    asm.label("clamp_idx")
+    asm.bge(R.S5, "idx_ok")
+    asm.li(R.S5, 0)
+    asm.label("idx_ok")
+    asm.cmplti(R.T7, R.S5, 32)
+    asm.bne(R.T7, "idx_ok2")
+    asm.li(R.S5, 31)
+    asm.label("idx_ok2")
+    asm.st(R.S4, 0, R.S2)
+    asm.add(R.V0, R.V0, R.S4)
+    asm.addi(R.S0, R.S0, 1)
+    asm.addi(R.S2, R.S2, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "code")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# EPIC / UNEPIC: wavelet analysis and reconstruction
+# ---------------------------------------------------------------------------
+
+
+@register("epic_like", "mediabench", "Haar-style wavelet analysis passes.", paper_name="epic")
+def epic_like(scale: int = 1) -> Program:
+    length = 64
+    passes = scaled(6, scale)
+    asm = Assembler("epic_like")
+    asm.word_array("signal", lcg_sequence(227, length, 1024))
+    asm.zeros("low", length // 2)
+    asm.zeros("high", length // 2)
+    asm.li(R.S5, passes)
+    asm.li(R.V0, 0)
+
+    asm.label("pass")
+    asm.la(R.S0, "signal")
+    asm.la(R.S1, "low")
+    asm.la(R.S2, "high")
+    asm.li(R.T0, length // 2)
+    asm.label("pair")
+    asm.ld(R.T1, 0, R.S0)
+    asm.ld(R.T2, 8, R.S0)
+    asm.add(R.T3, R.T1, R.T2)
+    asm.srai(R.T3, R.T3, 1)          # average
+    asm.sub(R.T4, R.T1, R.T2)
+    asm.srai(R.T4, R.T4, 1)          # difference
+    asm.st(R.T3, 0, R.S1)
+    asm.st(R.T4, 0, R.S2)
+    asm.add(R.V0, R.V0, R.T3)
+    asm.addi(R.S0, R.S0, 16)
+    asm.addi(R.S1, R.S1, 8)
+    asm.addi(R.S2, R.S2, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "pair")
+    # feed the low band back for the next pass
+    asm.la(R.S0, "signal")
+    asm.la(R.S1, "low")
+    asm.li(R.T0, length // 2)
+    asm.label("copy_back")
+    asm.ld(R.T1, 0, R.S1)
+    asm.st(R.T1, 0, R.S0)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "copy_back")
+    asm.subi(R.S5, R.S5, 1)
+    asm.bgt(R.S5, "pass")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("unepic_like", "mediabench", "Haar-style wavelet reconstruction.", paper_name="unepic")
+def unepic_like(scale: int = 1) -> Program:
+    length = 64
+    passes = scaled(6, scale)
+    asm = Assembler("unepic_like")
+    asm.word_array("low", lcg_sequence(229, length // 2, 512))
+    asm.word_array("high", lcg_sequence(233, length // 2, 64))
+    asm.zeros("signal", length)
+    asm.li(R.S5, passes)
+    asm.li(R.V0, 0)
+
+    asm.label("pass")
+    asm.la(R.S0, "low")
+    asm.la(R.S1, "high")
+    asm.la(R.S2, "signal")
+    asm.li(R.T0, length // 2)
+    asm.label("pair")
+    asm.ld(R.T1, 0, R.S0)
+    asm.ld(R.T2, 0, R.S1)
+    asm.add(R.T3, R.T1, R.T2)        # even sample
+    asm.sub(R.T4, R.T1, R.T2)        # odd sample
+    asm.st(R.T3, 0, R.S2)
+    asm.st(R.T4, 8, R.S2)
+    asm.add(R.V0, R.V0, R.T4)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.addi(R.S2, R.S2, 16)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "pair")
+    asm.subi(R.S5, R.S5, 1)
+    asm.bgt(R.S5, "pass")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# G.721: adaptive prediction
+# ---------------------------------------------------------------------------
+
+
+def _g721_kernel(name: str, paper: str, seed: int, scale: int, decode: bool) -> Program:
+    samples = scaled(112, scale)
+    asm = Assembler(name)
+    asm.word_array("input", lcg_sequence(seed, samples, 4096))
+    asm.zeros("output", samples)
+    asm.la(R.S0, "input")
+    asm.la(R.S1, "output")
+    asm.li(R.S2, samples)
+    asm.li(R.S3, 0)                  # state: previous sample
+    asm.li(R.S4, 64)                 # weight 1 (Q6 fixed point)
+    asm.li(R.S5, 16)                 # weight 2
+    asm.li(R.FP, 0)                  # state: sample before previous
+    asm.li(R.V0, 0)
+
+    asm.label("sample")
+    asm.ld(R.T0, 0, R.S0)
+    # prediction = (w1 * prev + w2 * prevprev) >> 6
+    asm.mul(R.T1, R.S4, R.S3)
+    asm.mul(R.T2, R.S5, R.FP)
+    asm.add(R.T1, R.T1, R.T2)
+    asm.srai(R.T1, R.T1, 6)
+    asm.sub(R.T3, R.T0, R.T1)        # prediction error
+    if decode:
+        # decoder reconstructs from a quantised error
+        asm.srai(R.T4, R.T3, 2)
+        asm.slli(R.T4, R.T4, 2)
+        asm.add(R.T5, R.T1, R.T4)
+    else:
+        asm.mov(R.T5, R.T3)
+    # adapt weights by the sign of the error
+    asm.bge(R.T3, "err_pos")
+    asm.subi(R.S4, R.S4, 1)
+    asm.addi(R.S5, R.S5, 1)
+    asm.br("adapted")
+    asm.label("err_pos")
+    asm.addi(R.S4, R.S4, 1)
+    asm.subi(R.S5, R.S5, 1)
+    asm.label("adapted")
+    asm.st(R.T5, 0, R.S1)
+    asm.add(R.V0, R.V0, R.T5)
+    asm.mov(R.FP, R.S3)
+    asm.mov(R.S3, R.T0)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "sample")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("g721_encode_like", "mediabench", "ADPCM G.721-style adaptive predictor (encode).", paper_name="g721.en")
+def g721_encode_like(scale: int = 1) -> Program:
+    return _g721_kernel("g721_encode_like", "g721.en", 239, scale, decode=False)
+
+
+@register("g721_decode_like", "mediabench", "ADPCM G.721-style adaptive predictor (decode).", paper_name="g721.de")
+def g721_decode_like(scale: int = 1) -> Program:
+    return _g721_kernel("g721_decode_like", "g721.de", 241, scale, decode=True)
+
+
+# ---------------------------------------------------------------------------
+# ghostscript: span filling
+# ---------------------------------------------------------------------------
+
+
+@register("gs_like", "mediabench", "Scanline span filling into a byte framebuffer.", paper_name="gs.de")
+def gs_like(scale: int = 1) -> Program:
+    spans = scaled(48, scale)
+    width = 64
+    asm = Assembler("gs_like")
+    starts = lcg_sequence(251, spans, width // 2)
+    lengths = [max(2, value) for value in lcg_sequence(257, spans, width // 2)]
+    colors = lcg_sequence(263, spans, 250)
+    interleaved = []
+    for index in range(spans):
+        interleaved.extend([starts[index], lengths[index], colors[index]])
+    asm.word_array("spans", interleaved)
+    asm.zeros("framebuffer", (spans * width) // 8 + width)
+    asm.la(R.S0, "spans")
+    asm.la(R.S1, "framebuffer")
+    asm.li(R.S2, spans)
+    asm.li(R.S3, 0)                  # scanline base offset
+    asm.li(R.V0, 0)
+
+    asm.label("span")
+    asm.ld(R.T0, 0, R.S0)            # start
+    asm.ld(R.T1, 8, R.S0)            # length
+    asm.ld(R.T2, 16, R.S0)           # colour
+    asm.add(R.T3, R.S1, R.S3)
+    asm.add(R.T3, R.T3, R.T0)        # fill pointer
+    asm.mov(R.T4, R.T1)
+    asm.label("fill")
+    asm.stb(R.T2, 0, R.T3)
+    asm.addi(R.T3, R.T3, 1)
+    asm.subi(R.T4, R.T4, 1)
+    asm.bgt(R.T4, "fill")
+    asm.add(R.V0, R.V0, R.T1)
+    asm.addi(R.S3, R.S3, width)
+    asm.addi(R.S0, R.S0, 24)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "span")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# GSM: long-term prediction / autocorrelation
+# ---------------------------------------------------------------------------
+
+
+@register("gsm_encode_like", "mediabench", "Autocorrelation + LTP lag search (encode).", paper_name="gsm.en")
+def gsm_encode_like(scale: int = 1) -> Program:
+    frames = scaled(6, scale)
+    window = 32
+    lags = 8
+    asm = Assembler("gsm_encode_like")
+    asm.word_array("signal", lcg_sequence(269, window + lags + frames, 256))
+    asm.la(R.S0, "signal")
+    asm.li(R.S1, frames)
+    asm.li(R.V0, 0)
+
+    asm.label("frame")
+    asm.li(R.S2, lags)
+    asm.li(R.S3, 0)                  # best correlation
+    asm.label("lag")
+    # correlation between signal[i] and signal[i+lag]
+    asm.mov(R.T0, R.S0)
+    asm.slli(R.T1, R.S2, 3)
+    asm.add(R.T1, R.T0, R.T1)
+    asm.li(R.T2, window)
+    asm.li(R.T3, 0)
+    asm.label("mac")
+    asm.ld(R.T4, 0, R.T0)
+    asm.ld(R.T5, 0, R.T1)
+    asm.mul(R.T6, R.T4, R.T5)
+    asm.srai(R.T6, R.T6, 4)
+    asm.add(R.T3, R.T3, R.T6)
+    asm.addi(R.T0, R.T0, 8)
+    asm.addi(R.T1, R.T1, 8)
+    asm.subi(R.T2, R.T2, 1)
+    asm.bgt(R.T2, "mac")
+    asm.cmplt(R.T7, R.S3, R.T3)
+    asm.beq(R.T7, "not_better")
+    asm.mov(R.S3, R.T3)
+    asm.label("not_better")
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "lag")
+    asm.add(R.V0, R.V0, R.S3)
+    asm.addi(R.S0, R.S0, 8)
+    asm.subi(R.S1, R.S1, 1)
+    asm.bgt(R.S1, "frame")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("gsm_decode_like", "mediabench", "Short-term synthesis filter (decode).", paper_name="gsm.de")
+def gsm_decode_like(scale: int = 1) -> Program:
+    samples = scaled(96, scale)
+    taps = 8
+    asm = Assembler("gsm_decode_like")
+    asm.word_array("residual", lcg_sequence(271, samples + taps, 128))
+    asm.word_array("coeffs", lcg_sequence(277, taps, 32))
+    asm.zeros("speech", samples)
+    asm.la(R.S0, "residual")
+    asm.la(R.S1, "coeffs")
+    asm.la(R.S2, "speech")
+    asm.li(R.S3, samples)
+    asm.li(R.V0, 0)
+
+    asm.label("sample")
+    asm.li(R.T0, taps)
+    asm.li(R.T1, 0)                  # accumulator
+    asm.mov(R.T2, R.S0)
+    asm.mov(R.T3, R.S1)
+    asm.label("tap")
+    asm.ld(R.T4, 0, R.T2)
+    asm.ld(R.T5, 0, R.T3)
+    asm.mul(R.T6, R.T4, R.T5)
+    asm.add(R.T1, R.T1, R.T6)
+    asm.addi(R.T2, R.T2, 8)
+    asm.addi(R.T3, R.T3, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "tap")
+    asm.srai(R.T1, R.T1, 6)
+    asm.st(R.T1, 0, R.S2)
+    asm.add(R.V0, R.V0, R.T1)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S2, R.S2, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "sample")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# JPEG: DCT butterflies and quantisation
+# ---------------------------------------------------------------------------
+
+
+@register("jpeg_encode_like", "mediabench", "Forward DCT butterfly + quantisation.", paper_name="jpg.en")
+def jpeg_encode_like(scale: int = 1) -> Program:
+    blocks = scaled(12, scale)
+    asm = Assembler("jpeg_encode_like")
+    asm.word_array("pixels", lcg_sequence(281, 8 * blocks, 256))
+    asm.word_array("quant", [16, 11, 10, 16, 24, 40, 51, 61])
+    asm.zeros("coeffs", 8 * blocks)
+    asm.la(R.S0, "pixels")
+    asm.la(R.S1, "coeffs")
+    asm.la(R.S2, "quant")
+    asm.li(R.S3, blocks)
+    asm.li(R.V0, 0)
+
+    asm.label("block")
+    # 8-point butterfly (first stage of an integer DCT)
+    for pair in range(4):
+        asm.ld(R.T0, 8 * pair, R.S0)
+        asm.ld(R.T1, 8 * (7 - pair), R.S0)
+        asm.add(R.T2, R.T0, R.T1)
+        asm.sub(R.T3, R.T0, R.T1)
+        asm.muli(R.T2, R.T2, 3)
+        asm.srai(R.T2, R.T2, 1)
+        asm.muli(R.T3, R.T3, 5)
+        asm.srai(R.T3, R.T3, 2)
+        asm.st(R.T2, 8 * pair, R.S1)
+        asm.st(R.T3, 8 * (7 - pair), R.S1)
+    # quantise the eight coefficients
+    asm.li(R.T4, 8)
+    asm.mov(R.T5, R.S1)
+    asm.mov(R.T6, R.S2)
+    asm.label("quantise")
+    asm.ld(R.T7, 0, R.T5)
+    asm.ld(R.T8, 0, R.T6)
+    asm.div(R.T9, R.T7, R.T8)
+    asm.st(R.T9, 0, R.T5)
+    asm.add(R.V0, R.V0, R.T9)
+    asm.addi(R.T5, R.T5, 8)
+    asm.addi(R.T6, R.T6, 8)
+    asm.subi(R.T4, R.T4, 1)
+    asm.bgt(R.T4, "quantise")
+    asm.addi(R.S0, R.S0, 64)
+    asm.addi(R.S1, R.S1, 64)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "block")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("jpeg_decode_like", "mediabench", "Dequantisation + inverse butterfly with clamping.", paper_name="jpg.de")
+def jpeg_decode_like(scale: int = 1) -> Program:
+    blocks = scaled(12, scale)
+    asm = Assembler("jpeg_decode_like")
+    asm.word_array("coeffs", lcg_sequence(283, 8 * blocks, 64))
+    asm.word_array("quant", [16, 11, 10, 16, 24, 40, 51, 61])
+    asm.zeros("pixels", blocks)      # packed byte output, one word per block
+    asm.la(R.S0, "coeffs")
+    asm.la(R.S1, "quant")
+    asm.la(R.S2, "pixels")
+    asm.li(R.S3, blocks)
+    asm.li(R.V0, 0)
+
+    asm.label("block")
+    asm.li(R.T0, 8)
+    asm.mov(R.T1, R.S0)
+    asm.mov(R.T2, R.S1)
+    asm.li(R.S4, 0)                  # byte lane
+    asm.label("coef")
+    asm.ld(R.T3, 0, R.T1)
+    asm.ld(R.T4, 0, R.T2)
+    asm.mul(R.T5, R.T3, R.T4)        # dequantise
+    asm.srai(R.T5, R.T5, 3)
+    asm.addi(R.T5, R.T5, 128)        # level shift
+    # clamp to [0, 255]
+    asm.bge(R.T5, "not_negative")
+    asm.li(R.T5, 0)
+    asm.label("not_negative")
+    asm.cmplti(R.T6, R.T5, 256)
+    asm.bne(R.T6, "clamped")
+    asm.li(R.T5, 255)
+    asm.label("clamped")
+    asm.add(R.T7, R.S2, R.S4)
+    asm.stb(R.T5, 0, R.T7)
+    asm.add(R.V0, R.V0, R.T5)
+    asm.addi(R.S4, R.S4, 1)
+    asm.addi(R.T1, R.T1, 8)
+    asm.addi(R.T2, R.T2, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "coef")
+    asm.addi(R.S0, R.S0, 64)
+    asm.addi(R.S2, R.S2, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "block")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# Mesa: software 3D pipeline kernels (three demos)
+# ---------------------------------------------------------------------------
+
+
+@register("mesa_mipmap_like", "mediabench", "2x2 box-filter mipmap reduction.", paper_name="mesa.m")
+def mesa_mipmap_like(scale: int = 1) -> Program:
+    size = 16                         # source image is size x size bytes
+    images = scaled(4, scale)
+    asm = Assembler("mesa_mipmap_like")
+    asm.byte_array("source", lcg_bytes(293, size * size * images, 256))
+    asm.zeros("dest", (size * size * images) // 8)
+    asm.la(R.S0, "source")
+    asm.la(R.S1, "dest")
+    asm.li(R.S2, images)
+    asm.li(R.V0, 0)
+
+    asm.label("image")
+    asm.li(R.S3, size // 2)          # destination rows
+    asm.label("row")
+    asm.li(R.T0, size // 2)          # destination columns
+    asm.label("col")
+    asm.ldbu(R.T1, 0, R.S0)
+    asm.ldbu(R.T2, 1, R.S0)
+    asm.ldbu(R.T3, size, R.S0)
+    asm.ldbu(R.T4, size + 1, R.S0)
+    asm.add(R.T5, R.T1, R.T2)
+    asm.add(R.T5, R.T5, R.T3)
+    asm.add(R.T5, R.T5, R.T4)
+    asm.srai(R.T5, R.T5, 2)
+    asm.stb(R.T5, 0, R.S1)
+    asm.add(R.V0, R.V0, R.T5)
+    asm.addi(R.S0, R.S0, 2)
+    asm.addi(R.S1, R.S1, 1)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "col")
+    asm.addi(R.S0, R.S0, size)       # skip the odd source row
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "row")
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "image")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("mesa_osdemo_like", "mediabench", "Fixed-point 4x4 vertex transformation.", paper_name="mesa.o")
+def mesa_osdemo_like(scale: int = 1) -> Program:
+    vertices = scaled(24, scale)
+    asm = Assembler("mesa_osdemo_like")
+    asm.word_array("matrix", lcg_sequence(307, 16, 64))
+    asm.word_array("verts", lcg_sequence(311, 4 * vertices, 256))
+    asm.zeros("out", 4 * vertices)
+    asm.la(R.S0, "verts")
+    asm.la(R.S1, "out")
+    asm.la(R.S2, "matrix")
+    asm.li(R.S3, vertices)
+    asm.li(R.V0, 0)
+
+    asm.label("vertex")
+    asm.li(R.T0, 4)                  # output component
+    asm.mov(R.T1, R.S2)              # matrix row pointer
+    asm.mov(R.T11, R.S1)
+    asm.label("component")
+    asm.li(R.T2, 0)                  # dot product accumulator
+    asm.mov(R.T3, R.S0)
+    asm.li(R.T4, 4)
+    asm.label("dot")
+    asm.ld(R.T5, 0, R.T1)
+    asm.ld(R.T6, 0, R.T3)
+    asm.mul(R.T7, R.T5, R.T6)
+    asm.add(R.T2, R.T2, R.T7)
+    asm.addi(R.T1, R.T1, 8)
+    asm.addi(R.T3, R.T3, 8)
+    asm.subi(R.T4, R.T4, 1)
+    asm.bgt(R.T4, "dot")
+    asm.srai(R.T2, R.T2, 6)
+    asm.st(R.T2, 0, R.T11)
+    asm.add(R.V0, R.V0, R.T2)
+    asm.addi(R.T11, R.T11, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "component")
+    asm.addi(R.S0, R.S0, 32)
+    asm.addi(R.S1, R.S1, 32)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "vertex")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("mesa_texgen_like", "mediabench", "Texture-coordinate generation (per-vertex dot products).", paper_name="mesa.t")
+def mesa_texgen_like(scale: int = 1) -> Program:
+    vertices = scaled(32, scale)
+    asm = Assembler("mesa_texgen_like")
+    asm.word_array("normals", lcg_sequence(313, 3 * vertices, 128))
+    asm.zeros("texcoords", 2 * vertices)
+    asm.la(R.S0, "normals")
+    asm.la(R.S1, "texcoords")
+    asm.li(R.S2, vertices)
+    asm.li(R.V0, 0)
+    splane = (9, 3, 5)
+    tplane = (2, 7, 11)
+
+    asm.label("vertex")
+    asm.ld(R.T0, 0, R.S0)
+    asm.ld(R.T1, 8, R.S0)
+    asm.ld(R.T2, 16, R.S0)
+    # s = n . splane, t = n . tplane (fixed point, then bias)
+    asm.muli(R.T3, R.T0, splane[0])
+    asm.muli(R.T4, R.T1, splane[1])
+    asm.muli(R.T5, R.T2, splane[2])
+    asm.add(R.T3, R.T3, R.T4)
+    asm.add(R.T3, R.T3, R.T5)
+    asm.srai(R.T3, R.T3, 4)
+    asm.addi(R.T3, R.T3, 64)
+    asm.muli(R.T6, R.T0, tplane[0])
+    asm.muli(R.T7, R.T1, tplane[1])
+    asm.muli(R.T8, R.T2, tplane[2])
+    asm.add(R.T6, R.T6, R.T7)
+    asm.add(R.T6, R.T6, R.T8)
+    asm.srai(R.T6, R.T6, 4)
+    asm.addi(R.T6, R.T6, 64)
+    asm.st(R.T3, 0, R.S1)
+    asm.st(R.T6, 8, R.S1)
+    asm.add(R.V0, R.V0, R.T3)
+    asm.add(R.V0, R.V0, R.T6)
+    asm.addi(R.S0, R.S0, 24)
+    asm.addi(R.S1, R.S1, 16)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "vertex")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# MPEG-2: motion compensation (decode) and SAD motion search (encode)
+# ---------------------------------------------------------------------------
+
+
+@register("mpeg2_decode_like", "mediabench", "Motion compensation with saturation.", paper_name="mpg2.de")
+def mpeg2_decode_like(scale: int = 1) -> Program:
+    blocks = scaled(10, scale)
+    block_pixels = 16
+    asm = Assembler("mpeg2_decode_like")
+    asm.byte_array("reference", lcg_bytes(331, blocks * block_pixels + 64, 256))
+    asm.word_array("residual", [value - 64 for value in lcg_sequence(337, blocks * block_pixels, 128)])
+    asm.zeros("frame", (blocks * block_pixels) // 8 + 1)
+    asm.la(R.S0, "reference")
+    asm.la(R.S1, "residual")
+    asm.la(R.S2, "frame")
+    asm.li(R.S3, blocks)
+    asm.li(R.V0, 0)
+
+    asm.label("block")
+    asm.li(R.T0, block_pixels)
+    asm.label("pixel")
+    asm.ldbu(R.T1, 0, R.S0)
+    asm.ld(R.T2, 0, R.S1)
+    asm.add(R.T3, R.T1, R.T2)
+    asm.bge(R.T3, "not_neg")
+    asm.li(R.T3, 0)
+    asm.label("not_neg")
+    asm.cmplti(R.T4, R.T3, 256)
+    asm.bne(R.T4, "in_range")
+    asm.li(R.T3, 255)
+    asm.label("in_range")
+    asm.stb(R.T3, 0, R.S2)
+    asm.add(R.V0, R.V0, R.T3)
+    asm.addi(R.S0, R.S0, 1)
+    asm.addi(R.S1, R.S1, 8)
+    asm.addi(R.S2, R.S2, 1)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "pixel")
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "block")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("mpeg2_encode_like", "mediabench", "Sum-of-absolute-differences motion search.", paper_name="mpg2.en")
+def mpeg2_encode_like(scale: int = 1) -> Program:
+    blocks = scaled(6, scale)
+    block_pixels = 16
+    candidates = 4
+    asm = Assembler("mpeg2_encode_like")
+    asm.byte_array("current", lcg_bytes(347, blocks * block_pixels, 256))
+    asm.byte_array("reference", lcg_bytes(349, blocks * block_pixels + candidates * 4 + 8, 256))
+    asm.zeros("best", blocks)
+    asm.la(R.S0, "current")
+    asm.la(R.S1, "reference")
+    asm.la(R.S2, "best")
+    asm.li(R.S3, blocks)
+    asm.li(R.V0, 0)
+
+    asm.label("block")
+    asm.li(R.S4, candidates)
+    asm.li(R.S5, 1 << 20)            # best SAD so far
+    asm.label("candidate")
+    asm.mov(R.T0, R.S0)
+    asm.slli(R.T1, R.S4, 2)
+    asm.add(R.T1, R.S1, R.T1)        # candidate pointer
+    asm.li(R.T2, block_pixels)
+    asm.li(R.T3, 0)                  # SAD
+    asm.label("diff")
+    asm.ldbu(R.T4, 0, R.T0)
+    asm.ldbu(R.T5, 0, R.T1)
+    asm.sub(R.T6, R.T4, R.T5)
+    asm.bge(R.T6, "abs_done")
+    asm.sub(R.T6, R.ZERO, R.T6)
+    asm.label("abs_done")
+    asm.add(R.T3, R.T3, R.T6)
+    asm.addi(R.T0, R.T0, 1)
+    asm.addi(R.T1, R.T1, 1)
+    asm.subi(R.T2, R.T2, 1)
+    asm.bgt(R.T2, "diff")
+    asm.cmplt(R.T7, R.T3, R.S5)
+    asm.beq(R.T7, "not_better")
+    asm.mov(R.S5, R.T3)
+    asm.label("not_better")
+    asm.subi(R.S4, R.S4, 1)
+    asm.bgt(R.S4, "candidate")
+    asm.st(R.S5, 0, R.S2)
+    asm.add(R.V0, R.V0, R.S5)
+    asm.addi(R.S2, R.S2, 8)
+    asm.addi(R.S0, R.S0, block_pixels)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "block")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# Pegwit: public-key-ish modular arithmetic and stream mixing
+# ---------------------------------------------------------------------------
+
+
+@register("pegwit_encode_like", "mediabench", "Square-and-multiply modular exponentiation.", paper_name="pegw.en")
+def pegwit_encode_like(scale: int = 1) -> Program:
+    messages = scaled(24, scale)
+    modulus = 30011
+    asm = Assembler("pegwit_encode_like")
+    asm.word_array("messages", lcg_sequence(353, messages, modulus))
+    asm.zeros("cipher", messages)
+    asm.la(R.S0, "messages")
+    asm.la(R.S1, "cipher")
+    asm.li(R.S2, messages)
+    asm.li(R.S3, modulus)
+    asm.li(R.V0, 0)
+
+    asm.label("message")
+    asm.ld(R.T0, 0, R.S0)            # base
+    asm.li(R.T1, 17)                 # exponent
+    asm.li(R.T2, 1)                  # result
+    asm.label("expo")
+    asm.andi(R.T3, R.T1, 1)
+    asm.beq(R.T3, "skip_mul")
+    asm.mul(R.T2, R.T2, R.T0)
+    # result %= modulus  (via divide/multiply/subtract)
+    asm.div(R.T4, R.T2, R.S3)
+    asm.mul(R.T5, R.T4, R.S3)
+    asm.sub(R.T2, R.T2, R.T5)
+    asm.label("skip_mul")
+    asm.mul(R.T0, R.T0, R.T0)
+    asm.div(R.T4, R.T0, R.S3)
+    asm.mul(R.T5, R.T4, R.S3)
+    asm.sub(R.T0, R.T0, R.T5)
+    asm.srli(R.T1, R.T1, 1)
+    asm.bgt(R.T1, "expo")
+    asm.st(R.T2, 0, R.S1)
+    asm.add(R.V0, R.V0, R.T2)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "message")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("pegwit_decode_like", "mediabench", "Keystream mixing and integrity checksum.", paper_name="pegw.de")
+def pegwit_decode_like(scale: int = 1) -> Program:
+    words = scaled(80, scale)
+    asm = Assembler("pegwit_decode_like")
+    asm.word_array("cipher", lcg_sequence(359, words, 1 << 30))
+    asm.zeros("plain", words)
+    asm.la(R.S0, "cipher")
+    asm.la(R.S1, "plain")
+    asm.li(R.S2, words)
+    asm.li(R.S3, 0x1234)             # keystream state
+    asm.li(R.V0, 0)
+
+    asm.label("word")
+    asm.ld(R.T0, 0, R.S0)
+    # advance the keystream: state = (state * 75 + 74) & 0xFFFF
+    asm.muli(R.T1, R.S3, 75)
+    asm.addi(R.T1, R.T1, 74)
+    asm.andi(R.S3, R.T1, 0x7FFF)
+    asm.xor(R.T2, R.T0, R.S3)
+    asm.st(R.T2, 0, R.S1)
+    # rolling checksum
+    asm.slli(R.T3, R.V0, 1)
+    asm.add(R.V0, R.T3, R.T2)
+    asm.li(R.T4, 0xFFFF)
+    asm.and_(R.V0, R.V0, R.T4)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "word")
+    asm.halt()
+    return asm.assemble()

@@ -1,0 +1,242 @@
+"""Micro-benchmarks exercising individual RENO-targeted idioms.
+
+These tiny kernels are used throughout the unit and integration tests because
+each one isolates one behaviour: move-heavy code for RENO_ME, addi chains for
+RENO_CF, redundant loads for RENO_CSE, call/spill traffic for RENO_RA, and so
+on.  They are registered in the ``micro`` suite and are not part of the
+paper-figure suites.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import RegisterNames as R
+from repro.workloads.base import register
+from repro.workloads.builder import (
+    emit_argument_moves,
+    emit_counted_loop_footer,
+    emit_counted_loop_header,
+    lcg_sequence,
+    scaled,
+)
+
+
+@register("micro_sum", "micro", "Sequential sum of a word array (baseline streaming loop).")
+def micro_sum(scale: int = 1) -> Program:
+    count = scaled(64, scale)
+    asm = Assembler("micro_sum")
+    asm.word_array("values", lcg_sequence(1, count, 1000))
+    asm.la(R.A0, "values")
+    asm.li(R.V0, 0)
+    emit_counted_loop_header(asm, R.T0, count, "loop")
+    asm.ld(R.T1, 0, R.A0)
+    asm.add(R.V0, R.V0, R.T1)
+    asm.addi(R.A0, R.A0, 8)
+    emit_counted_loop_footer(asm, R.T0, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_moves", "micro", "Move-heavy register shuffling loop (RENO_ME fodder).")
+def micro_moves(scale: int = 1) -> Program:
+    iterations = scaled(80, scale)
+    asm = Assembler("micro_moves")
+    asm.li(R.S0, 3)
+    asm.li(R.S1, 5)
+    emit_counted_loop_header(asm, R.T0, iterations, "loop")
+    asm.mov(R.T1, R.S0)
+    asm.mov(R.T2, R.S1)
+    asm.add(R.T3, R.T1, R.T2)
+    asm.mov(R.S0, R.T2)
+    asm.mov(R.S1, R.T3)
+    emit_counted_loop_footer(asm, R.T0, "loop")
+    asm.mov(R.V0, R.S1)
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_addi_chain", "micro", "Pointer/index increments dominated by reg-imm additions (RENO_CF fodder).")
+def micro_addi_chain(scale: int = 1) -> Program:
+    count = scaled(48, scale)
+    asm = Assembler("micro_addi_chain")
+    asm.word_array("values", lcg_sequence(7, count + 4, 500))
+    asm.la(R.A0, "values")
+    asm.li(R.V0, 0)
+    emit_counted_loop_header(asm, R.T0, count, "loop")
+    # Several dependent displacement computations feeding loads: the classic
+    # addi -> load fusion scenario from Figure 2 of the paper.
+    asm.addi(R.T1, R.A0, 8)
+    asm.ld(R.T2, 0, R.T1)
+    asm.addi(R.T3, R.T1, 8)
+    asm.ld(R.T4, 8, R.T3)
+    asm.add(R.V0, R.V0, R.T2)
+    asm.add(R.V0, R.V0, R.T4)
+    asm.addi(R.A0, R.A0, 8)
+    emit_counted_loop_footer(asm, R.T0, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_redundant_loads", "micro", "Repeatedly reloads the same locations (RENO_CSE fodder).")
+def micro_redundant_loads(scale: int = 1) -> Program:
+    iterations = scaled(64, scale)
+    asm = Assembler("micro_redundant_loads")
+    asm.word_array("table", lcg_sequence(11, 8, 100))
+    asm.la(R.S0, "table")
+    asm.li(R.V0, 0)
+    emit_counted_loop_header(asm, R.T0, iterations, "loop")
+    asm.ld(R.T1, 0, R.S0)
+    asm.ld(R.T2, 8, R.S0)
+    asm.ld(R.T3, 0, R.S0)    # redundant with the first load
+    asm.ld(R.T4, 8, R.S0)    # redundant with the second load
+    asm.add(R.T5, R.T1, R.T2)
+    asm.add(R.T6, R.T3, R.T4)
+    asm.add(R.V0, R.V0, R.T5)
+    asm.add(R.V0, R.V0, R.T6)
+    emit_counted_loop_footer(asm, R.T0, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_call_spill", "micro", "Call-intensive loop with callee-save spills (RENO_RA fodder).")
+def micro_call_spill(scale: int = 1) -> Program:
+    iterations = scaled(32, scale)
+    asm = Assembler("micro_call_spill")
+    asm.li(R.S0, 0)
+    asm.li(R.S1, 1)
+    emit_counted_loop_header(asm, R.S2, iterations, "loop")
+    emit_argument_moves(asm, (R.A0, R.S0), (R.A1, R.S1))
+    asm.jsr("combine")
+    asm.mov(R.S0, R.S1)
+    asm.mov(R.S1, R.V0)
+    emit_counted_loop_footer(asm, R.S2, "loop")
+    asm.mov(R.V0, R.S1)
+    asm.halt()
+
+    asm.label("combine")
+    asm.prologue(32, (R.S3, R.S4))
+    asm.mov(R.S3, R.A0)
+    asm.mov(R.S4, R.A1)
+    asm.add(R.V0, R.S3, R.S4)
+    asm.andi(R.V0, R.V0, 0xFFF)
+    asm.epilogue(32, (R.S3, R.S4))
+    return asm.assemble()
+
+
+@register("micro_store_load", "micro", "Store-to-load communication through the stack (memory bypassing).")
+def micro_store_load(scale: int = 1) -> Program:
+    iterations = scaled(64, scale)
+    asm = Assembler("micro_store_load")
+    asm.li(R.S0, 17)
+    asm.li(R.V0, 0)
+    emit_counted_loop_header(asm, R.T0, iterations, "loop")
+    asm.subi(R.SP, R.SP, 16)
+    asm.st(R.S0, 0, R.SP)
+    asm.addi(R.S0, R.S0, 3)
+    asm.st(R.S0, 8, R.SP)
+    asm.ld(R.T1, 0, R.SP)     # bypassable: value came from the first store
+    asm.ld(R.T2, 8, R.SP)     # bypassable: value came from the second store
+    asm.add(R.V0, R.V0, R.T1)
+    asm.add(R.V0, R.V0, R.T2)
+    asm.addi(R.SP, R.SP, 16)
+    emit_counted_loop_footer(asm, R.T0, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_pointer_chase", "micro", "Random-order linked-list traversal (cache-hostile).")
+def micro_pointer_chase(scale: int = 1) -> Program:
+    nodes = scaled(64, scale)
+    # Each node is 16 bytes: [value, next_address].  The chain visits nodes in
+    # a pseudo-random order so the D-cache misses regularly.
+    from repro.workloads.builder import permutation
+
+    order = permutation(13, nodes)
+    values = lcg_sequence(29, nodes, 256)
+    asm = Assembler("micro_pointer_chase")
+    base = asm.zeros("nodes", 2 * nodes)
+    node_words = [0] * (2 * nodes)
+    for position in range(nodes):
+        node = order[position]
+        successor = order[(position + 1) % nodes]
+        node_words[2 * node] = values[node]
+        node_words[2 * node + 1] = base + 16 * successor
+    # Overwrite the zero-initialised block with the linked structure.
+    asm.fill_words("nodes", node_words)
+
+    asm.li(R.V0, 0)
+    asm.li(R.T0, nodes)
+    asm.la(R.A0, "nodes")
+    first = order[0]
+    asm.li(R.T3, 16 * first)
+    asm.add(R.A0, R.A0, R.T3)
+    asm.label("loop")
+    asm.ld(R.T1, 0, R.A0)
+    asm.add(R.V0, R.V0, R.T1)
+    asm.ld(R.A0, 8, R.A0)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "loop")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_branchy", "micro", "Data-dependent branches over pseudo-random values.")
+def micro_branchy(scale: int = 1) -> Program:
+    count = scaled(96, scale)
+    asm = Assembler("micro_branchy")
+    asm.word_array("values", lcg_sequence(5, count, 100))
+    asm.la(R.A0, "values")
+    asm.li(R.V0, 0)
+    asm.li(R.S0, 0)
+    emit_counted_loop_header(asm, R.T0, count, "loop")
+    asm.ld(R.T1, 0, R.A0)
+    asm.cmplti(R.T2, R.T1, 50)
+    asm.beq(R.T2, "big")
+    asm.addi(R.V0, R.V0, 1)
+    asm.br("next")
+    asm.label("big")
+    asm.addi(R.S0, R.S0, 1)
+    asm.label("next")
+    asm.addi(R.A0, R.A0, 8)
+    emit_counted_loop_footer(asm, R.T0, "loop")
+    asm.add(R.V0, R.V0, R.S0)
+    asm.halt()
+    return asm.assemble()
+
+
+@register("micro_matvec", "micro", "Small fixed-point matrix-vector product (ALU-dense).")
+def micro_matvec(scale: int = 1) -> Program:
+    repeats = scaled(8, scale)
+    size = 8
+    asm = Assembler("micro_matvec")
+    asm.word_array("matrix", lcg_sequence(3, size * size, 64))
+    asm.word_array("vector", lcg_sequence(9, size, 64))
+    asm.zeros("result", size)
+    asm.li(R.S5, repeats)
+    asm.label("repeat")
+    asm.la(R.A0, "matrix")
+    asm.la(R.A1, "vector")
+    asm.la(R.A2, "result")
+    asm.li(R.T0, size)
+    asm.label("rows")
+    asm.li(R.V0, 0)
+    asm.mov(R.T4, R.A1)
+    asm.li(R.T1, size)
+    asm.label("cols")
+    asm.ld(R.T2, 0, R.A0)
+    asm.ld(R.T3, 0, R.T4)
+    asm.mul(R.T2, R.T2, R.T3)
+    asm.add(R.V0, R.V0, R.T2)
+    asm.addi(R.A0, R.A0, 8)
+    asm.addi(R.T4, R.T4, 8)
+    asm.subi(R.T1, R.T1, 1)
+    asm.bgt(R.T1, "cols")
+    asm.st(R.V0, 0, R.A2)
+    asm.addi(R.A2, R.A2, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "rows")
+    asm.subi(R.S5, R.S5, 1)
+    asm.bgt(R.S5, "repeat")
+    asm.halt()
+    return asm.assemble()

@@ -1,0 +1,747 @@
+"""SPECint2000-like synthetic kernels.
+
+One kernel per benchmark row in the paper's figures.  Each kernel implements
+a real (if small) algorithm whose dynamic behaviour mirrors the published
+character of the original program: gzip/bzip2 are byte-stream compressors,
+mcf is a cache-hostile pointer chaser, vortex is call- and stack-heavy, perl
+is hash-table bound, crafty is bit-manipulation bound with few
+register-immediate additions, and so on.
+
+All kernels are deterministic: their "inputs" are pseudo-random data generated
+at assembly time by :func:`repro.workloads.builder.lcg_sequence`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.isa.registers import RegisterNames as R
+from repro.workloads.base import register
+from repro.workloads.builder import (
+    emit_argument_moves,
+    lcg_bytes,
+    lcg_sequence,
+    permutation,
+    scaled,
+)
+
+
+# ---------------------------------------------------------------------------
+# Compression: gzip / bzip2
+# ---------------------------------------------------------------------------
+
+
+@register("gzip_like", "specint", "LZ77-style hash-chain string matcher.", paper_name="gzip")
+def gzip_like(scale: int = 1) -> Program:
+    length = scaled(192, scale)
+    asm = Assembler("gzip_like")
+    asm.byte_array("text", lcg_bytes(17, length + 8, 16))
+    asm.zeros("heads", 64)          # hash-head table: 64 buckets
+    asm.zeros("matches", 4)
+    asm.la(R.S0, "text")
+    asm.la(R.S1, "heads")
+    asm.li(R.S2, 0)                  # position
+    asm.li(R.V0, 0)                  # total match length
+    asm.li(R.S3, length)
+
+    asm.label("scan")
+    # hash = (b0 << 2) ^ (b1 << 1) ^ b2, 6 bits
+    asm.add(R.T0, R.S0, R.S2)
+    asm.ldbu(R.T1, 0, R.T0)
+    asm.ldbu(R.T2, 1, R.T0)
+    asm.ldbu(R.T3, 2, R.T0)
+    asm.slli(R.T4, R.T1, 2)
+    asm.slli(R.T5, R.T2, 1)
+    asm.xor(R.T4, R.T4, R.T5)
+    asm.xor(R.T4, R.T4, R.T3)
+    asm.andi(R.T4, R.T4, 63)
+    # look up previous position with the same hash
+    asm.slli(R.T5, R.T4, 3)
+    asm.add(R.T5, R.S1, R.T5)
+    asm.ld(R.T6, 0, R.T5)            # candidate position + 1 (0 means empty)
+    asm.addi(R.T7, R.S2, 1)
+    asm.st(R.T7, 0, R.T5)            # update head
+    asm.beq(R.T6, "advance")
+    # compare up to 4 bytes at the candidate
+    asm.subi(R.T6, R.T6, 1)
+    asm.add(R.T7, R.S0, R.T6)
+    asm.li(R.T8, 4)
+    asm.li(R.T9, 0)                  # match length
+    asm.label("cmploop")
+    asm.ldbu(R.T10, 0, R.T0)
+    asm.ldbu(R.T11, 0, R.T7)
+    asm.sub(R.T12, R.T10, R.T11)
+    asm.bne(R.T12, "cmpdone")
+    asm.addi(R.T9, R.T9, 1)
+    asm.addi(R.T0, R.T0, 1)
+    asm.addi(R.T7, R.T7, 1)
+    asm.subi(R.T8, R.T8, 1)
+    asm.bgt(R.T8, "cmploop")
+    asm.label("cmpdone")
+    asm.add(R.V0, R.V0, R.T9)
+    asm.label("advance")
+    asm.addi(R.S2, R.S2, 1)
+    asm.cmplt(R.T0, R.S2, R.S3)
+    asm.bne(R.T0, "scan")
+    asm.la(R.T1, "matches")
+    asm.st(R.V0, 0, R.T1)
+    asm.halt()
+    return asm.assemble()
+
+
+@register("bzip2_like", "specint", "Run-length + move-to-front byte transform.", paper_name="bzip2")
+def bzip2_like(scale: int = 1) -> Program:
+    length = scaled(160, scale)
+    asm = Assembler("bzip2_like")
+    asm.byte_array("input", lcg_bytes(23, length, 8))
+    asm.byte_array("mtf", bytes(range(16)))
+    asm.zeros("output", (length + 7) // 8 + 2)
+    asm.la(R.S0, "input")
+    asm.la(R.S1, "mtf")
+    asm.la(R.S2, "output")
+    asm.li(R.S3, length)
+    asm.li(R.S4, 0)                  # output cursor
+    asm.li(R.V0, 0)
+
+    asm.label("next")
+    asm.ldbu(R.T0, 0, R.S0)
+    # move-to-front: find the symbol's rank in the mtf table
+    asm.li(R.T1, 0)                  # rank
+    asm.label("find")
+    asm.add(R.T2, R.S1, R.T1)
+    asm.ldbu(R.T3, 0, R.T2)
+    asm.sub(R.T4, R.T3, R.T0)
+    asm.beq(R.T4, "found")
+    asm.addi(R.T1, R.T1, 1)
+    asm.cmplti(R.T4, R.T1, 16)
+    asm.bne(R.T4, "find")
+    asm.label("found")
+    # shift table entries [0, rank) up by one and put symbol at front
+    asm.mov(R.T5, R.T1)
+    asm.label("shift")
+    asm.ble(R.T5, "shifted")
+    asm.add(R.T2, R.S1, R.T5)
+    asm.ldbu(R.T3, -1, R.T2)
+    asm.stb(R.T3, 0, R.T2)
+    asm.subi(R.T5, R.T5, 1)
+    asm.br("shift")
+    asm.label("shifted")
+    asm.stb(R.T0, 0, R.S1)
+    # run-length encode rank zero
+    asm.bne(R.T1, "literal")
+    asm.addi(R.V0, R.V0, 1)
+    asm.br("advance")
+    asm.label("literal")
+    asm.add(R.T6, R.S2, R.S4)
+    asm.stb(R.T1, 0, R.T6)
+    asm.addi(R.S4, R.S4, 1)
+    asm.label("advance")
+    asm.addi(R.S0, R.S0, 1)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "next")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# crafty: bitboard manipulation
+# ---------------------------------------------------------------------------
+
+
+@register("crafty_like", "specint", "Bitboard population counts and attack masks.", paper_name="crafty")
+def crafty_like(scale: int = 1) -> Program:
+    boards = scaled(48, scale)
+    asm = Assembler("crafty_like")
+    asm.word_array("boards", lcg_sequence(31, boards))
+    asm.word_array("masks", lcg_sequence(37, 8))
+    asm.la(R.S0, "boards")
+    asm.la(R.S1, "masks")
+    asm.li(R.S2, boards)
+    asm.li(R.V0, 0)
+
+    asm.label("board")
+    asm.ld(R.T0, 0, R.S0)
+    # combine with a rotating mask set
+    asm.andi(R.T1, R.S2, 7)
+    asm.slli(R.T1, R.T1, 3)
+    asm.add(R.T1, R.S1, R.T1)
+    asm.ld(R.T2, 0, R.T1)
+    asm.and_(R.T3, R.T0, R.T2)
+    asm.or_(R.T4, R.T0, R.T2)
+    asm.xor(R.T5, R.T3, R.T4)
+    # population count of T5 by nibble loop
+    asm.li(R.T6, 0)                  # popcount
+    asm.li(R.T7, 16)                 # nibbles
+    asm.label("pop")
+    asm.andi(R.T8, R.T5, 15)
+    asm.srli(R.T9, R.T8, 1)
+    asm.andi(R.T9, R.T9, 5)
+    asm.sub(R.T8, R.T8, R.T9)
+    asm.andi(R.T9, R.T8, 3)
+    asm.srli(R.T8, R.T8, 2)
+    asm.andi(R.T8, R.T8, 3)
+    asm.add(R.T8, R.T8, R.T9)
+    asm.add(R.T6, R.T6, R.T8)
+    asm.srli(R.T5, R.T5, 4)
+    asm.subi(R.T7, R.T7, 1)
+    asm.bgt(R.T7, "pop")
+    asm.add(R.V0, R.V0, R.T6)
+    asm.addi(R.S0, R.S0, 8)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "board")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# eon: fixed-point ray-tracing style vector math (three input variants)
+# ---------------------------------------------------------------------------
+
+
+def _eon_kernel(name: str, seed: int, mul_weight: int, scale: int) -> Program:
+    vectors = scaled(40, scale)
+    asm = Assembler(name)
+    asm.word_array("vx", lcg_sequence(seed, vectors, 1024))
+    asm.word_array("vy", lcg_sequence(seed + 1, vectors, 1024))
+    asm.word_array("vz", lcg_sequence(seed + 2, vectors, 1024))
+    asm.zeros("shade", vectors)
+    asm.la(R.S0, "vx")
+    asm.la(R.S1, "vy")
+    asm.la(R.S2, "vz")
+    asm.la(R.S3, "shade")
+    asm.li(R.S4, vectors)
+    asm.li(R.V0, 0)
+    light = (11, 23, 7)
+
+    asm.label("vec")
+    asm.ld(R.T0, 0, R.S0)
+    asm.ld(R.T1, 0, R.S1)
+    asm.ld(R.T2, 0, R.S2)
+    # dot product with the light direction (fixed point)
+    asm.muli(R.T3, R.T0, light[0])
+    asm.muli(R.T4, R.T1, light[1])
+    asm.muli(R.T5, R.T2, light[2])
+    asm.add(R.T3, R.T3, R.T4)
+    asm.add(R.T3, R.T3, R.T5)
+    asm.srai(R.T3, R.T3, 5)
+    for _ in range(mul_weight):
+        # extra shading terms (specular-like powers)
+        asm.mul(R.T6, R.T3, R.T3)
+        asm.srai(R.T6, R.T6, 8)
+        asm.add(R.T3, R.T3, R.T6)
+    # clamp to [0, 4095]
+    asm.bge(R.T3, "positive")
+    asm.li(R.T3, 0)
+    asm.label("positive")
+    asm.cmplti(R.T7, R.T3, 4096)
+    asm.bne(R.T7, "store")
+    asm.li(R.T3, 4095)
+    asm.label("store")
+    asm.st(R.T3, 0, R.S3)
+    asm.add(R.V0, R.V0, R.T3)
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.addi(R.S2, R.S2, 8)
+    asm.addi(R.S3, R.S3, 8)
+    asm.subi(R.S4, R.S4, 1)
+    asm.bgt(R.S4, "vec")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("eon_cook_like", "specint", "Fixed-point shading, cook input (memory leaning).", paper_name="eon.c")
+def eon_cook_like(scale: int = 1) -> Program:
+    return _eon_kernel("eon_cook_like", 41, 1, scale)
+
+
+@register("eon_kajiya_like", "specint", "Fixed-point shading, kajiya input (multiply heavy).", paper_name="eon.k")
+def eon_kajiya_like(scale: int = 1) -> Program:
+    return _eon_kernel("eon_kajiya_like", 43, 3, scale)
+
+
+@register("eon_rushmeier_like", "specint", "Fixed-point shading, rushmeier input (balanced).", paper_name="eon.r")
+def eon_rushmeier_like(scale: int = 1) -> Program:
+    return _eon_kernel("eon_rushmeier_like", 47, 2, scale)
+
+
+# ---------------------------------------------------------------------------
+# gap: permutation group composition
+# ---------------------------------------------------------------------------
+
+
+@register("gap_like", "specint", "Permutation composition over small groups.", paper_name="gap")
+def gap_like(scale: int = 1) -> Program:
+    size = 32
+    rounds = scaled(12, scale)
+    asm = Assembler("gap_like")
+    asm.word_array("perm_a", [8 * value for value in permutation(53, size)])
+    asm.word_array("perm_b", [8 * value for value in permutation(59, size)])
+    asm.zeros("perm_c", size)
+    asm.la(R.S0, "perm_a")
+    asm.la(R.S1, "perm_b")
+    asm.la(R.S2, "perm_c")
+    asm.li(R.S3, rounds)
+    asm.li(R.V0, 0)
+
+    asm.label("round")
+    asm.li(R.T0, size)
+    asm.mov(R.T1, R.S0)
+    asm.mov(R.T2, R.S2)
+    asm.label("element")
+    asm.ld(R.T3, 0, R.T1)            # a[i] (already scaled by 8)
+    asm.add(R.T4, R.S1, R.T3)
+    asm.ld(R.T5, 0, R.T4)            # b[a[i]]
+    asm.st(R.T5, 0, R.T2)
+    asm.add(R.V0, R.V0, R.T5)
+    asm.addi(R.T1, R.T1, 8)
+    asm.addi(R.T2, R.T2, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "element")
+    # swap roles: next round composes with the freshly produced permutation
+    asm.mov(R.T6, R.S0)
+    asm.mov(R.S0, R.S2)
+    asm.mov(R.S2, R.T6)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "round")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# gcc: tree walking with per-node dispatch and helper calls
+# ---------------------------------------------------------------------------
+
+
+@register("gcc_like", "specint", "Expression-tree walk with per-node-kind dispatch.", paper_name="gcc")
+def gcc_like(scale: int = 1) -> Program:
+    nodes = scaled(48, scale)
+    asm = Assembler("gcc_like")
+    # Node layout: [kind, value, left_index*24, right_index*24]  (24-byte nodes
+    # would be irregular; use 32-byte nodes: 4 words).
+    kinds = lcg_sequence(61, nodes, 4)
+    values = lcg_sequence(67, nodes, 100)
+    lefts = lcg_sequence(71, nodes, nodes)
+    rights = lcg_sequence(73, nodes, nodes)
+    words: list[int] = []
+    for index in range(nodes):
+        words.extend([kinds[index], values[index], 32 * lefts[index], 32 * rights[index]])
+    asm.word_array("nodes", words)
+    asm.la(R.S0, "nodes")
+    asm.li(R.S1, nodes)
+    asm.li(R.S2, 0)                  # node cursor (byte offset)
+    asm.li(R.S5, 0)
+
+    asm.label("walk")
+    asm.add(R.T0, R.S0, R.S2)
+    asm.ld(R.T1, 0, R.T0)            # kind
+    asm.ld(R.T2, 8, R.T0)            # value
+    asm.ld(R.T3, 16, R.T0)           # left offset
+    asm.ld(R.T4, 24, R.T0)           # right offset
+    # dispatch on kind (0: constant, 1: plus, 2: minus, 3: call helper)
+    asm.beq(R.T1, "k_const")
+    asm.cmpeqi(R.T5, R.T1, 1)
+    asm.bne(R.T5, "k_plus")
+    asm.cmpeqi(R.T5, R.T1, 2)
+    asm.bne(R.T5, "k_minus")
+    # helper call: evaluate a small folded expression
+    emit_argument_moves(asm, (R.A0, R.T2), (R.A1, R.T3))
+    asm.jsr("fold_helper")
+    asm.add(R.S5, R.S5, R.V0)
+    asm.br("next")
+    asm.label("k_const")
+    asm.add(R.S5, R.S5, R.T2)
+    asm.br("next")
+    asm.label("k_plus")
+    asm.add(R.T6, R.S0, R.T3)
+    asm.ld(R.T7, 8, R.T6)
+    asm.add(R.S5, R.S5, R.T7)
+    asm.br("next")
+    asm.label("k_minus")
+    asm.add(R.T6, R.S0, R.T4)
+    asm.ld(R.T7, 8, R.T6)
+    asm.sub(R.S5, R.S5, R.T7)
+    asm.label("next")
+    asm.addi(R.S2, R.S2, 32)
+    asm.subi(R.S1, R.S1, 1)
+    asm.bgt(R.S1, "walk")
+    asm.halt()
+
+    asm.label("fold_helper")
+    asm.prologue(16)
+    asm.add(R.V0, R.A0, R.A1)
+    asm.srai(R.V0, R.V0, 1)
+    asm.epilogue(16)
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# mcf: cache-hostile pointer chasing over a network of arcs
+# ---------------------------------------------------------------------------
+
+
+@register("mcf_like", "specint", "Pointer-chasing arc relaxation (memory bound).", paper_name="mcf")
+def mcf_like(scale: int = 1) -> Program:
+    arcs = scaled(96, scale)
+    asm = Assembler("mcf_like")
+    # Arc layout: [cost, flow, next_address]; visit order is a random permutation.
+    order = permutation(79, arcs)
+    costs = lcg_sequence(83, arcs, 512)
+    base = asm.zeros("arcs", 3 * arcs)
+    words = [0] * (3 * arcs)
+    for position in range(arcs):
+        arc = order[position]
+        successor = order[(position + 1) % arcs]
+        words[3 * arc] = costs[arc]
+        words[3 * arc + 1] = 0
+        words[3 * arc + 2] = base + 24 * successor
+    asm.fill_words("arcs", words)
+    asm.la(R.S0, "arcs")
+    asm.li(R.T0, 24 * order[0])
+    asm.add(R.S0, R.S0, R.T0)
+    asm.li(R.S1, arcs)
+    asm.li(R.V0, 0)
+    asm.li(R.S2, 200)                # potential threshold
+
+    asm.label("arc")
+    asm.ld(R.T1, 0, R.S0)            # cost
+    asm.ld(R.T2, 8, R.S0)            # flow
+    asm.cmplt(R.T3, R.T1, R.S2)
+    asm.beq(R.T3, "skip")
+    asm.addi(R.T2, R.T2, 1)
+    asm.st(R.T2, 8, R.S0)
+    asm.add(R.V0, R.V0, R.T1)
+    asm.label("skip")
+    asm.ld(R.S0, 16, R.S0)           # follow the pointer
+    asm.subi(R.S1, R.S1, 1)
+    asm.bgt(R.S1, "arc")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# parser: tokenising with a hashed dictionary and per-token calls
+# ---------------------------------------------------------------------------
+
+
+@register("parser_like", "specint", "Tokenizer with hashed dictionary lookups.", paper_name="parser")
+def parser_like(scale: int = 1) -> Program:
+    length = scaled(160, scale)
+    asm = Assembler("parser_like")
+    # Text of "letters" 1..7 separated by 0 (space).
+    asm.byte_array("text", lcg_bytes(89, length, 8))
+    asm.zeros("dictionary", 32)
+    asm.la(R.S0, "text")
+    asm.la(R.S1, "dictionary")
+    asm.li(R.S2, length)
+    asm.li(R.S5, 0)
+
+    asm.label("token")
+    asm.li(R.S3, 0)                  # token hash
+    asm.label("char")
+    asm.ble(R.S2, "finish")
+    asm.ldbu(R.T0, 0, R.S0)
+    asm.addi(R.S0, R.S0, 1)
+    asm.subi(R.S2, R.S2, 1)
+    asm.beq(R.T0, "end_token")
+    asm.slli(R.T1, R.S3, 1)
+    asm.add(R.S3, R.T1, R.T0)
+    asm.andi(R.S3, R.S3, 0x3FF)
+    asm.br("char")
+    asm.label("end_token")
+    emit_argument_moves(asm, (R.A0, R.S3))
+    asm.jsr("lookup")
+    asm.add(R.S5, R.S5, R.V0)
+    asm.br("token")
+    asm.label("finish")
+    asm.halt()
+
+    asm.label("lookup")
+    asm.prologue(16)
+    asm.andi(R.T0, R.A0, 31)
+    asm.slli(R.T0, R.T0, 3)
+    asm.add(R.T0, R.S1, R.T0)
+    asm.ld(R.T1, 0, R.T0)
+    asm.addi(R.T1, R.T1, 1)
+    asm.st(R.T1, 0, R.T0)
+    asm.mov(R.V0, R.T1)
+    asm.epilogue(16)
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# perl: hash-table dominated scripting workloads (two inputs)
+# ---------------------------------------------------------------------------
+
+
+def _perl_kernel(name: str, seed: int, score_passes: int, scale: int) -> Program:
+    keys = scaled(64, scale)
+    asm = Assembler(name)
+    asm.word_array("keys", lcg_sequence(seed, keys, 4096))
+    asm.zeros("table", 64)
+    asm.zeros("chains", 64)
+    asm.la(R.S0, "keys")
+    asm.la(R.S1, "table")
+    asm.la(R.S2, "chains")
+    asm.li(R.S3, keys)
+    asm.li(R.S5, 0)
+
+    asm.label("key")
+    asm.ld(R.T0, 0, R.S0)
+    emit_argument_moves(asm, (R.A0, R.T0))
+    asm.jsr("insert")
+    asm.add(R.S5, R.S5, R.V0)
+    asm.addi(R.S0, R.S0, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "key")
+    asm.halt()
+
+    asm.label("insert")
+    asm.prologue(32, (R.S4,))
+    asm.mov(R.S4, R.A0)
+    # hash = (key * 2654435761) >> 8, 6 bits -- use a 31-bit multiplier instead
+    asm.li(R.T1, 40503)
+    asm.mul(R.T2, R.S4, R.T1)
+    asm.srli(R.T2, R.T2, 8)
+    asm.andi(R.T2, R.T2, 63)
+    asm.slli(R.T2, R.T2, 3)
+    asm.add(R.T3, R.S1, R.T2)
+    asm.ld(R.T4, 0, R.T3)            # current count
+    asm.addi(R.T4, R.T4, 1)
+    asm.st(R.T4, 0, R.T3)
+    # chain bookkeeping (second table) plus a "score" loop over the key digits
+    asm.add(R.T5, R.S2, R.T2)
+    asm.ld(R.T6, 0, R.T5)
+    asm.add(R.T6, R.T6, R.S4)
+    asm.st(R.T6, 0, R.T5)
+    asm.li(R.V0, 0)
+    asm.mov(R.T7, R.S4)
+    for _ in range(score_passes):
+        asm.andi(R.T8, R.T7, 15)
+        asm.add(R.V0, R.V0, R.T8)
+        asm.srli(R.T7, R.T7, 4)
+    asm.add(R.V0, R.V0, R.T4)
+    asm.epilogue(32, (R.S4,))
+    return asm.assemble()
+
+
+@register("perl_diffmail_like", "specint", "Hash-table counting (diffmail input).", paper_name="perl.d")
+def perl_diffmail_like(scale: int = 1) -> Program:
+    return _perl_kernel("perl_diffmail_like", 97, 2, scale)
+
+
+@register("perl_scrabbl_like", "specint", "Hash-table counting with scoring (scrabbl input).", paper_name="perl.s")
+def perl_scrabbl_like(scale: int = 1) -> Program:
+    return _perl_kernel("perl_scrabbl_like", 101, 4, scale)
+
+
+# ---------------------------------------------------------------------------
+# twolf / vpr: placement & routing style array computations
+# ---------------------------------------------------------------------------
+
+
+@register("twolf_like", "specint", "Annealing-style cost evaluation with conditional swaps.", paper_name="twolf")
+def twolf_like(scale: int = 1) -> Program:
+    cells = 48
+    moves = scaled(40, scale)
+    asm = Assembler("twolf_like")
+    asm.word_array("xpos", lcg_sequence(103, cells, 256))
+    asm.word_array("ypos", lcg_sequence(107, cells, 256))
+    asm.word_array("pick", [8 * p for p in lcg_sequence(109, 2 * moves, cells)])
+    asm.la(R.S0, "xpos")
+    asm.la(R.S1, "ypos")
+    asm.la(R.S2, "pick")
+    asm.li(R.S3, moves)
+    asm.li(R.V0, 0)
+
+    asm.label("move")
+    asm.ld(R.T0, 0, R.S2)            # cell a offset
+    asm.ld(R.T1, 8, R.S2)            # cell b offset
+    asm.add(R.T2, R.S0, R.T0)
+    asm.add(R.T3, R.S0, R.T1)
+    asm.ld(R.T4, 0, R.T2)            # xa
+    asm.ld(R.T5, 0, R.T3)            # xb
+    asm.add(R.T6, R.S1, R.T0)
+    asm.add(R.T7, R.S1, R.T1)
+    asm.ld(R.T8, 0, R.T6)            # ya
+    asm.ld(R.T9, 0, R.T7)            # yb
+    # manhattan distance delta
+    asm.sub(R.T10, R.T4, R.T5)
+    asm.bge(R.T10, "xpos_ok")
+    asm.sub(R.T10, R.T5, R.T4)
+    asm.label("xpos_ok")
+    asm.sub(R.T11, R.T8, R.T9)
+    asm.bge(R.T11, "ypos_ok")
+    asm.sub(R.T11, R.T9, R.T8)
+    asm.label("ypos_ok")
+    asm.add(R.T12, R.T10, R.T11)
+    asm.cmplti(R.T0, R.T12, 128)
+    asm.beq(R.T0, "reject")
+    # accept: swap x coordinates
+    asm.st(R.T5, 0, R.T2)
+    asm.st(R.T4, 0, R.T3)
+    asm.add(R.V0, R.V0, R.T12)
+    asm.label("reject")
+    asm.addi(R.S2, R.S2, 16)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "move")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("vpr_place_like", "specint", "Bounding-box placement cost over a grid.", paper_name="vpr.p")
+def vpr_place_like(scale: int = 1) -> Program:
+    nets = scaled(32, scale)
+    pins = 6
+    asm = Assembler("vpr_place_like")
+    asm.word_array("pinx", lcg_sequence(113, nets * pins, 64))
+    asm.word_array("piny", lcg_sequence(127, nets * pins, 64))
+    asm.la(R.S0, "pinx")
+    asm.la(R.S1, "piny")
+    asm.li(R.S2, nets)
+    asm.li(R.V0, 0)
+
+    asm.label("net")
+    asm.li(R.T0, pins)
+    asm.li(R.T1, 0)                  # max x
+    asm.li(R.T2, 4096)               # min x
+    asm.li(R.T3, 0)                  # max y
+    asm.li(R.T4, 4096)               # min y
+    asm.label("pin")
+    asm.ld(R.T5, 0, R.S0)
+    asm.ld(R.T6, 0, R.S1)
+    asm.cmplt(R.T7, R.T1, R.T5)
+    asm.beq(R.T7, "no_maxx")
+    asm.mov(R.T1, R.T5)
+    asm.label("no_maxx")
+    asm.cmplt(R.T7, R.T5, R.T2)
+    asm.beq(R.T7, "no_minx")
+    asm.mov(R.T2, R.T5)
+    asm.label("no_minx")
+    asm.cmplt(R.T7, R.T3, R.T6)
+    asm.beq(R.T7, "no_maxy")
+    asm.mov(R.T3, R.T6)
+    asm.label("no_maxy")
+    asm.cmplt(R.T7, R.T6, R.T4)
+    asm.beq(R.T7, "no_miny")
+    asm.mov(R.T4, R.T6)
+    asm.label("no_miny")
+    asm.addi(R.S0, R.S0, 8)
+    asm.addi(R.S1, R.S1, 8)
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "pin")
+    asm.sub(R.T8, R.T1, R.T2)
+    asm.sub(R.T9, R.T3, R.T4)
+    asm.add(R.T10, R.T8, R.T9)
+    asm.add(R.V0, R.V0, R.T10)
+    asm.subi(R.S2, R.S2, 1)
+    asm.bgt(R.S2, "net")
+    asm.halt()
+    return asm.assemble()
+
+
+@register("vpr_route_like", "specint", "Wavefront expansion over a routing grid.", paper_name="vpr.r")
+def vpr_route_like(scale: int = 1) -> Program:
+    width = 16
+    sources = scaled(12, scale)
+    asm = Assembler("vpr_route_like")
+    asm.word_array("costgrid", lcg_sequence(131, width * width, 16))
+    asm.zeros("visited", width * width)
+    asm.word_array("starts", [8 * s for s in lcg_sequence(137, sources, width * width)])
+    asm.la(R.S0, "costgrid")
+    asm.la(R.S1, "visited")
+    asm.la(R.S2, "starts")
+    asm.li(R.S3, sources)
+    asm.li(R.V0, 0)
+
+    asm.label("source")
+    asm.ld(R.S4, 0, R.S2)            # start offset (bytes)
+    asm.li(R.T0, 24)                 # expansion steps
+    asm.label("expand")
+    asm.add(R.T1, R.S0, R.S4)
+    asm.ld(R.T2, 0, R.T1)            # cost at cell
+    asm.add(R.T3, R.S1, R.S4)
+    asm.ld(R.T4, 0, R.T3)            # visited count
+    asm.addi(R.T4, R.T4, 1)
+    asm.st(R.T4, 0, R.T3)
+    asm.add(R.V0, R.V0, R.T2)
+    # move right or down depending on the cost parity, wrapping at the end
+    asm.andi(R.T5, R.T2, 1)
+    asm.beq(R.T5, "right")
+    asm.addi(R.S4, R.S4, 8 * width)
+    asm.br("wrap")
+    asm.label("right")
+    asm.addi(R.S4, R.S4, 8)
+    asm.label("wrap")
+    asm.li(R.T6, 8 * width * width)
+    asm.cmplt(R.T7, R.S4, R.T6)
+    asm.bne(R.T7, "no_wrap")
+    asm.sub(R.S4, R.S4, R.T6)
+    asm.label("no_wrap")
+    asm.subi(R.T0, R.T0, 1)
+    asm.bgt(R.T0, "expand")
+    asm.addi(R.S2, R.S2, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "source")
+    asm.halt()
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# vortex: object database with heavy call/stack traffic
+# ---------------------------------------------------------------------------
+
+
+@register("vortex_like", "specint", "Object-store transactions with deep call chains.", paper_name="vortex")
+def vortex_like(scale: int = 1) -> Program:
+    records = scaled(24, scale)
+    asm = Assembler("vortex_like")
+    asm.word_array("store", lcg_sequence(139, records * 4, 1 << 20))
+    asm.zeros("index", 32)
+    asm.zeros("mirror", records * 4)
+    asm.la(R.S0, "store")
+    asm.la(R.S1, "mirror")
+    asm.la(R.S2, "index")
+    asm.li(R.S3, records)
+    asm.li(R.S5, 0)
+
+    asm.label("txn")
+    emit_argument_moves(asm, (R.A0, R.S0), (R.A1, R.S1))
+    asm.jsr("copy_record")
+    asm.mov(R.T0, R.V0)
+    emit_argument_moves(asm, (R.A0, R.T0))
+    asm.jsr("update_index")
+    asm.add(R.S5, R.S5, R.V0)
+    asm.addi(R.S0, R.S0, 32)
+    asm.addi(R.S1, R.S1, 32)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "txn")
+    asm.halt()
+
+    # copy_record(src, dst) -> checksum
+    asm.label("copy_record")
+    asm.prologue(32, (R.S4,))
+    asm.li(R.S4, 0)
+    asm.li(R.T1, 4)
+    asm.label("field")
+    asm.ld(R.T2, 0, R.A0)
+    asm.st(R.T2, 0, R.A1)
+    asm.add(R.S4, R.S4, R.T2)
+    asm.addi(R.A0, R.A0, 8)
+    asm.addi(R.A1, R.A1, 8)
+    asm.subi(R.T1, R.T1, 1)
+    asm.bgt(R.T1, "field")
+    asm.mov(R.V0, R.S4)
+    asm.epilogue(32, (R.S4,))
+
+    # update_index(checksum) -> bucket count
+    asm.label("update_index")
+    asm.prologue(16)
+    asm.andi(R.T3, R.A0, 31)
+    asm.slli(R.T3, R.T3, 3)
+    asm.add(R.T3, R.S2, R.T3)
+    asm.ld(R.T4, 0, R.T3)
+    asm.addi(R.T4, R.T4, 1)
+    asm.st(R.T4, 0, R.T3)
+    asm.mov(R.V0, R.T4)
+    asm.epilogue(16)
+    return asm.assemble()

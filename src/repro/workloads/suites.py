@@ -1,0 +1,38 @@
+"""Benchmark suite definitions.
+
+The two paper suites (SPECint2000-like and MediaBench-like) are ordered the
+same way as the rows of the paper's figures so that harness reports read like
+the paper's graphs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, list_workloads
+
+
+def specint_suite() -> list[Workload]:
+    """The SPECint2000-like suite (one kernel per paper benchmark)."""
+    return list_workloads("specint")
+
+
+def mediabench_suite() -> list[Workload]:
+    """The MediaBench-like suite (one kernel per paper benchmark)."""
+    return list_workloads("mediabench")
+
+
+def microbench_suite() -> list[Workload]:
+    """Small single-idiom kernels used by tests and examples."""
+    return list_workloads("micro")
+
+
+def suite_by_name(name: str) -> list[Workload]:
+    """Look up a suite by name: ``specint``, ``mediabench`` or ``micro``."""
+    suites = {
+        "specint": specint_suite,
+        "mediabench": mediabench_suite,
+        "micro": microbench_suite,
+    }
+    try:
+        return suites[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown suite {name!r}; known: {sorted(suites)}") from exc

@@ -1,0 +1,75 @@
+"""Tests for the critical-path model and report formatting."""
+
+from repro.analysis import analyze_critical_path, format_percent, format_table
+from repro.core import RenoConfig, simulate_workload
+from repro.uarch.inflight import TimingRecord
+
+
+def record(seq, dispatch, issue, complete, producers=(), is_load=False, dcache=0,
+           eliminated=False):
+    return TimingRecord(
+        seq=seq, opcode="add", fetch_cycle=dispatch, dispatch_cycle=dispatch,
+        issue_cycle=issue, complete_cycle=complete, retire_cycle=complete + 1,
+        is_load=is_load, is_store=False, is_branch=False, mispredicted=False,
+        eliminated=eliminated, dcache_latency=dcache, latency=1,
+        source_producers=tuple(producers),
+    )
+
+
+def test_empty_records_give_empty_breakdown():
+    breakdown = analyze_critical_path([])
+    assert breakdown.total == 0
+
+
+def test_serial_chain_is_charged_to_alu():
+    records = [record(0, 0, 1, 2)]
+    for seq in range(1, 10):
+        records.append(record(seq, 0, seq + 1, seq + 2, producers=(seq - 1,)))
+    breakdown = analyze_critical_path(records)
+    assert breakdown.alu_exec > breakdown.fetch
+
+
+def test_fetch_limited_code_is_charged_to_fetch():
+    # Independent instructions whose completion is limited by dispatch time.
+    records = [record(seq, seq, seq + 1, seq + 2) for seq in range(20)]
+    breakdown = analyze_critical_path(records)
+    assert breakdown.fetch > breakdown.alu_exec
+
+
+def test_load_miss_chain_is_charged_to_memory():
+    records = [record(0, 0, 1, 2)]
+    for seq in range(1, 6):
+        records.append(record(seq, 0, seq, seq * 120, producers=(seq - 1,),
+                              is_load=True, dcache=112))
+    breakdown = analyze_critical_path(records)
+    assert breakdown.load_mem > breakdown.load_exec
+    assert breakdown.load_mem > breakdown.alu_exec
+
+
+def test_fractions_sum_to_one():
+    records = [record(seq, seq, seq + 1, seq + 2, producers=(seq - 1,) if seq else ())
+               for seq in range(30)]
+    fractions = analyze_critical_path(records).fractions()
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+
+def test_critical_path_from_real_simulation():
+    outcome = simulate_workload("micro_pointer_chase", reno=RenoConfig.reno_default(),
+                                collect_timing=True)
+    breakdown = analyze_critical_path(outcome.timing.timing_records)
+    assert breakdown.total > 0
+    # Pointer chasing is load-latency dominated.
+    assert breakdown.load_exec + breakdown.load_mem > breakdown.alu_exec
+
+
+def test_format_percent():
+    assert format_percent(0.1234) == "12.3%"
+    assert format_percent(0.05, signed=True) == "+5.0%"
+
+
+def test_format_table_alignment_and_title():
+    table = format_table(["a", "bench"], [["1", "x"], ["22", "yy"]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "bench" in lines[2]
+    assert len(lines) == 6

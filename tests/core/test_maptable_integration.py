@@ -1,0 +1,192 @@
+"""Unit tests for the extended map table, integration table and fusion model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import RenoConfig
+from repro.core.fusion import fusion_extra_latency
+from repro.core.integration import IntegrationEntry, IntegrationTable
+from repro.core.maptable import ExtendedMapTable, Mapping
+from repro.isa.opcodes import Opcode
+
+
+# ---------------------------------------------------------------------------
+# Extended map table
+# ---------------------------------------------------------------------------
+
+
+def test_map_table_initial_identity_mapping():
+    table = ExtendedMapTable()
+    for logical in range(32):
+        assert table.get(logical) == Mapping(logical, 0)
+
+
+def test_map_table_set_returns_previous():
+    table = ExtendedMapTable()
+    previous = table.set(3, 40, 8)
+    assert previous == Mapping(3, 0)
+    assert table.get(3) == Mapping(40, 8)
+    assert table.snapshot()[3] == (40, 8)
+
+
+def test_map_table_displacement_accumulation():
+    mapping = Mapping(10, 4)
+    assert mapping.displaced_by(12) == Mapping(10, 16)
+    assert mapping.displaced_by(-4) == Mapping(10, 0)
+
+
+def test_map_table_bookkeeping_helpers():
+    table = ExtendedMapTable()
+    table.set(1, 40, 8)
+    table.set(2, 40, 0)
+    assert 40 in table.pregs_in_use()
+    assert table.nonzero_displacements() == 1
+
+
+# ---------------------------------------------------------------------------
+# Integration table
+# ---------------------------------------------------------------------------
+
+
+def entry(key, out_preg=50, origin="load", value=7, out_disp=0):
+    return IntegrationEntry(key=key, out_preg=out_preg, out_disp=out_disp,
+                            origin=origin, value=value)
+
+
+def test_it_miss_then_hit():
+    table = IntegrationTable(entries=16, associativity=2)
+    key = IntegrationTable.make_key("ld", 8, ((1, 0),))
+    assert table.lookup(key) is None
+    table.insert(entry(key))
+    hit = table.lookup(key)
+    assert hit is not None and hit.out_preg == 50
+    assert table.hits == 1 and table.lookups == 2
+
+
+def test_it_distinguishes_different_inputs():
+    table = IntegrationTable(entries=16, associativity=2)
+    table.insert(entry(IntegrationTable.make_key("ld", 8, ((1, 0),))))
+    assert table.lookup(IntegrationTable.make_key("ld", 8, ((2, 0),))) is None
+    assert table.lookup(IntegrationTable.make_key("ld", 16, ((1, 0),))) is None
+    assert table.lookup(IntegrationTable.make_key("ld", 8, ((1, 4),))) is None
+
+
+def test_it_reinsert_same_key_replaces():
+    table = IntegrationTable(entries=16, associativity=2)
+    key = IntegrationTable.make_key("add", 0, ((1, 0), (2, 0)))
+    table.insert(entry(key, out_preg=50))
+    table.insert(entry(key, out_preg=60))
+    assert table.lookup(key).out_preg == 60
+    assert len(table) == 1
+
+
+def test_it_lru_eviction_within_set():
+    table = IntegrationTable(entries=2, associativity=2)   # a single set
+    keys = [IntegrationTable.make_key("ld", offset, ((1, 0),)) for offset in (0, 8, 16)]
+    table.insert(entry(keys[0]))
+    table.insert(entry(keys[1]))
+    table.lookup(keys[0])               # refresh key 0
+    table.insert(entry(keys[2]))        # evicts key 1
+    assert table.lookup(keys[0]) is not None
+    assert table.lookup(keys[1]) is None
+    assert table.lookup(keys[2]) is not None
+
+
+def test_it_invalidation_by_output_register():
+    table = IntegrationTable(entries=16, associativity=2)
+    key = IntegrationTable.make_key("ld", 8, ((1, 0),))
+    table.insert(entry(key, out_preg=50))
+    assert table.invalidate_preg(50) == 1
+    assert table.lookup(key) is None
+
+
+def test_it_invalidation_by_input_register():
+    table = IntegrationTable(entries=16, associativity=2)
+    key = IntegrationTable.make_key("ld", 8, ((7, 0),))
+    table.insert(entry(key, out_preg=50))
+    assert table.invalidate_preg(7) == 1
+    assert table.lookup(key) is None
+
+
+def test_it_invalidation_of_unknown_register_is_noop():
+    table = IntegrationTable(entries=16, associativity=2)
+    assert table.invalidate_preg(123) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 3)), max_size=40))
+def test_it_never_exceeds_capacity(operations):
+    table = IntegrationTable(entries=8, associativity=2)
+    for preg, offset in operations:
+        key = IntegrationTable.make_key("ld", offset * 8, ((preg, 0),))
+        table.insert(entry(key, out_preg=40 + preg))
+    assert len(table) <= 8
+    for ways in table._sets:  # noqa: SLF001 - structural check
+        assert len(ways) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Fusion latency model
+# ---------------------------------------------------------------------------
+
+
+def test_fusion_free_for_address_generation_and_additions():
+    config = RenoConfig()
+    assert fusion_extra_latency(Opcode.LD, [8], config) == 0
+    assert fusion_extra_latency(Opcode.ST, [8, 0], config) == 0
+    assert fusion_extra_latency(Opcode.ADD, [8, 0], config) == 0
+    assert fusion_extra_latency(Opcode.BEQ, [4], config) == 0
+    assert fusion_extra_latency(Opcode.CMPLT, [4, 0], config) == 0
+
+
+def test_fusion_penalty_for_non_additive_units():
+    config = RenoConfig()
+    assert fusion_extra_latency(Opcode.SLL, [8, 0], config) == 1
+    assert fusion_extra_latency(Opcode.MUL, [8, 0], config) == 1
+    assert fusion_extra_latency(Opcode.AND, [8, 0], config) == 1
+    assert fusion_extra_latency(Opcode.XORI, [8], config) == 1
+
+
+def test_fusion_penalty_for_double_displacement():
+    config = RenoConfig()
+    assert fusion_extra_latency(Opcode.ADD, [8, 4], config) == 1
+
+
+def test_fusion_no_penalty_without_displacements():
+    config = RenoConfig()
+    for opcode in (Opcode.MUL, Opcode.SLL, Opcode.AND, Opcode.ADD, Opcode.LD):
+        assert fusion_extra_latency(opcode, [0, 0], config) == 0
+
+
+def test_fusion_sensitivity_knob_charges_every_fused_op():
+    config = RenoConfig().with_slow_fusion()
+    assert fusion_extra_latency(Opcode.LD, [8], config) == 1
+    assert fusion_extra_latency(Opcode.ADD, [8, 0], config) == 1
+
+
+# ---------------------------------------------------------------------------
+# RenoConfig presets
+# ---------------------------------------------------------------------------
+
+
+def test_reno_config_presets_are_consistent():
+    assert RenoConfig.reno_me().enable_move_elimination
+    assert not RenoConfig.reno_me().enable_constant_folding
+    assert RenoConfig.reno_cf_me().enable_constant_folding
+    assert not RenoConfig.reno_cf_me().enable_integration
+    assert RenoConfig.reno_default().integration_policy == "loads_only"
+    assert RenoConfig.reno_full_integration().integration_policy == "full"
+    assert not RenoConfig.integration_only_full().enable_constant_folding
+    assert RenoConfig.integration_only_loads().integration_policy == "loads_only"
+
+
+def test_reno_config_validation():
+    import pytest
+
+    with pytest.raises(ValueError):
+        RenoConfig(integration_policy="everything").validate()
+    with pytest.raises(ValueError):
+        RenoConfig(it_entries=10, it_associativity=4).validate()
+    RenoConfig().with_displacement_bits(8).validate()
+    with pytest.raises(ValueError):
+        RenoConfig().with_displacement_bits(2).validate()

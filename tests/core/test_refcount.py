@@ -1,0 +1,109 @@
+"""Unit and property tests for physical register reference counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.refcount import ReferenceCountError, ReferenceCountManager
+
+
+def test_initial_state():
+    manager = ReferenceCountManager(40, 32)
+    assert manager.free_count() == 8
+    assert manager.in_use_count() == 32
+    assert manager.count(0) == 1
+    assert manager.count(39) == 0
+
+
+def test_allocate_share_release_cycle():
+    manager = ReferenceCountManager(40, 32)
+    register = manager.allocate()
+    assert manager.count(register) == 1
+    manager.share(register)
+    manager.share(register)
+    assert manager.count(register) == 3
+    manager.release(register)
+    manager.release(register)
+    assert manager.is_live(register)
+    manager.release(register)
+    assert not manager.is_live(register)
+    assert manager.free_count() == 8
+
+
+def test_register_reused_after_full_release():
+    manager = ReferenceCountManager(34, 32)
+    first = manager.allocate()
+    second = manager.allocate()
+    with pytest.raises(ReferenceCountError):
+        manager.allocate()
+    manager.release(first)
+    assert manager.allocate() == first
+    assert manager.count(second) == 1
+
+
+def test_release_underflow_raises():
+    manager = ReferenceCountManager(40, 32)
+    register = manager.allocate()
+    manager.release(register)
+    with pytest.raises(ReferenceCountError):
+        manager.release(register)
+
+
+def test_share_of_free_register_raises():
+    manager = ReferenceCountManager(40, 32)
+    with pytest.raises(ReferenceCountError):
+        manager.share(39)
+
+
+def test_on_free_callback_invoked():
+    freed = []
+    manager = ReferenceCountManager(40, 32, on_free=freed.append)
+    register = manager.allocate()
+    manager.share(register)
+    manager.release(register)
+    assert freed == []
+    manager.release(register)
+    assert freed == [register]
+
+
+def test_more_live_than_registers_rejected():
+    with pytest.raises(ReferenceCountError):
+        ReferenceCountManager(16, 32)
+
+
+def test_max_observed_count_tracks_sharing_degree():
+    manager = ReferenceCountManager(40, 32)
+    register = manager.allocate()
+    for _ in range(10):
+        manager.share(register)
+    assert manager.max_observed_count == 11
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(["alloc", "share", "release"]), max_size=200))
+def test_reference_count_conservation(operations):
+    """Random allocate/share/release sequences preserve all invariants."""
+    manager = ReferenceCountManager(48, 32)
+    live = []               # (register, outstanding_references)
+    for operation in operations:
+        if operation == "alloc":
+            if manager.free_count() == 0:
+                continue
+            register = manager.allocate()
+            live.append([register, 1])
+        elif operation == "share" and live:
+            entry = live[0]
+            manager.share(entry[0])
+            entry[1] += 1
+        elif operation == "release" and live:
+            entry = live[-1]
+            manager.release(entry[0])
+            entry[1] -= 1
+            if entry[1] == 0:
+                live.remove(entry)
+        manager.check_conservation()
+    # Free + in-use always partitions the register file.
+    assert manager.free_count() + manager.in_use_count() == 48
+    # Every register we believe is live is live; counts match our model.
+    for register, references in live:
+        assert manager.count(register) == references

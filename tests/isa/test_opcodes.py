@@ -1,0 +1,78 @@
+"""Unit tests for opcode metadata."""
+
+from repro.isa.opcodes import OPCODE_SPECS, Opcode, OpClass, spec_for
+
+
+def test_every_opcode_has_a_spec():
+    for opcode in Opcode:
+        assert opcode in OPCODE_SPECS
+        assert OPCODE_SPECS[opcode].opcode is opcode
+
+
+def test_spec_for_returns_same_object_as_table():
+    assert spec_for(Opcode.ADD) is OPCODE_SPECS[Opcode.ADD]
+
+
+def test_loads_and_stores_have_sizes():
+    for opcode in (Opcode.LD, Opcode.LDW, Opcode.LDBU, Opcode.ST, Opcode.STW, Opcode.STB):
+        assert OPCODE_SPECS[opcode].mem_bytes in (1, 4, 8)
+
+
+def test_load_classification():
+    spec = spec_for(Opcode.LD)
+    assert spec.is_load and spec.is_mem and not spec.is_store
+    assert spec.writes_rd and spec.reads_rs1 and not spec.reads_rs2
+
+
+def test_store_classification():
+    spec = spec_for(Opcode.ST)
+    assert spec.is_store and spec.is_mem and not spec.is_load
+    assert not spec.writes_rd and spec.reads_rs1 and spec.reads_rs2
+
+
+def test_move_is_a_register_immediate_addition():
+    spec = spec_for(Opcode.MOV)
+    assert spec.is_move
+    assert spec.is_reg_imm_add
+
+
+def test_addi_and_subi_are_foldable_but_not_moves():
+    for opcode in (Opcode.ADDI, Opcode.SUBI):
+        spec = spec_for(opcode)
+        assert spec.is_reg_imm_add
+        assert not spec.is_move
+
+
+def test_ldah_folds_with_shift_16():
+    spec = spec_for(Opcode.LDAH)
+    assert spec.is_reg_imm_add
+    assert spec.fold_shift == 16
+
+
+def test_non_additive_immediates_are_not_foldable():
+    for opcode in (Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI, Opcode.MULI):
+        assert not spec_for(opcode).is_reg_imm_add
+
+
+def test_branch_specs_read_only_rs1():
+    for opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT):
+        spec = spec_for(opcode)
+        assert spec.is_cond_branch and spec.is_control
+        assert spec.reads_rs1 and not spec.reads_rs2 and not spec.writes_rd
+
+
+def test_call_and_return_classification():
+    assert spec_for(Opcode.JSR).is_call
+    assert spec_for(Opcode.JSR).writes_rd
+    assert spec_for(Opcode.RET).is_return
+    assert spec_for(Opcode.RET).reads_rs1
+
+
+def test_multi_cycle_latencies():
+    assert spec_for(Opcode.MUL).latency > spec_for(Opcode.ADD).latency
+    assert spec_for(Opcode.DIV).latency > spec_for(Opcode.MUL).latency
+
+
+def test_shift_class_is_distinct_from_alu():
+    assert spec_for(Opcode.SLL).op_class is OpClass.SHIFT
+    assert spec_for(Opcode.ADD).op_class is OpClass.ALU

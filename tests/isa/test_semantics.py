@@ -1,0 +1,131 @@
+"""Unit and property tests for the shared operation semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import (
+    MASK64,
+    alu_eval,
+    branch_taken,
+    effective_address,
+    fits_signed,
+    mask64,
+    sign_extend,
+    to_signed,
+)
+
+uint64 = st.integers(min_value=0, max_value=MASK64)
+imm16 = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+def test_mask64_wraps():
+    assert mask64(1 << 64) == 0
+    assert mask64(-1) == MASK64
+
+
+def test_to_signed_round_trip():
+    assert to_signed(MASK64) == -1
+    assert to_signed(5) == 5
+    assert to_signed(0x8000, 16) == -32768
+
+
+def test_sign_extend():
+    assert sign_extend(0xFFFF, 16) == MASK64
+    assert sign_extend(0x7FFF, 16) == 0x7FFF
+
+
+def test_fits_signed():
+    assert fits_signed(32767, 16)
+    assert fits_signed(-32768, 16)
+    assert not fits_signed(32768, 16)
+    assert not fits_signed(-32769, 16)
+
+
+def test_basic_arithmetic():
+    assert alu_eval(Opcode.ADD, 2, 3, 0) == 5
+    assert alu_eval(Opcode.SUB, 2, 3, 0) == MASK64  # -1
+    assert alu_eval(Opcode.ADDI, 10, 0, -4) == 6
+    assert alu_eval(Opcode.SUBI, 10, 0, 4) == 6
+    assert alu_eval(Opcode.MOV, 42, 0, 0) == 42
+    assert alu_eval(Opcode.LDAH, 1, 0, 2) == 1 + (2 << 16)
+
+
+def test_logical_and_shift():
+    assert alu_eval(Opcode.AND, 0b1100, 0b1010, 0) == 0b1000
+    assert alu_eval(Opcode.OR, 0b1100, 0b1010, 0) == 0b1110
+    assert alu_eval(Opcode.XOR, 0b1100, 0b1010, 0) == 0b0110
+    assert alu_eval(Opcode.SLLI, 1, 0, 8) == 256
+    assert alu_eval(Opcode.SRLI, 256, 0, 8) == 1
+    assert alu_eval(Opcode.SRAI, mask64(-256), 0, 8) == mask64(-1)
+
+
+def test_compares():
+    assert alu_eval(Opcode.CMPEQ, 4, 4, 0) == 1
+    assert alu_eval(Opcode.CMPLT, mask64(-1), 0, 0) == 1
+    assert alu_eval(Opcode.CMPULT, mask64(-1), 0, 0) == 0
+    assert alu_eval(Opcode.CMPLEI, 4, 0, 4) == 1
+    assert alu_eval(Opcode.CMPLTI, 4, 0, 4) == 0
+
+
+def test_mul_div():
+    assert alu_eval(Opcode.MUL, 7, 6, 0) == 42
+    assert alu_eval(Opcode.MUL, mask64(-3), 5, 0) == mask64(-15)
+    assert alu_eval(Opcode.DIV, 42, 5, 0) == 8
+    assert alu_eval(Opcode.DIV, mask64(-42), 5, 0) == mask64(-8)
+    assert alu_eval(Opcode.DIV, 42, 0, 0) == 0  # defined, no trap
+
+
+def test_branch_directions():
+    assert branch_taken(Opcode.BEQ, 0)
+    assert not branch_taken(Opcode.BEQ, 1)
+    assert branch_taken(Opcode.BNE, 5)
+    assert branch_taken(Opcode.BLT, mask64(-2))
+    assert branch_taken(Opcode.BGE, 0)
+    assert branch_taken(Opcode.BLE, 0)
+    assert not branch_taken(Opcode.BGT, 0)
+    assert branch_taken(Opcode.BGT, 3)
+
+
+def test_effective_address_wraps_to_64_bits():
+    assert effective_address(MASK64, 1) == 0
+    assert effective_address(0x1000, -16) == 0xFF0
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the algebraic identities RENO_CF relies on.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200)
+@given(uint64, imm16, imm16)
+def test_addi_chains_are_associative(base, d1, d2):
+    """((p + d1) + d2) == (p + (d1 + d2)): the constant-folding identity."""
+    step_by_step = alu_eval(Opcode.ADDI, alu_eval(Opcode.ADDI, base, 0, d1), 0, d2)
+    folded = mask64(base + d1 + d2)
+    assert step_by_step == folded
+
+
+@settings(max_examples=200)
+@given(uint64, imm16)
+def test_move_is_identity_of_addi_zero(value, imm):
+    assert alu_eval(Opcode.MOV, value, 0, imm) == alu_eval(Opcode.ADDI, value, 0, 0)
+
+
+@settings(max_examples=200)
+@given(uint64, imm16)
+def test_subi_is_addi_of_negated_immediate(value, imm):
+    assert alu_eval(Opcode.SUBI, value, 0, imm) == alu_eval(Opcode.ADDI, value, 0, -imm)
+
+
+@settings(max_examples=200)
+@given(uint64, uint64)
+def test_add_matches_python_semantics(a, b):
+    assert alu_eval(Opcode.ADD, a, b, 0) == (a + b) & MASK64
+
+
+@settings(max_examples=200)
+@given(uint64)
+def test_sign_extension_is_idempotent(value):
+    once = sign_extend(value & 0xFFFF, 16)
+    assert sign_extend(once & 0xFFFF, 16) == once

@@ -1,0 +1,86 @@
+"""Unit tests for the cache hierarchy."""
+
+from repro.uarch.cache import Cache, CacheHierarchy
+from repro.uarch.config import CacheConfig, MachineConfig
+
+
+def small_cache(size=1024, assoc=2, block=32, latency=2):
+    return Cache(CacheConfig(size, assoc, block, latency), "test")
+
+
+def test_first_access_misses_then_hits():
+    cache = small_cache()
+    assert not cache.lookup(0x1000)
+    assert cache.lookup(0x1000)
+    assert cache.lookup(0x101F)          # same 32-byte block
+    assert not cache.lookup(0x1020)      # next block
+    assert cache.misses == 2
+    assert cache.hits == 2
+
+
+def test_lru_eviction_within_a_set():
+    cache = small_cache(size=128, assoc=2, block=32)   # 2 sets
+    num_sets = cache.num_sets
+    stride = 32 * num_sets                              # same set, different tags
+    a, b, c = 0, stride, 2 * stride
+    cache.lookup(a)
+    cache.lookup(b)
+    cache.lookup(a)          # a is MRU
+    cache.lookup(c)          # evicts b (LRU)
+    assert cache.contains(a)
+    assert cache.contains(c)
+    assert not cache.contains(b)
+
+
+def test_miss_rate():
+    cache = small_cache()
+    for address in range(0, 4096, 32):
+        cache.lookup(address)
+    assert cache.miss_rate == 1.0
+    # Re-touching the most recently installed 1 KB should hit.
+    for address in range(3072, 4096, 32):
+        cache.lookup(address)
+    assert 0.0 < cache.miss_rate < 1.0
+
+
+def test_hierarchy_latencies_follow_levels():
+    config = MachineConfig.default_4wide()
+    hierarchy = CacheHierarchy(config)
+    first = hierarchy.access_data_read(0x5000, now=0)
+    assert not first.l1_hit
+    assert first.latency >= config.l2.latency + config.memory_latency
+    second = hierarchy.access_data_read(0x5000, now=first.latency)
+    assert second.l1_hit
+    assert second.latency == config.l1d.latency
+
+
+def test_l2_hit_latency_between_l1_and_memory():
+    config = MachineConfig.default_4wide()
+    hierarchy = CacheHierarchy(config)
+    hierarchy.access_data_read(0x9000, now=0)            # install in L1 + L2
+    # Evict 0x9000 from the 2-way L1 by touching lines that map to the same
+    # L1 set (stride = one L1 way) but different L2 sets.
+    l1_way_bytes = config.l1d.size_bytes // config.l1d.associativity
+    for index in range(1, 5):
+        hierarchy.access_data_read(0x9000 + index * l1_way_bytes, now=index)
+    result = hierarchy.access_data_read(0x9000, now=10_000)
+    assert result.l2_hit
+    assert config.l1d.latency < result.latency < config.memory_latency
+
+
+def test_mshr_limits_outstanding_misses():
+    config = MachineConfig.default_4wide()
+    hierarchy = CacheHierarchy(config)
+    stalls = 0
+    for index in range(config.max_outstanding_misses + 4):
+        result = hierarchy.access_data_read(0x100000 + index * 4096, now=0)
+        stalls += result.mshr_stall
+    assert stalls > 0
+
+
+def test_instruction_and_data_caches_are_independent():
+    config = MachineConfig.default_4wide()
+    hierarchy = CacheHierarchy(config)
+    hierarchy.access_instruction(0x2000, now=0)
+    result = hierarchy.access_data_read(0x2000, now=1)
+    assert not result.l1_hit          # different L1, though L2 may now hit
