@@ -1,0 +1,125 @@
+"""Timing harness for the parallel, cached experiment engine.
+
+Runs the full fig8–fig12 experiment sweep three ways and reports wall-clock:
+
+1. **serial / cold** — ``jobs=1``, no cache: the original seed execution path;
+2. **parallel / cold** — ``jobs=N`` workers against an empty cache;
+3. **parallel / warm** — ``jobs=N`` with every grid point already cached.
+
+Every report's rows are compared across the three runs — the engine must be a
+pure speedup, so any row difference is a hard failure.  The summary table is
+printed and written under ``benchmarks/results/`` so the measurement is a
+committed artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/benchmark_engine.py            # default sweep
+    PYTHONPATH=src python scripts/benchmark_engine.py --jobs 8 \\
+        --workloads gzip_like vortex_like --output /tmp/t.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness import (
+    SimulationCache,
+    figure8_elimination_and_speedup,
+    figure9_critical_path,
+    figure10_division_of_labor,
+    figure11_issue_width,
+    figure11_register_file,
+    figure12_scheduler,
+)
+
+#: The figure sweep being timed (the paper's full evaluation section).
+FIGURES = [
+    ("fig8", figure8_elimination_and_speedup),
+    ("fig9", figure9_critical_path),
+    ("fig10", figure10_division_of_labor),
+    ("fig11_regs", figure11_register_file),
+    ("fig11_width", figure11_issue_width),
+    ("fig12", figure12_scheduler),
+]
+
+#: Default workload subset: the same representative SPECint kernels the
+#: benchmark suite uses (see benchmarks/conftest.py).
+DEFAULT_WORKLOADS = ["gzip_like", "vortex_like", "crafty_like", "parser_like",
+                     "twolf_like"]
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "engine_timing.txt"
+
+
+def run_sweep(workloads, scale, jobs, cache):
+    """Run every figure experiment once; returns (reports, seconds)."""
+    reports = {}
+    start = time.perf_counter()
+    for name, figure in FIGURES:
+        reports[name] = figure("specint", workloads=workloads, scale=scale,
+                               jobs=jobs, cache=cache)
+    return reports, time.perf_counter() - start
+
+
+def check_rows_identical(reference, candidate, label) -> None:
+    """Fail loudly if any report row differs from the serial reference."""
+    for name in reference:
+        if reference[name].rows != candidate[name].rows:
+            raise SystemExit(
+                f"FAIL: {name} rows differ between serial/cold and {label};"
+                f"\nserial: {reference[name].rows}\n{label}: {candidate[name].rows}"
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel runs (default 4)")
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS,
+                        help="workload names to sweep")
+    parser.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the timing table")
+    args = parser.parse_args(argv)
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-engine-timing-"))
+    try:
+        cache = SimulationCache(cache_dir)
+
+        serial_reports, serial_s = run_sweep(args.workloads, args.scale, 1, False)
+        cold_reports, cold_s = run_sweep(args.workloads, args.scale, args.jobs, cache)
+        warm_reports, warm_s = run_sweep(args.workloads, args.scale, args.jobs, cache)
+
+        check_rows_identical(serial_reports, cold_reports, "parallel/cold")
+        check_rows_identical(serial_reports, warm_reports, "parallel/warm")
+        entries = len(cache)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    lines = [
+        "Experiment-engine timing: full fig8-fig12 sweep",
+        f"workloads: {', '.join(args.workloads)} (scale={args.scale})",
+        f"grid points cached: {entries}",
+        "",
+        f"{'configuration':<28}{'wall-clock':>12}{'speedup':>10}",
+        "-" * 50,
+        f"{'serial, no cache (seed)':<28}{serial_s:>10.2f}s{1.0:>9.2f}x",
+        f"{f'jobs={args.jobs}, cold cache':<28}{cold_s:>10.2f}s{serial_s / cold_s:>9.2f}x",
+        f"{f'jobs={args.jobs}, warm cache':<28}{warm_s:>10.2f}s{serial_s / warm_s:>9.2f}x",
+        "",
+        "rows identical across all three runs: yes",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(text + "\n")
+    print(f"\nwritten to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

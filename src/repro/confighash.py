@@ -1,0 +1,29 @@
+"""Shared configuration-hashing helper for the experiment cache.
+
+Both :class:`repro.uarch.config.MachineConfig` and
+:class:`repro.core.config.RenoConfig` derive their cache digests here so the
+key material can never silently diverge between the two config types.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+#: Fields that are report labels with no effect on simulation results.
+LABEL_FIELDS = ("name",)
+
+
+def dataclass_digest(config, exclude: tuple[str, ...] = LABEL_FIELDS) -> str:
+    """Stable SHA-256 over a config dataclass's behavioural fields.
+
+    ``exclude`` names fields (labels) to leave out of the key material, so
+    two configurations differing only in label share a digest — and thus a
+    cache entry.
+    """
+    fields = asdict(config)
+    for field_name in exclude:
+        fields.pop(field_name, None)
+    payload = json.dumps(fields, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()

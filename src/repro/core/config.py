@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
+
+from repro.confighash import dataclass_digest
 
 #: Integration-table policies for the division of labor studied in §4.4.
 IT_POLICY_LOADS_ONLY = "loads_only"   # default RENO: the IT eliminates only loads
@@ -60,6 +62,24 @@ class RenoConfig:
             raise ValueError("it_entries must be a multiple of it_associativity")
         if self.displacement_bits < 4 or self.displacement_bits > 32:
             raise ValueError("displacement_bits out of range")
+
+    # ------------------------------------------------------------------
+    # Serialization / hashing (used by the experiment cache)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """All fields as a plain JSON-serialisable dictionary."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RenoConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+    def digest(self) -> str:
+        """Stable content hash of the *behavioural* fields (``name`` is a
+        report label and is excluded; see :mod:`repro.confighash`)."""
+        return dataclass_digest(self)
 
     # ------------------------------------------------------------------
     # Named configurations used throughout the evaluation

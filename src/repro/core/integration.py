@@ -22,7 +22,11 @@ Entries are invalidated when any physical register they name is reclaimed.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+
+#: Opcode-string → CRC32, memoised so set indexing never re-encodes.
+_OPCODE_HASHES: dict[str, int] = {}
 
 
 @dataclass
@@ -65,7 +69,20 @@ class IntegrationTable:
     # ------------------------------------------------------------------
 
     def _set_index(self, key: tuple) -> int:
-        return hash(key) % self.num_sets
+        # Deliberately NOT built on ``hash()``: Python randomises string
+        # hashes per process (PYTHONHASHSEED), which made IT set placement —
+        # and therefore conflict evictions, hit counts and eliminations —
+        # differ between otherwise identical runs.  Simulation results must
+        # be reproducible across processes (parallel workers, cached reruns,
+        # CI), so the set index is derived from a stable CRC32 mix instead.
+        opcode, imm, inputs = key
+        mixed = _OPCODE_HASHES.get(opcode)
+        if mixed is None:
+            mixed = _OPCODE_HASHES[opcode] = zlib.crc32(opcode.encode())
+        mixed = mixed * 1000003 + imm
+        for preg, disp in inputs:
+            mixed = mixed * 1000003 + preg * 8191 + disp
+        return mixed % self.num_sets
 
     def _register_pregs(self, entry: IntegrationEntry, set_index: int) -> None:
         pregs = {entry.out_preg}

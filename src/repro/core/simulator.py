@@ -30,12 +30,20 @@ class ArchitecturalMismatchError(Exception):
 
 @dataclass
 class SimulationOutcome:
-    """Functional + timing results for one (program, machine, RENO) run."""
+    """Functional + timing results for one (program, machine, RENO) run.
 
-    program: Program
-    functional: ExecutionResult
+    Outcomes loaded from the experiment cache (see
+    :mod:`repro.harness.cache`) are *slim*: ``program`` and ``functional``
+    are None (the cache stores only the timing result), and ``cached`` is
+    True.  All report-facing accessors (``stats``, ``ipc``, ``cycles``,
+    ``timing.timing_records``) behave identically for slim outcomes.
+    """
+
+    program: Program | None
+    functional: ExecutionResult | None
     timing: SimResult
     reno_config: RenoConfig | None = None
+    cached: bool = False
 
     @property
     def stats(self):

@@ -7,7 +7,9 @@ series the paper plots.  The benchmarks in ``benchmarks/`` and the examples in
 ``examples/`` are thin wrappers around these functions.
 """
 
-from repro.harness.runner import run_matrix, SPEEDUP_BASELINE
+from repro.harness.cache import SimulationCache, outcome_key, program_digest
+from repro.harness.parallel import execute_grid
+from repro.harness.runner import MatrixLookupError, run_matrix, SPEEDUP_BASELINE
 from repro.harness.experiments import (
     ExperimentReport,
     figure8_elimination_and_speedup,
@@ -24,6 +26,11 @@ from repro.harness.experiments import (
 __all__ = [
     "run_matrix",
     "SPEEDUP_BASELINE",
+    "MatrixLookupError",
+    "SimulationCache",
+    "execute_grid",
+    "outcome_key",
+    "program_digest",
     "ExperimentReport",
     "figure8_elimination_and_speedup",
     "figure9_critical_path",

@@ -1,0 +1,262 @@
+"""Content-addressed on-disk cache for simulation outcomes.
+
+Every grid point of an experiment — one (workload program, machine
+configuration, RENO configuration, instruction budget) combination — is
+deterministic, so its :class:`~repro.core.simulator.SimulationOutcome` can be
+computed once and reused across figure experiments and repeated benchmark
+runs.  The cache key is a SHA-256 over
+
+* a digest of the assembled program (instructions, entry point, initial
+  memory) — the workload name is deliberately *not* part of the key, so two
+  workloads assembling the identical program share an entry;
+* :meth:`MachineConfig.digest` and :meth:`RenoConfig.digest` (behavioural
+  fields only; report labels are excluded);
+* the functional-simulation instruction budget and whether per-instruction
+  timing records were collected;
+* a cache format version (bumped whenever the stored payload shape changes).
+
+Stored payloads are *slim*: the timing result (statistics, final registers,
+optional timing records) plus a functional summary.  The program and the full
+dynamic trace are not stored — they are cheap to rebuild relative to the
+cycle-level simulation and would dominate the cache size.  A cache-loaded
+outcome therefore has ``outcome.program is None`` and
+``outcome.functional is None``; everything the experiment reports read
+(``stats``, ``cycles``, ``timing.timing_records``) is preserved byte-for-byte.
+
+The cache location defaults to ``~/.cache/repro-reno`` and is overridden by
+the ``REPRO_CACHE_DIR`` environment variable.  ``python -m
+repro.harness.cache`` prints the location and entry count; ``--clear`` wipes
+it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import RenoConfig
+from repro.core.simulator import SimulationOutcome
+from repro.isa.program import Program
+from repro.uarch.config import MachineConfig
+
+#: Bump whenever the pickled payload layout or the key material changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache root when the environment variable is unset.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-reno"
+
+
+def default_cache_root() -> Path:
+    """The active cache root: ``$REPRO_CACHE_DIR`` or the home-dir default."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    return Path(override) if override else DEFAULT_CACHE_DIR
+
+
+def program_digest(program: Program) -> str:
+    """Content hash of an assembled program.
+
+    Covers everything that influences simulation: the instruction stream
+    (with resolved targets), the entry point and the initial memory image.
+    The program *name* is a report label and is excluded.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(program.entry).encode())
+    for instruction in program.instructions:
+        hasher.update(
+            f"{instruction.opcode.value}|{instruction.rd}|{instruction.rs1}|"
+            f"{instruction.rs2}|{instruction.imm}|{instruction.target}\n".encode()
+        )
+    for address in sorted(program.initial_memory):
+        hasher.update(f"@{address}={program.initial_memory[address]}".encode())
+    return hasher.hexdigest()
+
+
+def outcome_key(
+    prog_digest: str,
+    machine: MachineConfig,
+    reno: RenoConfig | None,
+    max_instructions: int,
+    collect_timing: bool,
+) -> str:
+    """The cache key for one grid point."""
+    reno_digest = reno.digest() if reno is not None else "baseline"
+    material = "|".join([
+        f"v{CACHE_FORMAT_VERSION}",
+        prog_digest,
+        machine.digest(),
+        reno_digest,
+        str(max_instructions),
+        "timing" if collect_timing else "notiming",
+    ])
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`SimulationCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class SimulationCache:
+    """A directory of pickled slim simulation outcomes, addressed by key."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+        self._store_failure_warned = False
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level fan-out, like git)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> SimulationOutcome | None:
+        """Load a cached outcome, or None on a miss (or an unreadable entry).
+
+        Any failure to read, unpickle or interpret an entry counts as a miss:
+        entries written by other versions of the codebase can fail in ways
+        well beyond ``UnpicklingError`` (e.g. ``ModuleNotFoundError`` for a
+        renamed class), and a corrupt cache must cost a recomputation, never
+        an experiment.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+            if payload.get("version") != CACHE_FORMAT_VERSION:
+                raise ValueError("cache format version mismatch")
+            outcome = SimulationOutcome(
+                program=None,
+                functional=None,
+                timing=payload["timing"],
+                reno_config=payload["reno_config"],
+                cached=True,
+            )
+        except Exception:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return outcome
+
+    def put(self, key: str, outcome: SimulationOutcome) -> None:
+        """Store a slim copy of ``outcome`` under ``key`` (atomic write).
+
+        Store failures (unwritable or uncreatable cache directory) degrade
+        to a one-time warning rather than an exception: the outcome was
+        already computed, and losing cache persistence must not lose the
+        experiment.
+        """
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "timing": outcome.timing,
+            "reno_config": outcome.reno_config,
+        }
+        path = self.path_for(key)
+        temp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write to a unique temporary file and rename it into place so
+            # concurrent workers computing the same point never see a torn
+            # entry.
+            descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except OSError as error:
+            if temp_name is not None:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+            if not self._store_failure_warned:
+                self._store_failure_warned = True
+                warnings.warn(
+                    f"simulation cache at {self.root} is not writable "
+                    f"({error}); results will not be cached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """All entry files currently in the cache."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.pkl"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache(cache) -> SimulationCache | None:
+    """Normalise the ``cache=`` argument accepted by the experiment engine.
+
+    * ``None`` (the default): caching is enabled only when ``REPRO_CACHE_DIR``
+      is set, so casual runs and the existing test suite touch no global
+      state.
+    * ``True`` / ``False``: force the default-location cache on or off.
+    * a path (``str`` / ``Path``): a cache rooted there.
+    * a :class:`SimulationCache`: used as-is.
+    """
+    if cache is None:
+        return SimulationCache() if os.environ.get(CACHE_DIR_ENV) else None
+    if cache is False:
+        return None
+    if cache is True:
+        return SimulationCache()
+    if isinstance(cache, (str, Path)):
+        return SimulationCache(cache)
+    if isinstance(cache, SimulationCache):
+        return cache
+    raise TypeError(f"cache must be None, bool, path or SimulationCache, got {cache!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Tiny CLI: report the cache location/size, optionally clear it."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clear", action="store_true", help="delete every cache entry")
+    args = parser.parse_args(argv)
+
+    cache = SimulationCache()
+    count = len(cache)
+    print(f"cache root:  {cache.root}")
+    print(f"entries:     {count}")
+    print(f"total bytes: {cache.size_bytes()}")
+    if args.clear:
+        print(f"removed:     {cache.clear()}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

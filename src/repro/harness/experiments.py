@@ -63,13 +63,15 @@ def figure8_elimination_and_speedup(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scale: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """Fraction of dynamic instructions eliminated (ME/CF/RA+CSE stack) and
     the speedup of full RENO over the baseline, on 4- and 6-wide machines."""
     names = _workload_list(suite, workloads)
     machines = {"4wide": MachineConfig.default_4wide(), "6wide": MachineConfig.default_6wide()}
     renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()}
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
 
     headers = ["benchmark", "ME%", "CF%", "RA+CSE%", "total%",
                "speedup 4w", "speedup 6w"]
@@ -107,13 +109,16 @@ def figure9_critical_path(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scale: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """Critical-path bucket shares for baseline, CF+ME, and full RENO."""
     names = _workload_list(suite, workloads)
     machines = {"4wide": MachineConfig.default_4wide()}
     renos = {SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
              "RENO": RenoConfig.reno_default()}
-    matrix = run_matrix(names, machines, renos, scale=scale, collect_timing=True)
+    matrix = run_matrix(names, machines, renos, scale=scale, collect_timing=True,
+                        jobs=jobs, cache=cache)
 
     headers = ["benchmark", "config", "fetch", "alu", "load", "mem", "commit"]
     rows = []
@@ -148,6 +153,8 @@ def figure10_division_of_labor(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scale: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """Speedups of RENO, RENO+full IT, full integration only, loads-only
     integration (the four bars of Figure 10)."""
@@ -160,7 +167,7 @@ def figure10_division_of_labor(
         "FullInteg": RenoConfig.integration_only_full(),
         "LoadsInteg": RenoConfig.integration_only_loads(),
     }
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
     config_labels = [label for label in renos if label != SPEEDUP_BASELINE]
     headers = ["benchmark"] + [f"{label} speedup" for label in config_labels]
     rows = []
@@ -196,6 +203,8 @@ def figure11_register_file(
     workloads: list[str] | None = None,
     scale: int = 1,
     register_sizes: tuple[int, ...] = (96, 112, 128, 160),
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """Relative performance at several register-file sizes for BASE, CF+ME,
     RA+CSE (full RENO); 100% = baseline machine with 160 registers."""
@@ -203,7 +212,7 @@ def figure11_register_file(
     machines = {f"p{size}": MachineConfig.default_4wide().with_registers(size)
                 for size in register_sizes}
     renos = dict(_RENO_STACK)
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
     reference_machine = f"p{max(register_sizes)}"
 
     headers = ["config"] + [f"p{size}" for size in register_sizes]
@@ -233,6 +242,8 @@ def figure11_issue_width(
     workloads: list[str] | None = None,
     scale: int = 1,
     widths: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 4)),
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """Relative performance at i2t2 / i2t3 / i3t4 issue widths; 100% = the
     baseline i3t4 machine without RENO."""
@@ -240,7 +251,7 @@ def figure11_issue_width(
     machines = {f"i{i}t{t}": MachineConfig.default_4wide().with_issue(i, t)
                 for i, t in widths}
     renos = dict(_RENO_STACK)
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
     reference_machine = f"i{widths[-1][0]}t{widths[-1][1]}"
 
     headers = ["config"] + list(machines)
@@ -274,6 +285,8 @@ def figure12_scheduler(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scale: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """Relative performance with 1- vs 2-cycle scheduling loops; 100% = the
     1-cycle baseline without RENO."""
@@ -281,7 +294,7 @@ def figure12_scheduler(
     machines = {"sched1": MachineConfig.default_4wide(),
                 "sched2": MachineConfig.default_4wide().with_scheduler_latency(2)}
     renos = dict(_RENO_STACK)
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
 
     headers = ["config", "1-cycle", "2-cycle"]
     rows = []
@@ -315,7 +328,11 @@ def instruction_mix(
     workloads: list[str] | None = None,
     scale: int = 1,
 ) -> ExperimentReport:
-    """Dynamic fractions of moves and register-immediate additions (§2.3)."""
+    """Dynamic fractions of moves and register-immediate additions (§2.3).
+
+    Runs only the (fast) functional simulator, so it takes no ``jobs``/
+    ``cache`` arguments.
+    """
     names = _workload_list(suite, workloads)
     headers = ["benchmark", "moves", "reg-imm adds", "loads", "stores", "branches"]
     rows = []
@@ -347,13 +364,15 @@ def fusion_sensitivity(
     suite: str = "mediabench",
     workloads: list[str] | None = None,
     scale: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """§3.3: how much of RENO_CF's benefit survives if every fusion costs a cycle."""
     names = _workload_list(suite, workloads)
     machines = {"4wide": MachineConfig.default_4wide()}
     renos = {SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
              "CF+ME slow fusion": RenoConfig.reno_cf_me().with_slow_fusion()}
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
     headers = ["benchmark", "CF+ME speedup", "slow-fusion speedup", "benefit retained"]
     rows = []
     data = {}
@@ -375,6 +394,8 @@ def integration_table_cost(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scale: int = 1,
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentReport:
     """§4.4: IT bandwidth (lookups + insertions) for the default division of
     labor versus a full integration table."""
@@ -382,7 +403,7 @@ def integration_table_cost(
     machines = {"4wide": MachineConfig.default_4wide()}
     renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default(),
              "RENO+FullInteg": RenoConfig.reno_full_integration()}
-    matrix = run_matrix(names, machines, renos, scale=scale)
+    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
     headers = ["benchmark", "RENO IT accesses", "FullInteg IT accesses", "saved", "elim RENO", "elim FullInteg"]
     rows = []
     data = {}

@@ -5,13 +5,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import RenoConfig
-from repro.core.simulator import SimulationOutcome, simulate
-from repro.functional.simulator import FunctionalSimulator
+from repro.core.simulator import SimulationOutcome
+from repro.harness.cache import SimulationCache
+from repro.harness.parallel import execute_grid
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload, get_workload
 
 #: Label conventionally used for the RENO-less machine in config dictionaries.
 SPEEDUP_BASELINE = "BASE"
+
+
+class MatrixLookupError(KeyError):
+    """A (workload, machine, RENO) triple absent from a result matrix.
+
+    Carries the missing triple and the labels the matrix does contain so a
+    typo'd label is diagnosable from the message alone.
+    """
+
+    def __init__(self, matrix: "MatrixResult", workload: str, machine: str, reno: str):
+        self.triple = (workload, machine, reno)
+        message = (
+            f"no outcome for workload={workload!r}, machine={machine!r}, "
+            f"reno={reno!r}; matrix has workloads={matrix.workloads}, "
+            f"machines={matrix.machine_labels}, renos={matrix.reno_labels}"
+        )
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError wraps its argument in repr(); unwrap for a readable message.
+        return self.args[0]
 
 
 @dataclass
@@ -24,7 +46,10 @@ class MatrixResult:
     reno_labels: list[str]
 
     def get(self, workload: str, machine: str, reno: str) -> SimulationOutcome:
-        return self.outcomes[(workload, machine, reno)]
+        try:
+            return self.outcomes[(workload, machine, reno)]
+        except KeyError:
+            raise MatrixLookupError(self, workload, machine, reno) from None
 
     def speedup(self, workload: str, machine: str, reno: str,
                 baseline_machine: str | None = None,
@@ -49,27 +74,46 @@ def run_matrix(
     scale: int = 1,
     collect_timing: bool = False,
     max_instructions: int = 2_000_000,
+    jobs: int | None = None,
+    cache: SimulationCache | bool | str | None = None,
 ) -> MatrixResult:
     """Simulate every (workload, machine, RENO config) combination.
 
     The functional trace for each workload is computed once and shared by all
     machine/RENO points, so every configuration sees the identical dynamic
     instruction stream (as in the paper's methodology).
+
+    Args:
+        workloads: Workload names (resolved via the registry) or objects.
+        machines: Machine-label → configuration.
+        renos: RENO-label → configuration (None = conventional baseline).
+        scale: Workload scale factor.
+        collect_timing: Keep per-instruction timing records (Figure 9).
+        max_instructions: Functional-simulation budget per workload.
+        jobs: Worker processes to fan workloads out over.  None reads
+            ``$REPRO_JOBS`` (default 1); 1 runs in-process.  Simulated
+            results and their ordering are identical for every ``jobs``
+            value, but outcomes computed by worker processes are *slim*
+            (``outcome.program``/``outcome.functional`` are None — the
+            program and trace are not shipped back over the pipe); callers
+            needing those fields should run with ``jobs=1`` and a cold
+            cache, as cache hits are slim too.
+        cache: On-disk outcome cache.  None enables it only when
+            ``$REPRO_CACHE_DIR`` is set; True/False force it on/off; a path
+            or :class:`~repro.harness.cache.SimulationCache` selects a
+            specific cache.  See :mod:`repro.harness.cache`.
     """
     resolved = _resolve_workloads(workloads)
-    outcomes: dict[tuple[str, str, str], SimulationOutcome] = {}
-    for workload in resolved:
-        program = workload.build(scale)
-        functional = FunctionalSimulator(program, max_instructions).run()
-        for machine_label, machine in machines.items():
-            for reno_label, reno in renos.items():
-                outcomes[(workload.name, machine_label, reno_label)] = simulate(
-                    program,
-                    machine,
-                    reno,
-                    trace=functional,
-                    collect_timing=collect_timing,
-                )
+    outcomes = execute_grid(
+        resolved,
+        machines,
+        renos,
+        scale=scale,
+        collect_timing=collect_timing,
+        max_instructions=max_instructions,
+        jobs=jobs,
+        cache=cache,
+    )
     return MatrixResult(
         outcomes=outcomes,
         workloads=[workload.name for workload in resolved],

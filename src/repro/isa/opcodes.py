@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 
 class OpClass(enum.Enum):
@@ -148,23 +149,23 @@ class OpSpec:
     mem_bytes: int = 0
     mem_signed: bool = False
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.op_class is OpClass.LOAD
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.op_class is OpClass.STORE
 
-    @property
+    @cached_property
     def is_mem(self) -> bool:
         return self.is_load or self.is_store
 
-    @property
+    @cached_property
     def is_cond_branch(self) -> bool:
         return self.op_class is OpClass.BRANCH
 
-    @property
+    @cached_property
     def is_control(self) -> bool:
         return self.op_class in (
             OpClass.BRANCH,
@@ -173,11 +174,11 @@ class OpSpec:
             OpClass.RET,
         )
 
-    @property
+    @cached_property
     def is_call(self) -> bool:
         return self.op_class is OpClass.CALL
 
-    @property
+    @cached_property
     def is_return(self) -> bool:
         return self.op_class is OpClass.RET
 

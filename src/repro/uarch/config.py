@@ -8,7 +8,9 @@ dynamically scheduled processor with a 13-stage pipeline, 128-entry ROB,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.confighash import dataclass_digest
 
 
 @dataclass(frozen=True)
@@ -23,6 +25,13 @@ class CacheConfig:
     @property
     def num_sets(self) -> int:
         return self.size_bytes // (self.associativity * self.block_bytes)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -127,6 +136,28 @@ class MachineConfig:
     def with_scheduler_latency(self, latency: int) -> "MachineConfig":
         """A copy with a pipelined (2-cycle) wakeup/select loop (Figure 12)."""
         return replace(self, name=f"{self.name}-sched{latency}", scheduler_latency=latency)
+
+    # ------------------------------------------------------------------
+    # Serialization / hashing (used by the experiment cache)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """All fields as a plain JSON-serialisable dictionary (caches nested)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        for level in ("l1i", "l1d", "l2"):
+            if isinstance(data.get(level), dict):
+                data[level] = CacheConfig.from_dict(data[level])
+        return cls(**data)
+
+    def digest(self) -> str:
+        """Stable content hash of the *behavioural* fields (``name`` is a
+        report label and is excluded; see :mod:`repro.confighash`)."""
+        return dataclass_digest(self)
 
     def validate(self) -> None:
         """Sanity-check the configuration; raises ValueError when inconsistent."""

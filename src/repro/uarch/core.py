@@ -27,15 +27,13 @@ from repro.functional.trace import DynamicInstruction
 from repro.isa.opcodes import OpClass
 from repro.isa.program import DATA_BASE, STACK_BASE, Program
 from repro.isa.registers import NUM_LOGICAL_REGS, RegisterNames
-from repro.isa.semantics import branch_taken, mask64, sign_extend
+from repro.isa.semantics import MASK64, branch_taken, mask64, sign_extend
 from repro.uarch.branch import BranchUnit
 from repro.uarch.cache import CacheHierarchy
 from repro.uarch.config import MachineConfig
 from repro.uarch.execute import (
     compute_alu_value,
     effective_address,
-    execution_latency,
-    operand_values,
     store_value,
 )
 from repro.uarch.inflight import InFlightInst, Stage, TimingRecord, make_timing_record
@@ -43,7 +41,7 @@ from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry
 from repro.uarch.regfile import PhysicalRegisterFile
 from repro.uarch.rename import BaselineRenamer, Renamer
 from repro.uarch.rob import ReorderBuffer
-from repro.uarch.scheduler import IssueQueue
+from repro.uarch.scheduler import LOAD_CLASS, IssueQueue
 from repro.uarch.stats import SimStats
 from repro.uarch.storesets import StoreSets
 
@@ -147,15 +145,22 @@ class Pipeline:
         """Simulate until every trace instruction has retired."""
         cycle = 0
         total = len(self.trace)
-        while self.stats.committed < total:
-            if cycle >= self.config.max_cycles:
+        # The cycle loop dominates wall-clock time; bind everything it
+        # touches once instead of re-resolving attributes every cycle.
+        stats = self.stats
+        max_cycles = self.config.max_cycles
+        commit = self._commit
+        issue = self._issue
+        dispatch = self._dispatch
+        while stats.committed < total:
+            if cycle >= max_cycles:
                 raise RuntimeError(
-                    f"simulation exceeded {self.config.max_cycles} cycles "
-                    f"({self.stats.committed}/{total} instructions retired)"
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({stats.committed}/{total} instructions retired)"
                 )
-            self._commit(cycle)
-            self._issue(cycle)
-            self._dispatch(cycle)
+            commit(cycle)
+            issue(cycle)
+            dispatch(cycle)
             cycle += 1
         self.stats.cycles = cycle
         self._merge_component_stats()
@@ -196,18 +201,19 @@ class Pipeline:
     def _commit(self, cycle: int) -> None:
         budget = self.config.commit_width
         dcache_ports = self.config.retire_dcache_ports
+        rob_head = self.rob.head
         while budget > 0:
-            head = self.rob.head()
+            head = rob_head()
             if head is None or head.stage == Stage.WAITING or head.stage == Stage.ISSUED:
                 break
             if head.complete_cycle >= cycle:
                 break
-            if head.is_store:
+            if head.dyn.instruction.spec.is_store:
                 if dcache_ports == 0:
                     break
                 self._commit_store(head, cycle)
                 dcache_ports -= 1
-            elif head.eliminated and head.rename.needs_reexecution:
+            elif head.rename.eliminated and head.rename.needs_reexecution:
                 if dcache_ports == 0:
                     break
                 self._reexecute_load(head, cycle)
@@ -253,12 +259,12 @@ class Pipeline:
         inst.retire_cycle = cycle
         inst.stage = Stage.RETIRED
         self.rob.pop_head()
-        if inst.is_load:
-            self.load_queue.remove(inst.seq)
+        if inst.dyn.instruction.spec.is_load:
+            self.load_queue.remove(inst.dyn.seq)
         self.renamer.commit(inst.rename)
         stats = self.stats
         stats.committed += 1
-        if inst.eliminated:
+        if inst.rename.eliminated:
             kind = inst.rename.elim_kind
             if kind == "move":
                 stats.eliminated_moves += 1
@@ -282,10 +288,11 @@ class Pipeline:
             self._execute(inst, cycle)
 
     def _can_issue(self, inst: InFlightInst, cycle: int) -> bool:
+        ready_cycle = self.prf.ready_cycle
         for source in inst.rename.sources:
-            if not self.prf.is_ready(source.preg, cycle):
+            if ready_cycle[source.preg] > cycle:
                 return False
-        if inst.is_load:
+        if inst.port_class == LOAD_CLASS:
             return self._load_can_issue(inst, cycle)
         return True
 
@@ -320,15 +327,26 @@ class Pipeline:
         dyn = inst.dyn
         rename = inst.rename
         spec = dyn.instruction.spec
-        operands = operand_values(rename, self.prf.read)
+        stats = self.stats
+        # Inlined operand materialisation (operand_values) on the raw value
+        # array: the fused-operand addition is folded into the same pass.
+        values = self.prf.values
+        operands = []
+        fused = False
+        for source in rename.sources:
+            value = values[source.preg]
+            if source.disp:
+                value = (value + source.disp) & MASK64
+                fused = True
+            operands.append(value)
         inst.issue_cycle = cycle
         inst.stage = Stage.ISSUED
-        self.stats.issued += 1
-        if any(source.disp for source in rename.sources):
-            self.stats.fused_operations += 1
-            self.stats.fusion_penalty_cycles += rename.fusion_extra_latency
+        stats.issued += 1
+        if fused:
+            stats.fused_operations += 1
+            stats.fusion_penalty_cycles += rename.fusion_extra_latency
 
-        latency = execution_latency(dyn) + rename.fusion_extra_latency
+        latency = spec.latency + rename.fusion_extra_latency
         op_class = spec.op_class
 
         if op_class is OpClass.LOAD:
@@ -417,36 +435,52 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def _dispatch(self, cycle: int) -> None:
-        if self._fetch_index >= len(self.trace):
+        trace = self.trace
+        trace_length = len(trace)
+        if self._fetch_index >= trace_length:
             return
+        stats = self.stats
         if cycle < self._fetch_resume_cycle:
-            self.stats.fetch_stall_cycles += 1
+            stats.fetch_stall_cycles += 1
             return
 
         config = self.config
+        rename_width = config.rename_width
+        taken_branch_limit = config.taken_branches_per_fetch
+        fetch_block_bytes = config.l1i.block_bytes
+        renamer = self.renamer
+        rob = self.rob
+        issue_queue = self.issue_queue
+        store_queue = self.store_queue
+        load_queue = self.load_queue
+        prf = self.prf
+        preg_writer = self._preg_writer
+        collect_timing = self.collect_timing
+
         taken_branches = 0
         dispatched = 0
-        self.renamer.begin_group()
-        while dispatched < config.rename_width and self._fetch_index < len(self.trace):
-            dyn = self.trace[self._fetch_index]
+        renamer.begin_group()
+        while dispatched < rename_width and self._fetch_index < trace_length:
+            dyn = trace[self._fetch_index]
             instruction = dyn.instruction
+            spec = instruction.spec
 
             # Structural stalls (checked conservatively before renaming).
-            if self.rob.full:
-                self.stats.rob_stall_cycles += 1
+            if rob.full:
+                stats.rob_stall_cycles += 1
                 break
-            if self.issue_queue.full:
-                self.stats.iq_stall_cycles += 1
+            if issue_queue.full:
+                stats.iq_stall_cycles += 1
                 break
-            if instruction.is_store and self.store_queue.full:
-                self.stats.lsq_stall_cycles += 1
+            if spec.is_store and store_queue.full:
+                stats.lsq_stall_cycles += 1
                 break
-            if instruction.is_load and self.load_queue.full:
-                self.stats.lsq_stall_cycles += 1
+            if spec.is_load and load_queue.full:
+                stats.lsq_stall_cycles += 1
                 break
 
             # Instruction cache: one access per new block.
-            block = dyn.pc // config.l1i.block_bytes
+            block = dyn.pc // fetch_block_bytes
             if block != self._last_fetch_block:
                 access = self.caches.access_instruction(dyn.pc, cycle)
                 self._last_fetch_block = block
@@ -455,32 +489,35 @@ class Pipeline:
                     break
 
             # Taken-branch fetch limit.
-            is_taken_control = instruction.is_control and bool(dyn.taken)
-            if is_taken_control and taken_branches >= config.taken_branches_per_fetch:
+            is_taken_control = spec.is_control and bool(dyn.taken)
+            if is_taken_control and taken_branches >= taken_branch_limit:
                 break
 
             # Rename (may stall on physical registers).
-            result = self.renamer.rename_next(dyn)
+            result = renamer.rename_next(dyn)
             if result is None:
-                self.stats.rename_stall_cycles += 1
+                stats.rename_stall_cycles += 1
                 break
 
             inst = InFlightInst(dyn=dyn, rename=result,
                                 fetch_cycle=cycle, rename_cycle=cycle,
                                 dispatch_cycle=cycle)
-            inst.latency = execution_latency(dyn)
-            self._record_producers(inst)
+            inst.latency = spec.latency
+            if collect_timing:
+                self._record_producers(inst)
             if result.allocated:
-                self.prf.mark_pending(result.dest_preg)
-                self._preg_writer[result.dest_preg] = dyn.seq
-                self.stats.pregs_allocated += 1
+                prf.mark_pending(result.dest_preg)
+                if collect_timing:
+                    # The producer map only feeds timing records.
+                    preg_writer[result.dest_preg] = dyn.seq
+                stats.pregs_allocated += 1
 
             if is_taken_control:
                 taken_branches += 1
 
             # Branch prediction.
             stop_after = False
-            if instruction.is_control:
+            if spec.is_control:
                 outcome = self.branch_unit.process(dyn)
                 if outcome.mispredicted and outcome.reason == "btb":
                     # Target unknown at fetch but computable at decode: a
@@ -496,10 +533,10 @@ class Pipeline:
             self._insert(inst, cycle)
             self._fetch_index += 1
             dispatched += 1
-            self.stats.fetched += 1
+            stats.fetched += 1
             if stop_after:
                 break
-        self.renamer.end_group()
+        renamer.end_group()
 
         in_use = self.config.num_physical_regs - self.renamer.free_register_count()
         if in_use > self.stats.max_pregs_in_use:
@@ -518,30 +555,30 @@ class Pipeline:
     def _insert(self, inst: InFlightInst, cycle: int) -> None:
         """Place a renamed instruction into the ROB and, if needed, the IQ/LSQ."""
         dyn = inst.dyn
-        instruction = dyn.instruction
+        spec = dyn.instruction.spec
         self.rob.add(inst)
 
-        if inst.eliminated:
+        if inst.rename.eliminated:
             # Collapsed out of the execution core: no issue-queue entry, no
             # execution.  It is immediately complete for retirement purposes.
             inst.complete_cycle = cycle
             inst.stage = Stage.COMPLETED
             return
 
-        op_class = instruction.spec.op_class
+        op_class = spec.op_class
         if op_class in (OpClass.NOP, OpClass.HALT):
             inst.complete_cycle = cycle
             inst.stage = Stage.COMPLETED
             return
 
-        if instruction.is_store:
+        if spec.is_store:
             self.store_queue.add(StoreQueueEntry(
                 seq=dyn.seq,
                 pc=dyn.pc,
-                size=instruction.spec.mem_bytes,
+                size=spec.mem_bytes,
                 trace_addr=dyn.eff_addr,
             ))
-        elif instruction.is_load:
+        elif spec.is_load:
             self.load_queue.add(dyn.seq)
 
         inst.stage = Stage.WAITING

@@ -18,13 +18,17 @@ class Stage:
     RETIRED = "retired"
 
 
-@dataclass
+@dataclass(eq=False)
 class InFlightInst:
     """One instruction travelling down the pipeline.
 
     Combines the architectural trace record (what the instruction does), the
     rename result (which physical registers it touches), and the evolving
     timing state.
+
+    Equality is identity (``eq=False``): each in-flight instance is unique,
+    and field-wise comparison would make list membership operations in the
+    pipeline's hot structures quadratically expensive.
     """
 
     dyn: DynamicInstruction
@@ -45,6 +49,9 @@ class InFlightInst:
     mispredicted_branch: bool = False
     # Load/store bookkeeping.
     store_data_ready_cycle: int = -1
+    # Issue-port class, cached by IssueQueue.add so wakeup/select never
+    # re-derives it from the opcode spec.
+    port_class: str = ""
 
     @property
     def seq(self) -> int:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable
 
 from repro.isa.opcodes import OpClass
@@ -52,7 +53,15 @@ class IssueQueue:
     def add(self, inst: InFlightInst) -> None:
         if self.full:
             raise RuntimeError("issue queue overflow (dispatch should have stalled)")
-        self.entries.append(inst)
+        inst.port_class = issue_class(inst)
+        entries = self.entries
+        if entries and inst.seq < entries[-1].seq:
+            # The pipeline dispatches in sequence order, so this path is only
+            # taken by out-of-order external callers; keep the list sorted so
+            # oldest-first selection needs no per-cycle sort.
+            insort(entries, inst, key=lambda entry: entry.seq)
+        else:
+            entries.append(inst)
 
     def select(
         self,
@@ -78,20 +87,23 @@ class IssueQueue:
             FP_CLASS: config.fp_issue,
         }
         remaining_total = config.total_issue
+        entries = self.entries
         selected: list[InFlightInst] = []
-        for inst in sorted(self.entries, key=lambda entry: entry.seq):
-            if remaining_total == 0:
-                break
-            port = issue_class(inst)
-            if limits[port] == 0:
+        kept: list[InFlightInst] = []
+        index = 0
+        count = len(entries)
+        while index < count and remaining_total:
+            inst = entries[index]
+            index += 1
+            if (limits[inst.port_class] == 0
+                    or inst.dispatch_cycle >= cycle   # earliest issue is next cycle
+                    or not ready_fn(inst, cycle)):
+                kept.append(inst)
                 continue
-            if inst.dispatch_cycle >= cycle:
-                continue  # dispatched this very cycle; earliest issue is next cycle
-            if not ready_fn(inst, cycle):
-                continue
-            limits[port] -= 1
+            limits[inst.port_class] -= 1
             remaining_total -= 1
             selected.append(inst)
-        for inst in selected:
-            self.entries.remove(inst)
+        if selected:
+            kept.extend(entries[index:])
+            self.entries = kept
         return selected
