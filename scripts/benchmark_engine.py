@@ -1,19 +1,27 @@
-"""Timing harness for the parallel, cached experiment engine.
+"""Timing harness for the experiment engine and the event-driven cycle loop.
 
-Runs the full fig8–fig12 experiment sweep three ways and reports wall-clock:
+Measures three things and writes one committed artifact each run:
 
-1. **serial / cold** — ``jobs=1``, no cache: the original seed execution path;
-2. **parallel / cold** — ``jobs=N`` workers against an empty cache;
-3. **parallel / warm** — ``jobs=N`` with every grid point already cached.
+1. **Engine sweep** — the full fig8–fig12 experiment sweep three ways
+   (``jobs=1``/no cache, ``jobs=N``/cold cache, ``jobs=N``/warm cache), with
+   every report row compared across the three runs (the engine must be a
+   pure speedup, so any row difference is a hard failure).
+2. **Cycle loop** — the fig8 serial sweep again with a wall-clock probe
+   around ``Pipeline.run``, isolating the cycle loop from program
+   build, functional simulation and report formatting.  Both numbers are
+   compared against the recorded PR 1 seed measurements (same container,
+   same workloads; override with ``--fig8-reference``/``--cycle-reference``).
+3. **Scale sweep** — ``run_scale_sweep`` over ``scale ∈ {1, 2, 4}`` cold and
+   then warm against the same cache, rows verified identical, with the
+   report table written to ``benchmarks/results/scale_sweep_specint.txt``.
 
-Every report's rows are compared across the three runs — the engine must be a
-pure speedup, so any row difference is a hard failure.  The summary table is
-printed and written under ``benchmarks/results/`` so the measurement is a
-committed artifact.
+The summary table is printed and written to
+``benchmarks/results/engine_timing.txt`` so the measurement is a committed
+artifact.
 
 Usage::
 
-    PYTHONPATH=src python scripts/benchmark_engine.py            # default sweep
+    PYTHONPATH=src python scripts/benchmark_engine.py            # full run
     PYTHONPATH=src python scripts/benchmark_engine.py --jobs 8 \\
         --workloads gzip_like vortex_like --output /tmp/t.txt
 """
@@ -27,6 +35,7 @@ import tempfile
 import time
 from pathlib import Path
 
+import repro.uarch.core as uarch_core
 from repro.harness import (
     SimulationCache,
     figure8_elimination_and_speedup,
@@ -35,6 +44,7 @@ from repro.harness import (
     figure11_issue_width,
     figure11_register_file,
     figure12_scheduler,
+    run_scale_sweep,
 )
 
 #: The figure sweep being timed (the paper's full evaluation section).
@@ -52,7 +62,47 @@ FIGURES = [
 DEFAULT_WORKLOADS = ["gzip_like", "vortex_like", "crafty_like", "parser_like",
                      "twolf_like"]
 
+#: Scale factors for the scale-sweep timing section.
+SCALES = (1, 2, 4)
+
+#: PR 1 seed (commit d9de97a) measurements on the same container and default
+#: workloads: median of five best-of-3 runs of (a) the fig8 serial sweep and
+#: (b) the summed ``Pipeline.run`` wall-clock inside that sweep.  These
+#: anchor the speedup columns; re-measure and override when running
+#: elsewhere (``--fig8-reference`` / ``--cycle-reference``).
+FIG8_SERIAL_SEED_S = 1.78
+FIG8_CYCLE_LOOP_SEED_S = 1.66
+
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "engine_timing.txt"
+SCALE_SWEEP_OUTPUT = DEFAULT_OUTPUT.parent / "scale_sweep_specint.txt"
+
+
+class CycleLoopProbe:
+    """Accumulates wall-clock spent inside ``Pipeline.run`` (the cycle
+    loop), measured the same way the seed reference numbers were."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._original = None
+
+    def __enter__(self):
+        probe = self
+        original = uarch_core.Pipeline.run
+        self._original = original
+
+        def timed(pipeline_self):
+            start = time.perf_counter()
+            try:
+                return original(pipeline_self)
+            finally:
+                probe.seconds += time.perf_counter() - start
+
+        uarch_core.Pipeline.run = timed
+        return self
+
+    def __exit__(self, *exc):
+        uarch_core.Pipeline.run = self._original
+        return False
 
 
 def run_sweep(workloads, scale, jobs, cache):
@@ -75,6 +125,41 @@ def check_rows_identical(reference, candidate, label) -> None:
             )
 
 
+def time_fig8_serial(workloads, repeats: int = 3):
+    """Best-of-N fig8 serial sweep wall-clock plus in-sim cycle-loop time."""
+    best_sweep = float("inf")
+    best_loop = float("inf")
+    for _ in range(repeats):
+        probe = CycleLoopProbe()
+        start = time.perf_counter()
+        with probe:
+            figure8_elimination_and_speedup(
+                "specint", workloads=workloads, scale=1, jobs=1, cache=False)
+        sweep = time.perf_counter() - start
+        best_sweep = min(best_sweep, sweep)
+        best_loop = min(best_loop, probe.seconds)
+    return best_sweep, best_loop
+
+
+def time_scale_sweep(workloads, jobs, cache_dir):
+    """Cold/warm scale-sweep timings; returns (report, cold_s, warm_s)."""
+    cache = SimulationCache(cache_dir)
+    start = time.perf_counter()
+    cold_report = run_scale_sweep("specint", workloads=workloads,
+                                  scales=SCALES, jobs=jobs, cache=cache)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_report = run_scale_sweep("specint", workloads=workloads,
+                                  scales=SCALES, jobs=jobs, cache=cache)
+    warm_s = time.perf_counter() - start
+    if cold_report.rows != warm_report.rows:
+        raise SystemExit(
+            f"FAIL: scale-sweep rows differ between cold and warm cache;"
+            f"\ncold: {cold_report.rows}\nwarm: {warm_report.rows}"
+        )
+    return cold_report, cold_s, warm_s
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=4,
@@ -84,9 +169,16 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=int, default=1, help="workload scale factor")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the timing table")
+    parser.add_argument("--scale-sweep-output", type=Path, default=SCALE_SWEEP_OUTPUT,
+                        help="where to write the scale-sweep report")
+    parser.add_argument("--fig8-reference", type=float, default=FIG8_SERIAL_SEED_S,
+                        help="seed fig8 serial sweep seconds (speedup baseline)")
+    parser.add_argument("--cycle-reference", type=float, default=FIG8_CYCLE_LOOP_SEED_S,
+                        help="seed fig8 cycle-loop seconds (speedup baseline)")
     args = parser.parse_args(argv)
 
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-engine-timing-"))
+    scale_cache_dir = Path(tempfile.mkdtemp(prefix="repro-scale-timing-"))
     try:
         cache = SimulationCache(cache_dir)
 
@@ -97,27 +189,58 @@ def main(argv=None) -> int:
         check_rows_identical(serial_reports, cold_reports, "parallel/cold")
         check_rows_identical(serial_reports, warm_reports, "parallel/warm")
         entries = len(cache)
+
+        fig8_s, cycle_loop_s = time_fig8_serial(args.workloads)
+        scale_report, scale_cold_s, scale_warm_s = time_scale_sweep(
+            args.workloads, args.jobs, scale_cache_dir)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(scale_cache_dir, ignore_errors=True)
 
+    fig8_speedup = args.fig8_reference / fig8_s
+    cycle_speedup = args.cycle_reference / cycle_loop_s
     lines = [
-        "Experiment-engine timing: full fig8-fig12 sweep",
+        "Experiment-engine timing: fig8-fig12 sweep, cycle loop, scale sweep",
         f"workloads: {', '.join(args.workloads)} (scale={args.scale})",
         f"grid points cached: {entries}",
         "",
-        f"{'configuration':<28}{'wall-clock':>12}{'speedup':>10}",
-        "-" * 50,
-        f"{'serial, no cache (seed)':<28}{serial_s:>10.2f}s{1.0:>9.2f}x",
-        f"{f'jobs={args.jobs}, cold cache':<28}{cold_s:>10.2f}s{serial_s / cold_s:>9.2f}x",
-        f"{f'jobs={args.jobs}, warm cache':<28}{warm_s:>10.2f}s{serial_s / warm_s:>9.2f}x",
+        f"{'configuration':<34}{'wall-clock':>12}{'speedup':>10}",
+        "-" * 56,
+        f"{'serial, no cache':<34}{serial_s:>10.2f}s{1.0:>9.2f}x",
+        f"{f'jobs={args.jobs}, cold cache':<34}{cold_s:>10.2f}s{serial_s / cold_s:>9.2f}x",
+        f"{f'jobs={args.jobs}, warm cache':<34}{warm_s:>10.2f}s{serial_s / warm_s:>9.2f}x",
         "",
-        "rows identical across all three runs: yes",
+        "event-driven scheduler vs PR 1 seed (same container, best of 3):",
+        f"{'fig8 serial sweep':<34}{fig8_s:>10.2f}s"
+        f"   {fig8_speedup:.2f}x vs seed {args.fig8_reference:.2f}s",
+        f"{'fig8 cycle loop (in-sim)':<34}{cycle_loop_s:>10.2f}s"
+        f"   {cycle_speedup:.2f}x vs seed {args.cycle_reference:.2f}s",
+        "",
+        f"scale sweep (scales {list(SCALES)}, jobs={args.jobs}):",
+        f"{'scale_sweep cold cache':<34}{scale_cold_s:>10.2f}s{1.0:>9.2f}x",
+        f"{'scale_sweep warm cache':<34}{scale_warm_s:>10.2f}s"
+        f"{scale_cold_s / scale_warm_s:>9.2f}x",
+        "",
+        "rows identical across all runs (serial/parallel/warm, cold/warm scale sweep): yes",
     ]
     text = "\n".join(lines)
     print(text)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(text + "\n")
+
+    scale_lines = [
+        "Scale sweep (specint): baseline vs RENO at workload scales "
+        f"{list(SCALES)}",
+        f"workloads: {', '.join(args.workloads)}; jobs={args.jobs}; "
+        "generated by scripts/benchmark_engine.py",
+        "",
+        str(scale_report),
+    ]
+    args.scale_sweep_output.parent.mkdir(parents=True, exist_ok=True)
+    args.scale_sweep_output.write_text("\n".join(scale_lines) + "\n")
+
     print(f"\nwritten to {args.output}")
+    print(f"scale sweep written to {args.scale_sweep_output}")
     return 0
 
 

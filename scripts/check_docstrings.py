@@ -1,0 +1,100 @@
+"""Docstring-coverage gate for the hot-path packages (interrogate-style).
+
+Walks the given packages with ``ast`` and counts docstrings on modules,
+classes and public functions/methods (names not starting with ``_``, plus
+``__init__`` exempted — its contract belongs to the class docstring).
+Fails if coverage drops below the threshold, printing every undocumented
+definition so the gate is actionable.
+
+No third-party dependency (the container must not need ``pip install``);
+CI runs it as part of the docs job, and it can be run locally:
+
+    python scripts/check_docstrings.py                # default packages/threshold
+    python scripts/check_docstrings.py --threshold 95 src/repro/uarch
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PACKAGES = ["src/repro/uarch", "src/repro/harness"]
+DEFAULT_THRESHOLD = 90.0
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def iter_definitions(tree: ast.Module, module_name: str):
+    """Yield (qualified name, node) for the module, classes and public defs."""
+    yield module_name, tree
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield f"{module_name}.{node.name}", node
+            for child in node.body:
+                if (isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and is_public(child.name)):
+                    yield f"{module_name}.{node.name}.{child.name}", child
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and is_public(node.name):
+            yield f"{module_name}.{node.name}", node
+
+
+def check_package(package: Path, root: Path):
+    """Returns (documented, missing) lists of qualified names."""
+    documented = []
+    missing = []
+    for path in sorted(package.rglob("*.py")):
+        module_name = str(path.relative_to(root)).removesuffix(".py").replace("/", ".")
+        tree = ast.parse(path.read_text())
+        for name, node in iter_definitions(tree, module_name):
+            if ast.get_docstring(node):
+                documented.append(name)
+            else:
+                missing.append(name)
+    return documented, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("packages", nargs="*", default=DEFAULT_PACKAGES,
+                        help="package directories to check")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help=f"minimum coverage percent (default {DEFAULT_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    documented: list[str] = []
+    missing: list[str] = []
+    for package in args.packages:
+        package_path = (root / package).resolve()
+        if not package_path.is_dir():
+            print(f"no such package directory: {package}", file=sys.stderr)
+            return 2
+        # Qualified names drop the src/ prefix when present; packages
+        # elsewhere (tests/, scripts/) are named relative to the repo root.
+        base = root / "src" if package_path.is_relative_to(root / "src") else root
+        good, bad = check_package(package_path, base)
+        documented.extend(good)
+        missing.extend(bad)
+
+    total = len(documented) + len(missing)
+    coverage = 100.0 * len(documented) / total if total else 100.0
+    print(f"docstring coverage: {coverage:.1f}% "
+          f"({len(documented)}/{total} definitions documented)")
+    if missing:
+        print("undocumented:")
+        for name in missing:
+            print(f"  - {name}")
+    if coverage < args.threshold:
+        print(f"FAIL: below threshold {args.threshold:.1f}%", file=sys.stderr)
+        return 1
+    print(f"ok (threshold {args.threshold:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.isa.registers import NUM_LOGICAL_REGS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mapping:
     """One map-table entry: a physical register and a displacement."""
 

@@ -32,7 +32,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.registers import NUM_LOGICAL_REGS
 from repro.isa.semantics import fits_signed
-from repro.uarch.rename import RenameResult, Renamer, SourceOperand
+from repro.uarch.rename import RenameResult, Renamer
 
 #: Store opcode → the load opcode a reverse (memory bypassing) entry targets.
 _STORE_TO_LOAD = {
@@ -85,25 +85,31 @@ class RenoRenamer(Renamer):
         return self.refcounts.free_count()
 
     def begin_group(self) -> None:
-        self._group_eliminated_logicals = set()
+        # Reuse one set for the life of the renamer (this runs every cycle).
+        eliminated = self._group_eliminated_logicals
+        if eliminated:
+            eliminated.clear()
 
     def end_group(self) -> None:
-        self._group_eliminated_logicals = set()
+        # Group state is reset lazily by the next begin_group.
+        pass
 
     def rename_next(self, dyn: DynamicInstruction) -> RenameResult | None:
         instruction = dyn.instruction
-        source_logicals = instruction.source_registers()
-        source_mappings = [self.map_table.get(logical) for logical in source_logicals]
+        source_logicals = instruction._sources    # precomputed source_registers()
+        map_entries = self.map_table._entries     # inlined ExtendedMapTable.get
+        source_mappings = [map_entries[logical] for logical in source_logicals]
         dest = instruction.dest_register
 
-        elimination = self._try_eliminate(dyn, source_logicals, source_mappings, dest)
+        elimination = None
+        if dest is not None:
+            elimination = self._try_eliminate(dyn, source_logicals, source_mappings, dest)
+            if elimination is None and self.refcounts.free_count() == 0:
+                return None  # must allocate, but no physical register is free
 
-        if elimination is None and dest is not None and self.refcounts.free_count() == 0:
-            return None  # must allocate, but no physical register is free
-
-        result = RenameResult(
-            sources=[SourceOperand(mapping.preg, mapping.disp) for mapping in source_mappings]
-        )
+        # Map-table Mapping entries are frozen and expose preg/disp, so they
+        # serve directly as source operands — no per-instruction copies.
+        result = RenameResult(source_mappings)
 
         if elimination is not None:
             kind, shared_preg, out_disp, needs_reexec = elimination
@@ -125,11 +131,16 @@ class RenoRenamer(Renamer):
             result.dest_preg = new_preg
             result.prev_dest_preg = previous.preg
             result.allocated = True
-        result.fusion_extra_latency = fusion_extra_latency(
-            instruction.opcode,
-            [mapping.disp for mapping in source_mappings],
-            self.config,
-        )
+        for mapping in source_mappings:
+            if mapping.disp:
+                # Only displaced operands can cost fusion latency; the common
+                # zero-displacement case skips the model call entirely.
+                result.fusion_extra_latency = fusion_extra_latency(
+                    instruction.opcode,
+                    [m.disp for m in source_mappings],
+                    self.config,
+                )
+                break
         self._insert_it_entries(dyn, source_mappings, result)
         return result
 
@@ -167,13 +178,21 @@ class RenoRenamer(Renamer):
         if dest is None:
             return None
         instruction = dyn.instruction
+        spec = instruction.spec
         config = self.config
 
-        fold = self._try_fold(instruction, source_logicals, source_mappings)
-        if fold is not None:
-            return fold
+        if spec.is_reg_imm_add:
+            # Only register-immediate additions can fold (the check that used
+            # to head _try_fold).
+            fold = self._try_fold(instruction, source_logicals, source_mappings)
+            if fold is not None:
+                return fold
 
-        if config.enable_integration and self._it_lookup_eligible(instruction):
+        # Inlined _it_lookup_eligible.
+        if config.enable_integration and (
+                spec.is_load
+                or (config.integration_policy == IT_POLICY_FULL
+                    and spec.op_class in (OpClass.ALU, OpClass.SHIFT))):
             return self._try_integrate(dyn, source_mappings)
         return None
 
@@ -185,9 +204,8 @@ class RenoRenamer(Renamer):
     ) -> tuple[str, int, int, bool] | None:
         """RENO_ME / RENO_CF: collapse moves and register-immediate additions."""
         config = self.config
-        if not instruction.is_reg_imm_add:
-            return None
-        is_move = instruction.is_move
+        spec = instruction.spec
+        is_move = spec.is_move
         if is_move:
             if not (config.enable_move_elimination or config.enable_constant_folding):
                 return None
@@ -230,7 +248,7 @@ class RenoRenamer(Renamer):
             return None
         self.stats["it_hits"] += 1
         kind = "ra" if entry.origin == "store" else "cse"
-        needs_reexec = instruction.is_load
+        needs_reexec = instruction.spec.is_load
         return (kind, entry.out_preg, entry.out_disp, needs_reexec)
 
     # ------------------------------------------------------------------
@@ -239,7 +257,7 @@ class RenoRenamer(Renamer):
 
     def _it_lookup_eligible(self, instruction: Instruction) -> bool:
         """Which instructions probe the IT under the configured policy."""
-        if instruction.is_load:
+        if instruction.spec.is_load:
             return True
         if self.config.integration_policy != IT_POLICY_FULL:
             return False
@@ -247,7 +265,7 @@ class RenoRenamer(Renamer):
 
     def _it_key(self, instruction: Instruction, source_mappings: list[Mapping]) -> tuple:
         inputs = tuple((mapping.preg, mapping.disp) for mapping in source_mappings)
-        if instruction.is_reg_imm_add:
+        if instruction.spec.is_reg_imm_add:
             return IntegrationTable.make_key(
                 _CANONICAL_ADD, instruction.folded_displacement, inputs
             )
@@ -265,10 +283,11 @@ class RenoRenamer(Renamer):
         instruction = dyn.instruction
         policy_full = self.config.integration_policy == IT_POLICY_FULL
 
-        if instruction.is_store:
+        spec = instruction.spec
+        if spec.is_store:
             self._insert_reverse_store_entry(dyn, source_mappings)
             return
-        if instruction.is_load and result.dest_preg is not None:
+        if spec.is_load and result.dest_preg is not None:
             key = self._it_key(instruction, source_mappings)
             self._insert(IntegrationEntry(
                 key=key, out_preg=result.dest_preg, out_disp=0,
@@ -277,7 +296,7 @@ class RenoRenamer(Renamer):
             return
         if not policy_full or result.dest_preg is None:
             return
-        op_class = instruction.spec.op_class
+        op_class = spec.op_class
         if op_class not in (OpClass.ALU, OpClass.SHIFT):
             return
         key = self._it_key(instruction, source_mappings)
@@ -285,7 +304,7 @@ class RenoRenamer(Renamer):
             key=key, out_preg=result.dest_preg, out_disp=0,
             origin="alu", value=dyn.result,
         ))
-        if instruction.is_reg_imm_add:
+        if spec.is_reg_imm_add:
             # Reverse entry: lets the matching future increment share the
             # pre-decrement register (bootstraps memory bypassing across
             # calls when constant folding is disabled).

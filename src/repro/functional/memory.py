@@ -46,15 +46,29 @@ class Memory:
 
     def read(self, address: int, size: int) -> int:
         """Read ``size`` bytes at ``address`` as an unsigned little-endian int."""
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            # Fast path: the access stays within one page, so it is a single
+            # slice instead of a Python call per byte.
+            page = self._pages.get(address >> 12)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:offset + size], "little")
         value = 0
-        for offset in range(size):
-            value |= self.read_byte(address + offset) << (8 * offset)
+        for index in range(size):
+            value |= self.read_byte(address + index) << (8 * index)
         return value
 
     def write(self, address: int, size: int, value: int) -> None:
         """Write the low ``size`` bytes of ``value`` at ``address`` (little-endian)."""
-        for offset in range(size):
-            self.write_byte(address + offset, (value >> (8 * offset)) & 0xFF)
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._page_for(address)
+            page[offset:offset + size] = (
+                value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+            return
+        for index in range(size):
+            self.write_byte(address + index, (value >> (8 * index)) & 0xFF)
 
     # -- conveniences used by tests and workload setup ----------------------
 

@@ -71,23 +71,27 @@ class FunctionalSimulator:
         """
         program = self.program
         state = self.state
-        memory = self.memory
         trace: list[DynamicInstruction] = []
-        code_length = len(program.instructions)
+        # Hot-loop aliases (this loop runs once per dynamic instruction).
+        instructions = program.instructions
+        index_of = program.index_of
+        execute_one = self._execute_one
+        append = trace.append
+        code_length = len(instructions)
         seq = 0
         halted = False
 
         while seq < self.max_instructions:
-            index = program.index_of(state.pc)
+            index = index_of(state.pc)
             if index < 0 or index >= code_length:
                 raise ExecutionLimitExceeded(
                     f"{program.name}: control transferred outside the code segment "
                     f"(pc={state.pc:#x})"
                 )
-            instruction = program.instructions[index]
-            dyn = self._execute_one(seq, index, instruction)
+            instruction = instructions[index]
+            dyn = execute_one(seq, index, instruction)
             if record_trace:
-                trace.append(dyn)
+                append(dyn)
             seq += 1
             if instruction.opcode is Opcode.HALT:
                 halted = True
@@ -103,7 +107,7 @@ class FunctionalSimulator:
             program=program,
             trace=trace,
             state=state,
-            memory=memory,
+            memory=self.memory,
             halted=halted,
             dynamic_count=seq,
         )
@@ -167,16 +171,6 @@ class FunctionalSimulator:
             raise ValueError(f"unhandled op class {op_class}")
 
         return DynamicInstruction(
-            seq=seq,
-            index=index,
-            pc=pc,
-            instruction=instruction,
-            rs1_value=rs1_value,
-            rs2_value=rs2_value,
-            result=result,
-            eff_addr=eff_addr,
-            store_value=store_value,
-            taken=taken,
-            next_pc=next_pc,
-            target_pc=target_pc,
+            seq, index, pc, instruction, rs1_value, rs2_value, result,
+            eff_addr, store_value, taken, next_pc, target_pc,
         )

@@ -21,6 +21,7 @@ from repro.harness.experiments import (
     instruction_mix,
     fusion_sensitivity,
     integration_table_cost,
+    run_scale_sweep,
 )
 
 __all__ = [
@@ -41,4 +42,5 @@ __all__ = [
     "instruction_mix",
     "fusion_sensitivity",
     "integration_table_cost",
+    "run_scale_sweep",
 ]

@@ -203,6 +203,7 @@ class SimulationCache:
         return len(self.entries())
 
     def size_bytes(self) -> int:
+        """Total on-disk size of all cache entries."""
         return sum(path.stat().st_size for path in self.entries())
 
     def clear(self) -> int:

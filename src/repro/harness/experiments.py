@@ -319,6 +319,73 @@ def figure12_scheduler(
 
 
 # ---------------------------------------------------------------------------
+# Scale sweep: the same grids at growing workload sizes
+# ---------------------------------------------------------------------------
+
+
+def run_scale_sweep(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scales: tuple[int, ...] = (1, 2, 4),
+    jobs: int | None = None,
+    cache=None,
+    max_instructions: int = 2_000_000,
+) -> ExperimentReport:
+    """Baseline-vs-RENO behaviour as the workloads scale up.
+
+    For each ``scale`` the full (workload × {BASE, RENO}) grid is fanned
+    through the parallel/cached experiment engine — ``jobs=`` parallelises
+    across workloads and ``cache=`` makes repeated sweeps nearly free, which
+    is what makes multi-scale grids cheap to iterate on.  Rows report the
+    dynamic instruction count, baseline cycles/IPC and the RENO speedup at
+    every (workload, scale) point, plus a per-scale arithmetic mean.
+
+    Args:
+        suite: Workload suite name (``specint``/``mediabench``).
+        workloads: Optional explicit workload subset.
+        scales: Scale factors to sweep (each roughly multiplies the dynamic
+            instruction count).
+        jobs: Worker processes per grid (see :func:`repro.harness.run_matrix`).
+        cache: Outcome cache (same forms as :func:`repro.harness.run_matrix`).
+        max_instructions: Functional-simulation budget per workload run.
+    """
+    names = _workload_list(suite, workloads)
+    machines = {"4wide": MachineConfig.default_4wide()}
+    renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()}
+
+    headers = ["benchmark", "scale", "instructions", "base cycles",
+               "base IPC", "RENO speedup"]
+    rows = []
+    data = {}
+    for scale in scales:
+        matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs,
+                            cache=cache, max_instructions=max_instructions)
+        speedup_sum = 0.0
+        for name in matrix.workloads:
+            base = matrix.get(name, "4wide", SPEEDUP_BASELINE)
+            speedup = matrix.speedup(name, "4wide", "RENO") - 1
+            speedup_sum += speedup
+            data[(name, scale)] = {
+                "instructions": base.stats.committed,
+                "base_cycles": base.cycles,
+                "base_ipc": base.ipc,
+                "speedup": speedup,
+            }
+            rows.append([_label(name), str(scale), str(base.stats.committed),
+                         str(base.cycles), f"{base.ipc:.2f}",
+                         format_percent(speedup, signed=True)])
+        count = len(matrix.workloads) or 1
+        data[("amean", scale)] = {"speedup": speedup_sum / count}
+        rows.append(["amean", str(scale), "", "", "",
+                     format_percent(speedup_sum / count, signed=True)])
+    return ExperimentReport(
+        name=f"Scale sweep ({suite})",
+        description=f"baseline vs RENO at workload scales {list(scales)}",
+        headers=headers, rows=rows, data=data,
+    )
+
+
+# ---------------------------------------------------------------------------
 # In-text results
 # ---------------------------------------------------------------------------
 

@@ -46,6 +46,7 @@ class MatrixResult:
     reno_labels: list[str]
 
     def get(self, workload: str, machine: str, reno: str) -> SimulationOutcome:
+        """The outcome for one grid point (raises :class:`MatrixLookupError`)."""
         try:
             return self.outcomes[(workload, machine, reno)]
         except KeyError:

@@ -8,7 +8,7 @@ from repro.isa.opcodes import Opcode, OpSpec, spec_for
 from repro.isa.registers import ZERO_REG, reg_name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One static AXP-lite instruction.
 
@@ -36,40 +36,47 @@ class Instruction:
     target: int | str | None = None
     comment: str = ""
 
-    # Cached spec lookup (not part of equality/hash).
-    _spec: OpSpec = field(init=False, repr=False, compare=False, default=None)
+    # Derived fields, precomputed once so the simulators' hot paths read
+    # plain attributes instead of calling properties (not part of
+    # equality/hash).
+    #: Static metadata for this instruction's opcode.
+    spec: OpSpec = field(init=False, repr=False, compare=False, default=None)
+    #: Logical register written (None for stores/branches/zero-reg writes).
+    dest_register: int | None = field(init=False, repr=False, compare=False, default=None)
+    #: The signed displacement this instruction adds to its source register.
+    #: Only meaningful for register-immediate additions: ``mov`` contributes
+    #: 0, ``addi`` contributes ``imm``, ``subi`` contributes ``-imm`` and
+    #: ``ldah`` contributes ``imm << 16``.
+    folded_displacement: int = field(init=False, repr=False, compare=False, default=0)
+    _sources: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "_spec", spec_for(self.opcode))
-
-    @property
-    def spec(self) -> OpSpec:
-        """Static metadata for this instruction's opcode."""
-        return self._spec
+        spec = spec_for(self.opcode)
+        object.__setattr__(self, "spec", spec)
+        # Writes to the hardwired zero register are treated as no
+        # destination, which matches how renaming handles them (no mapping
+        # update).
+        dest = self.rd if spec.writes_rd and self.rd not in (None, ZERO_REG) else None
+        object.__setattr__(self, "dest_register", dest)
+        if self.opcode is Opcode.MOV:
+            folded = 0
+        elif self.opcode is Opcode.SUBI:
+            folded = -self.imm
+        else:
+            folded = self.imm << spec.fold_shift
+        object.__setattr__(self, "folded_displacement", folded)
+        sources = []
+        if spec.reads_rs1 and self.rs1 is not None:
+            sources.append(self.rs1)
+        if spec.reads_rs2 and self.rs2 is not None:
+            sources.append(self.rs2)
+        object.__setattr__(self, "_sources", tuple(sources))
 
     # -- operand helpers --------------------------------------------------
 
     def source_registers(self) -> tuple[int, ...]:
         """Logical registers read by this instruction (zero register included)."""
-        sources = []
-        if self.spec.reads_rs1 and self.rs1 is not None:
-            sources.append(self.rs1)
-        if self.spec.reads_rs2 and self.rs2 is not None:
-            sources.append(self.rs2)
-        return tuple(sources)
-
-    @property
-    def dest_register(self) -> int | None:
-        """Logical register written by this instruction, or None.
-
-        Writes to the hardwired zero register are treated as no destination,
-        which matches how renaming handles them (no mapping update).
-        """
-        if not self.spec.writes_rd:
-            return None
-        if self.rd is None or self.rd == ZERO_REG:
-            return None
-        return self.rd
+        return self._sources
 
     # -- classification shortcuts used throughout the pipeline ------------
 
@@ -109,20 +116,6 @@ class Instruction:
     def is_reg_imm_add(self) -> bool:
         """True if this is a register-immediate addition in the RENO_CF sense."""
         return self.spec.is_reg_imm_add
-
-    @property
-    def folded_displacement(self) -> int:
-        """The signed displacement this instruction adds to its source register.
-
-        Only meaningful for register-immediate additions: ``mov`` contributes
-        0, ``addi`` contributes ``imm``, ``subi`` contributes ``-imm`` and
-        ``ldah`` contributes ``imm << 16``.
-        """
-        if self.opcode is Opcode.MOV:
-            return 0
-        if self.opcode is Opcode.SUBI:
-            return -self.imm
-        return self.imm << self.spec.fold_shift
 
     # -- pretty printing ---------------------------------------------------
 

@@ -27,8 +27,7 @@ format    meaning
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from functools import cached_property
+from dataclasses import dataclass, field
 
 
 class OpClass(enum.Enum):
@@ -108,7 +107,7 @@ class Opcode(enum.Enum):
     HALT = "halt"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpSpec:
     """Static metadata for one opcode.
 
@@ -149,38 +148,28 @@ class OpSpec:
     mem_bytes: int = 0
     mem_signed: bool = False
 
-    @cached_property
-    def is_load(self) -> bool:
-        return self.op_class is OpClass.LOAD
+    # Classification flags derived from op_class, precomputed so the
+    # simulators' hot paths read plain slot attributes (not part of
+    # equality/hash).
+    is_load: bool = field(init=False, repr=False, compare=False, default=False)
+    is_store: bool = field(init=False, repr=False, compare=False, default=False)
+    is_mem: bool = field(init=False, repr=False, compare=False, default=False)
+    is_cond_branch: bool = field(init=False, repr=False, compare=False, default=False)
+    is_control: bool = field(init=False, repr=False, compare=False, default=False)
+    is_call: bool = field(init=False, repr=False, compare=False, default=False)
+    is_return: bool = field(init=False, repr=False, compare=False, default=False)
 
-    @cached_property
-    def is_store(self) -> bool:
-        return self.op_class is OpClass.STORE
-
-    @cached_property
-    def is_mem(self) -> bool:
-        return self.is_load or self.is_store
-
-    @cached_property
-    def is_cond_branch(self) -> bool:
-        return self.op_class is OpClass.BRANCH
-
-    @cached_property
-    def is_control(self) -> bool:
-        return self.op_class in (
-            OpClass.BRANCH,
-            OpClass.JUMP,
-            OpClass.CALL,
-            OpClass.RET,
-        )
-
-    @cached_property
-    def is_call(self) -> bool:
-        return self.op_class is OpClass.CALL
-
-    @cached_property
-    def is_return(self) -> bool:
-        return self.op_class is OpClass.RET
+    def __post_init__(self) -> None:
+        op_class = self.op_class
+        set_field = object.__setattr__
+        set_field(self, "is_load", op_class is OpClass.LOAD)
+        set_field(self, "is_store", op_class is OpClass.STORE)
+        set_field(self, "is_mem", op_class is OpClass.LOAD or op_class is OpClass.STORE)
+        set_field(self, "is_cond_branch", op_class is OpClass.BRANCH)
+        set_field(self, "is_control", op_class in (
+            OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RET))
+        set_field(self, "is_call", op_class is OpClass.CALL)
+        set_field(self, "is_return", op_class is OpClass.RET)
 
 
 def _rr(op: Opcode, op_class: OpClass = OpClass.ALU, latency: int = 1) -> OpSpec:

@@ -52,12 +52,18 @@ def alu_eval(opcode: Opcode, a: int, b: int, imm: int) -> int:
     Returns:
         The 64-bit (unsigned representation) result value.
     """
-    sa = to_signed(a)
-    sb = to_signed(b)
+    # Ordered by dynamic frequency in the synthetic suites; the signed views
+    # are derived only on the branches that need them.
+    if opcode is Opcode.ADDI:
+        return (a + imm) & MASK64
     if opcode is Opcode.ADD:
-        return mask64(a + b)
+        return (a + b) & MASK64
+    if opcode is Opcode.MOV:
+        return a
+    if opcode is Opcode.SUBI:
+        return (a - imm) & MASK64
     if opcode is Opcode.SUB:
-        return mask64(a - b)
+        return (a - b) & MASK64
     if opcode is Opcode.AND:
         return a & b
     if opcode is Opcode.OR:
@@ -69,51 +75,46 @@ def alu_eval(opcode: Opcode, a: int, b: int, imm: int) -> int:
     if opcode is Opcode.SRL:
         return a >> (b & _SHIFT_MASK)
     if opcode is Opcode.SRA:
-        return mask64(sa >> (b & _SHIFT_MASK))
+        return mask64(to_signed(a) >> (b & _SHIFT_MASK))
     if opcode is Opcode.MUL:
-        return mask64(sa * sb)
+        return mask64(to_signed(a) * to_signed(b))
     if opcode is Opcode.DIV:
+        sb = to_signed(b)
         if sb == 0:
             return 0
-        return mask64(int(sa / sb))
+        return mask64(int(to_signed(a) / sb))
     if opcode is Opcode.CMPEQ:
         return 1 if a == b else 0
     if opcode is Opcode.CMPLT:
-        return 1 if sa < sb else 0
+        return 1 if to_signed(a) < to_signed(b) else 0
     if opcode is Opcode.CMPLE:
-        return 1 if sa <= sb else 0
+        return 1 if to_signed(a) <= to_signed(b) else 0
     if opcode is Opcode.CMPULT:
         return 1 if a < b else 0
-    if opcode is Opcode.ADDI:
-        return mask64(a + imm)
-    if opcode is Opcode.SUBI:
-        return mask64(a - imm)
     if opcode is Opcode.ANDI:
-        return a & mask64(imm)
+        return a & (imm & MASK64)
     if opcode is Opcode.ORI:
-        return a | mask64(imm)
+        return a | (imm & MASK64)
     if opcode is Opcode.XORI:
-        return a ^ mask64(imm)
+        return a ^ (imm & MASK64)
     if opcode is Opcode.SLLI:
         return mask64(a << (imm & _SHIFT_MASK))
     if opcode is Opcode.SRLI:
         return a >> (imm & _SHIFT_MASK)
     if opcode is Opcode.SRAI:
-        return mask64(sa >> (imm & _SHIFT_MASK))
+        return mask64(to_signed(a) >> (imm & _SHIFT_MASK))
     if opcode is Opcode.MULI:
-        return mask64(sa * imm)
+        return mask64(to_signed(a) * imm)
     if opcode is Opcode.CMPEQI:
-        return 1 if sa == imm else 0
+        return 1 if to_signed(a) == imm else 0
     if opcode is Opcode.CMPLTI:
-        return 1 if sa < imm else 0
+        return 1 if to_signed(a) < imm else 0
     if opcode is Opcode.CMPLEI:
-        return 1 if sa <= imm else 0
+        return 1 if to_signed(a) <= imm else 0
     if opcode is Opcode.CMPULTI:
-        return 1 if a < mask64(imm) else 0
+        return 1 if a < (imm & MASK64) else 0
     if opcode is Opcode.LDAH:
         return mask64(a + (imm << 16))
-    if opcode is Opcode.MOV:
-        return a
     raise ValueError(f"alu_eval cannot evaluate opcode {opcode}")
 
 

@@ -25,9 +25,11 @@ class SaturatingCounterTable:
         self._counters = [initial] * entries
 
     def predict(self, index: int) -> bool:
+        """Predicted direction for ``index`` (counter in the taken half)."""
         return self._counters[index & self._mask] >= 2
 
     def update(self, index: int, taken: bool) -> None:
+        """Saturate the counter toward the actual ``taken`` outcome."""
         slot = index & self._mask
         value = self._counters[slot]
         if taken:
@@ -54,6 +56,7 @@ class HybridPredictor:
         return base, base ^ (self.history & self._history_mask)
 
     def predict(self, pc: int) -> bool:
+        """Chooser-selected direction prediction for the branch at ``pc``."""
         bimodal_index, gshare_index = self._indices(pc)
         use_gshare = self.chooser.predict(bimodal_index)
         if use_gshare:
@@ -61,6 +64,7 @@ class HybridPredictor:
         return self.bimodal.predict(bimodal_index)
 
     def update(self, pc: int, taken: bool) -> None:
+        """Train both components, the chooser, and the global history."""
         bimodal_index, gshare_index = self._indices(pc)
         bimodal_correct = self.bimodal.predict(bimodal_index) == taken
         gshare_correct = self.gshare.predict(gshare_index) == taken
@@ -69,6 +73,26 @@ class HybridPredictor:
         self.bimodal.update(bimodal_index, taken)
         self.gshare.update(gshare_index, taken)
         self.history = ((self.history << 1) | int(taken)) & 0xFFFF
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """One-pass predict + train (same state changes as predict();
+        update() back to back, with the shared index/counter work done once).
+        """
+        base = (pc >> 2) & self._history_mask
+        gshare_index = base ^ (self.history & self._history_mask)
+        bimodal_counters = self.bimodal._counters
+        bimodal_mask = self.bimodal._mask
+        gshare_counters = self.gshare._counters
+        gshare_mask = self.gshare._mask
+        bimodal_taken = bimodal_counters[base & bimodal_mask] >= 2
+        gshare_taken = gshare_counters[gshare_index & gshare_mask] >= 2
+        predicted = gshare_taken if self.chooser.predict(base) else bimodal_taken
+        if (bimodal_taken == taken) != (gshare_taken == taken):
+            self.chooser.update(base, gshare_taken == taken)
+        self.bimodal.update(base, taken)
+        self.gshare.update(gshare_index, taken)
+        self.history = ((self.history << 1) | int(taken)) & 0xFFFF
+        return predicted
 
 
 class BranchTargetBuffer:
@@ -83,6 +107,7 @@ class BranchTargetBuffer:
         return self._sets[(pc >> 2) % self.num_sets]
 
     def predict(self, pc: int) -> int | None:
+        """Predicted target for ``pc`` (None on a BTB miss); updates LRU."""
         ways = self._set_for(pc)
         for tag, target in ways:
             if tag == pc:
@@ -92,6 +117,7 @@ class BranchTargetBuffer:
         return None
 
     def update(self, pc: int, target: int) -> None:
+        """Install/refresh the mapping ``pc -> target`` (LRU replacement)."""
         ways = self._set_for(pc)
         for entry in ways:
             if entry[0] == pc:
@@ -110,17 +136,19 @@ class ReturnAddressStack:
         self._stack: list[int] = []
 
     def push(self, address: int) -> None:
+        """Push a return address (oldest entry falls off when full)."""
         self._stack.append(address)
         if len(self._stack) > self.entries:
             self._stack.pop(0)
 
     def pop(self) -> int | None:
+        """Pop the predicted return address (None when empty)."""
         if self._stack:
             return self._stack.pop()
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchOutcome:
     """Result of processing one control instruction at fetch."""
 
@@ -146,15 +174,15 @@ class BranchUnit:
         self.ras_mispredictions = 0
 
     def process(self, dyn: DynamicInstruction) -> BranchOutcome:
+        """Predict + train on one fetched control instruction's outcome."""
         instruction = dyn.instruction
         op_class = instruction.spec.op_class
-        taken = bool(dyn.taken)
+        taken = dyn.taken is True
         outcome = BranchOutcome(mispredicted=False)
 
         if op_class is OpClass.BRANCH:
             self.conditional_branches += 1
-            predicted_taken = self.direction.predict(dyn.pc)
-            self.direction.update(dyn.pc, taken)
+            predicted_taken = self.direction.predict_and_update(dyn.pc, taken)
             if predicted_taken != taken:
                 self.mispredictions += 1
                 outcome = BranchOutcome(True, "direction")
@@ -182,6 +210,7 @@ class BranchUnit:
 
     @property
     def misprediction_rate(self) -> float:
+        """Direction mispredictions per conditional branch."""
         if not self.conditional_branches:
             return 0.0
         return self.mispredictions / self.conditional_branches

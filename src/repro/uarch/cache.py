@@ -19,6 +19,7 @@ class Cache:
         self.name = name
         self.num_sets = config.num_sets
         self.block_shift = config.block_bytes.bit_length() - 1
+        self.latency = config.latency
         # Per set: list of tags in LRU order (index 0 = most recently used).
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self.hits = 0
@@ -30,8 +31,9 @@ class Cache:
 
     def lookup(self, address: int) -> bool:
         """Access the cache; returns True on hit and updates LRU/contents."""
-        set_index, tag = self._locate(address)
-        ways = self._sets[set_index]
+        block = address >> self.block_shift       # inlined _locate
+        ways = self._sets[block % self.num_sets]
+        tag = block // self.num_sets
         if tag in ways:
             ways.remove(tag)
             ways.insert(0, tag)
@@ -50,14 +52,16 @@ class Cache:
 
     @property
     def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0.0 with no accesses)."""
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryAccessResult:
     """Outcome of a hierarchy access."""
 
@@ -87,6 +91,7 @@ class _Mshr:
 
     @property
     def outstanding(self) -> int:
+        """Misses currently in flight."""
         return len(self.completion_times)
 
 
@@ -104,14 +109,13 @@ class CacheHierarchy:
 
     def _access(self, l1: Cache, address: int, now: int, is_write: bool) -> MemoryAccessResult:
         if l1.lookup(address):
-            return MemoryAccessResult(latency=l1.config.latency, l1_hit=True, l2_hit=False)
+            return MemoryAccessResult(l1.latency, True, False)
         if self.l2.lookup(address):
-            latency = l1.config.latency + self.l2.config.latency
-            return MemoryAccessResult(latency=latency, l1_hit=False, l2_hit=True)
-        miss_latency = self.l2.config.latency + self.config.memory_latency
+            return MemoryAccessResult(l1.latency + self.l2.latency, False, True)
+        miss_latency = self.l2.latency + self.config.memory_latency
         stall = self._mshr.acquire(now, miss_latency)
-        latency = l1.config.latency + miss_latency + stall
-        return MemoryAccessResult(latency=latency, l1_hit=False, l2_hit=False, mshr_stall=stall)
+        latency = l1.latency + miss_latency + stall
+        return MemoryAccessResult(latency, False, False, stall)
 
     def access_instruction(self, address: int, now: int) -> MemoryAccessResult:
         """Instruction fetch access."""
@@ -127,4 +131,5 @@ class CacheHierarchy:
 
     @property
     def outstanding_misses(self) -> int:
+        """Misses currently occupying MSHR slots."""
         return self._mshr.outstanding

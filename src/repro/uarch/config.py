@@ -24,13 +24,16 @@ class CacheConfig:
 
     @property
     def num_sets(self) -> int:
+        """Number of sets implied by size/associativity/block size."""
         return self.size_bytes // (self.associativity * self.block_bytes)
 
     def to_dict(self) -> dict:
+        """Plain-dict form (for digests and serialisation)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "CacheConfig":
+        """Rebuild from :meth:`to_dict` output."""
         return cls(**data)
 
 

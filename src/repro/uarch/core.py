@@ -13,6 +13,13 @@ Modelling notes (also summarised in DESIGN.md):
 * The wakeup/select loop latency is modelled through the producer readiness
   timestamp: a dependent may issue ``max(latency, scheduler_latency)`` cycles
   after its producer.
+* Scheduling is event-driven (see :mod:`repro.uarch.scheduler`): dispatch
+  counts each instruction's unavailable operands, every physical-register
+  write is reported to the issue queue via ``IssueQueue.wakeup`` (the only
+  path that decrements those counts), and the select loop visits only
+  instructions whose count reached zero, kept oldest-first in per-class
+  ready lists.  Loads additionally pass a memory-ordering check
+  (:meth:`Pipeline._load_can_issue`) at select time.
 * Memory-ordering violations are detected when a load would consume stale
   data (an older overlapping store has not executed); the load is held back
   and charged a squash penalty, and the store-set predictor is trained.
@@ -20,6 +27,7 @@ Modelling notes (also summarised in DESIGN.md):
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 
 from repro.functional.memory import Memory
@@ -27,27 +35,29 @@ from repro.functional.trace import DynamicInstruction
 from repro.isa.opcodes import OpClass
 from repro.isa.program import DATA_BASE, STACK_BASE, Program
 from repro.isa.registers import NUM_LOGICAL_REGS, RegisterNames
-from repro.isa.semantics import MASK64, branch_taken, mask64, sign_extend
+from repro.isa.semantics import MASK64, alu_eval, branch_taken, mask64, sign_extend
 from repro.uarch.branch import BranchUnit
 from repro.uarch.cache import CacheHierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.execute import (
-    compute_alu_value,
-    effective_address,
-    store_value,
-)
+from repro.uarch.execute import effective_address, store_value
 from repro.uarch.inflight import InFlightInst, Stage, TimingRecord, make_timing_record
 from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry
-from repro.uarch.regfile import PhysicalRegisterFile
+from repro.uarch.regfile import NOT_READY, PhysicalRegisterFile
 from repro.uarch.rename import BaselineRenamer, Renamer
 from repro.uarch.rob import ReorderBuffer
-from repro.uarch.scheduler import LOAD_CLASS, IssueQueue
+from repro.uarch.scheduler import IssueQueue
 from repro.uarch.stats import SimStats
 from repro.uarch.storesets import StoreSets
 
 #: Sentinel for "front end stalled until further notice" (mispredicted branch
 #: still unresolved).
 _STALLED = 1 << 60
+
+#: Dispatch-time hot aliases: opcode classes that never execute, and the two
+#: in-flight stages assigned during insertion.
+_NO_EXECUTE_CLASSES = (OpClass.NOP, OpClass.HALT)
+_COMPLETED = Stage.COMPLETED
+_WAITING = Stage.WAITING
 
 
 class CommitMismatchError(Exception):
@@ -69,10 +79,12 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
+        """Committed instructions per cycle."""
         return self.stats.ipc
 
     @property
     def cycles(self) -> int:
+        """Total simulated cycles."""
         return self.stats.cycles
 
 
@@ -109,12 +121,28 @@ class Pipeline:
         initial_regs[RegisterNames.SP] = STACK_BASE
         initial_regs[RegisterNames.GP] = DATA_BASE
         self.prf = PhysicalRegisterFile(self.config.num_physical_regs, initial_regs)
+        # Hot-loop aliases: the value/readiness arrays are stable attributes
+        # of the register file, and the scheduler latency never changes
+        # during a run.
+        self._prf_values = self.prf.values
+        self._prf_ready = self.prf.ready_cycle
+        self._sched_latency = self.config.scheduler_latency
+        self._commit_width = self.config.commit_width
+        self._retire_dcache_ports = self.config.retire_dcache_ports
+        self._rename_width = self.config.rename_width
+        self._taken_branch_limit = self.config.taken_branches_per_fetch
+        self._fetch_block_bytes = self.config.l1i.block_bytes
+        self._front_end_depth = self.config.front_end_depth
         self.renamer: Renamer = renamer or BaselineRenamer(self.config.num_physical_regs)
 
         self.branch_unit = BranchUnit(self.config)
         self.caches = CacheHierarchy(self.config)
         self.store_sets = StoreSets(self.config.store_set_entries)
         self.issue_queue = IssueQueue(self.config)
+        # Producer-side wakeup aliases: most register writes have no
+        # registered waiters, so the membership test saves the call.
+        self._iq_waiters = self.issue_queue._waiters
+        self._iq_wakeup = self.issue_queue.wakeup
         self.rob = ReorderBuffer(self.config.rob_size)
         self.store_queue = StoreQueue(self.config.store_queue_size)
         self.load_queue = LoadQueue(self.config.load_queue_size)
@@ -142,27 +170,29 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def run(self) -> SimResult:
-        """Simulate until every trace instruction has retired."""
-        cycle = 0
-        total = len(self.trace)
-        # The cycle loop dominates wall-clock time; bind everything it
-        # touches once instead of re-resolving attributes every cycle.
-        stats = self.stats
-        max_cycles = self.config.max_cycles
-        commit = self._commit
-        issue = self._issue
-        dispatch = self._dispatch
-        while stats.committed < total:
-            if cycle >= max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"({stats.committed}/{total} instructions retired)"
-                )
-            commit(cycle)
-            issue(cycle)
-            dispatch(cycle)
-            cycle += 1
-        self.stats.cycles = cycle
+        """Simulate until every trace instruction has retired.
+
+        The loop is event-driven: after the three pipeline phases run for a
+        cycle, it asks the issue queue when the next wakeup is due and — if
+        nothing is ready, the ROB head is not yet committable and the front
+        end is stalled (or out of trace) — jumps the cycle counter straight
+        to the next event instead of spinning through guaranteed no-op
+        cycles.  Skipped stretches are pure no-ops except for the fetch-stall
+        counter, which is credited in bulk, so all statistics are identical
+        to the cycle-by-cycle loop's.
+        """
+        # The loop allocates hundreds of thousands of short-lived,
+        # acyclic objects; generational GC only burns time re-scanning
+        # them.  Reference counting reclaims everything, so pause GC for
+        # the duration (restoring the caller's setting afterwards).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_cycles()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self._merge_component_stats()
         return SimResult(
             stats=self.stats,
@@ -170,6 +200,82 @@ class Pipeline:
             final_registers=self._final_registers(),
             timing_records=self.timing_records if self.collect_timing else None,
         )
+
+    def _run_cycles(self) -> None:
+        """The cycle loop proper (see :meth:`run` for the event-driven model)."""
+        cycle = 0
+        total = len(self.trace)
+        # The cycle loop dominates wall-clock time; bind everything it
+        # touches once instead of re-resolving attributes every cycle.
+        stats = self.stats
+        max_cycles = self.config.max_cycles
+        commit = self._commit
+        dispatch = self._dispatch
+        issue_queue = self.issue_queue
+        select = issue_queue.select
+        load_ready = self._load_can_issue
+        execute = self._execute
+        wakeup_heap = issue_queue._wakeup_heap    # list identity is stable
+        rob_entries = self.rob._entries           # deque identity is stable
+        completed = Stage.COMPLETED
+        while stats.committed < total:
+            if cycle >= max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({stats.committed}/{total} instructions retired)"
+                )
+            # Commit, guarded: skip the call when the head cannot possibly
+            # commit (empty ROB or completion still in the future; a WAITING
+            # head carries complete_cycle == -1 and is rejected inside).
+            if rob_entries and rob_entries[0].complete_cycle < cycle:
+                commit(cycle)
+            # Issue (inlined): operand readiness is guaranteed by the wakeup
+            # model; the callback covers load memory-ordering conditions and
+            # select only applies it to load-class entries.  Skip the call
+            # outright when nothing is ready and no wakeup is due.
+            if issue_queue._ready_total or (wakeup_heap and wakeup_heap[0] <= cycle):
+                selected = select(cycle, load_ready)
+                if selected:
+                    for inst in selected:
+                        execute(inst, cycle)
+                    stats.issued += len(selected)
+            dispatch(cycle)
+            cycle += 1
+
+            # Event-driven fast-forward: find the earliest cycle at which any
+            # phase can act again and jump there.
+            if stats.committed >= total:
+                continue                      # simulation just finished
+            if issue_queue._ready_total:
+                continue                      # an issue may happen next cycle
+            idle = wakeup_heap[0] if wakeup_heap else NOT_READY
+            if idle <= cycle:
+                continue
+            target = idle
+            fetching = self._fetch_index < total
+            if fetching:
+                resume = self._fetch_resume_cycle
+                if resume <= cycle:
+                    continue                  # front end is active next cycle
+                if resume < target:
+                    target = resume
+            if rob_entries:
+                head = rob_entries[0]
+                if head.stage == completed:
+                    head_ready = head.complete_cycle + 1
+                    if head_ready < target:
+                        target = head_ready
+                # A WAITING head cannot commit until it issues, and no issue
+                # can happen before `idle` — already covered.
+            if target <= cycle:
+                continue
+            if target > max_cycles:
+                target = max_cycles           # let the runaway guard fire
+            if fetching:
+                # Exactly what the skipped _dispatch calls would have counted.
+                stats.fetch_stall_cycles += target - cycle
+            cycle = target
+        self.stats.cycles = cycle
 
     def _merge_component_stats(self) -> None:
         stats = self.stats
@@ -199,28 +305,75 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def _commit(self, cycle: int) -> None:
-        budget = self.config.commit_width
-        dcache_ports = self.config.retire_dcache_ports
-        rob_head = self.rob.head
+        rob_entries = self.rob._entries       # deque identity is stable
+        if not rob_entries:
+            return
+        head = rob_entries[0]
+        # Fast path: the head is not committable this cycle (the common case
+        # on every in-flight-bound cycle), so skip the budget bookkeeping.
+        # Between phases an in-flight stage is only ever WAITING or
+        # COMPLETED (execution completes within the issue phase).
+        if head.complete_cycle >= cycle or head.stage == Stage.WAITING:
+            return
+        budget = self._commit_width
+        dcache_ports = self._retire_dcache_ports
+        stats = self.stats
+        renamer_commit = self.renamer.commit
+        collect_timing = self.collect_timing
+        pop_head = rob_entries.popleft
+        lq_discard = self.load_queue.entries.discard
+        committed = 0
         while budget > 0:
-            head = rob_head()
-            if head is None or head.stage == Stage.WAITING or head.stage == Stage.ISSUED:
+            if not rob_entries:
+                break
+            head = rob_entries[0]
+            if head.stage == Stage.WAITING:
                 break
             if head.complete_cycle >= cycle:
                 break
-            if head.dyn.instruction.spec.is_store:
+            dyn = head.dyn
+            spec = dyn.instruction.spec
+            rename = head.rename
+            if spec.is_store:
                 if dcache_ports == 0:
                     break
                 self._commit_store(head, cycle)
                 dcache_ports -= 1
-            elif head.rename.eliminated and head.rename.needs_reexecution:
+            elif rename.eliminated and rename.needs_reexecution:
                 if dcache_ports == 0:
                     break
                 self._reexecute_load(head, cycle)
                 dcache_ports -= 1
-            self._check_value(head)
-            self._retire(head, cycle)
+            if dyn.result is not None and dyn.instruction.dest_register is not None:
+                # Inlined fast path of _check_value: non-eliminated results
+                # compare directly; the method re-derives the value and
+                # raises with full context on a mismatch (or for eliminated
+                # instructions, whose value lives in a shared register).
+                if rename.eliminated or head.value != dyn.result:
+                    self._check_value(head)
+            # Retirement, inlined: this runs once per committed instruction.
+            head.retire_cycle = cycle
+            head.stage = Stage.RETIRED
+            pop_head()
+            if spec.is_load:
+                lq_discard(dyn.seq)
+            renamer_commit(rename)
+            committed += 1
+            if rename.eliminated:
+                kind = rename.elim_kind
+                if kind == "move":
+                    stats.eliminated_moves += 1
+                elif kind == "cf":
+                    stats.eliminated_folds += 1
+                elif kind == "cse":
+                    stats.eliminated_cse += 1
+                elif kind == "ra":
+                    stats.eliminated_ra += 1
+            if collect_timing:
+                producers = self._producers.pop(head.seq, ())
+                self.timing_records.append(make_timing_record(head, producers))
             budget -= 1
+        stats.committed += committed
 
     def _commit_store(self, inst: InFlightInst, cycle: int) -> None:
         size = inst.dyn.instruction.spec.mem_bytes
@@ -255,46 +408,16 @@ class Pipeline:
                 f"(eliminated={inst.eliminated}, kind={inst.rename.elim_kind})"
             )
 
-    def _retire(self, inst: InFlightInst, cycle: int) -> None:
-        inst.retire_cycle = cycle
-        inst.stage = Stage.RETIRED
-        self.rob.pop_head()
-        if inst.dyn.instruction.spec.is_load:
-            self.load_queue.remove(inst.dyn.seq)
-        self.renamer.commit(inst.rename)
-        stats = self.stats
-        stats.committed += 1
-        if inst.rename.eliminated:
-            kind = inst.rename.elim_kind
-            if kind == "move":
-                stats.eliminated_moves += 1
-            elif kind == "cf":
-                stats.eliminated_folds += 1
-            elif kind == "cse":
-                stats.eliminated_cse += 1
-            elif kind == "ra":
-                stats.eliminated_ra += 1
-        if self.collect_timing:
-            producers = self._producers.pop(inst.seq, ())
-            self.timing_records.append(make_timing_record(inst, producers))
-
     # ------------------------------------------------------------------
     # Issue / execute
     # ------------------------------------------------------------------
 
     def _issue(self, cycle: int) -> None:
-        selected = self.issue_queue.select(cycle, self._can_issue)
+        """One select round (the cycle loop inlines this; kept for tests)."""
+        selected = self.issue_queue.select(cycle, self._load_can_issue)
         for inst in selected:
             self._execute(inst, cycle)
-
-    def _can_issue(self, inst: InFlightInst, cycle: int) -> bool:
-        ready_cycle = self.prf.ready_cycle
-        for source in inst.rename.sources:
-            if ready_cycle[source.preg] > cycle:
-                return False
-        if inst.port_class == LOAD_CLASS:
-            return self._load_can_issue(inst, cycle)
-        return True
+        self.stats.issued += len(selected)
 
     def _load_can_issue(self, inst: InFlightInst, cycle: int) -> bool:
         dyn = inst.dyn
@@ -329,19 +452,32 @@ class Pipeline:
         spec = dyn.instruction.spec
         stats = self.stats
         # Inlined operand materialisation (operand_values) on the raw value
-        # array: the fused-operand addition is folded into the same pass.
-        values = self.prf.values
-        operands = []
+        # array, unrolled for the 0/1/2-source cases: the fused-operand
+        # addition is folded into the same pass.
+        values = self._prf_values
+        sources = rename.sources
         fused = False
-        for source in rename.sources:
+        if not sources:
+            operands = []
+        elif len(sources) == 1:
+            source = sources[0]
             value = values[source.preg]
             if source.disp:
                 value = (value + source.disp) & MASK64
                 fused = True
-            operands.append(value)
+            operands = [value]
+        else:
+            first, second = sources
+            value = values[first.preg]
+            if first.disp:
+                value = (value + first.disp) & MASK64
+                fused = True
+            value2 = values[second.preg]
+            if second.disp:
+                value2 = (value2 + second.disp) & MASK64
+                fused = True
+            operands = [value, value2]
         inst.issue_cycle = cycle
-        inst.stage = Stage.ISSUED
-        stats.issued += 1
         if fused:
             stats.fused_operations += 1
             stats.fusion_penalty_cycles += rename.fusion_extra_latency
@@ -363,14 +499,27 @@ class Pipeline:
                         f"architectural direction {dyn.taken}"
                     )
             elif dyn.instruction.dest_register is not None:
-                value = compute_alu_value(dyn, operands)
+                # Inlined compute_alu_value (one call per ALU instruction).
+                if op_class is OpClass.CALL:
+                    value = (dyn.pc + 4) & MASK64
+                else:
+                    value = alu_eval(dyn.instruction.opcode,
+                                     operands[0] if operands else 0,
+                                     operands[1] if len(operands) > 1 else 0,
+                                     dyn.instruction.imm)
                 inst.value = value
                 if rename.allocated:
-                    ready = cycle + max(latency, self.config.scheduler_latency)
-                    self.prf.write(rename.dest_preg, value, ready)
+                    sched_latency = self._sched_latency
+                    ready = cycle + (latency if latency > sched_latency else sched_latency)
+                    dest_preg = rename.dest_preg
+                    # Inlined PhysicalRegisterFile.write + scheduler wakeup.
+                    values[dest_preg] = value
+                    self._prf_ready[dest_preg] = ready
+                    if dest_preg in self._iq_waiters:
+                        self._iq_wakeup(dest_preg, ready)
         inst.stage = Stage.COMPLETED
         if inst.mispredicted_branch and self._waiting_branch is inst:
-            self._fetch_resume_cycle = inst.complete_cycle + self.config.front_end_depth
+            self._fetch_resume_cycle = inst.complete_cycle + self._front_end_depth
             self._waiting_branch = None
 
     def _execute_load(self, inst: InFlightInst, operands: list[int], cycle: int, latency: int) -> None:
@@ -409,8 +558,14 @@ class Pipeline:
         inst.latency = total_latency
         inst.complete_cycle = cycle + total_latency
         if inst.rename.allocated:
-            ready = cycle + max(total_latency, self.config.scheduler_latency)
-            self.prf.write(inst.rename.dest_preg, value, ready)
+            sched_latency = self._sched_latency
+            ready = cycle + (total_latency if total_latency > sched_latency else sched_latency)
+            dest_preg = inst.rename.dest_preg
+            # Inlined PhysicalRegisterFile.write + scheduler wakeup.
+            self._prf_values[dest_preg] = value
+            self._prf_ready[dest_preg] = ready
+            if dest_preg in self._iq_waiters:
+                self._iq_wakeup(dest_preg, ready)
 
     def _execute_store(self, inst: InFlightInst, operands: list[int], cycle: int, latency: int) -> None:
         dyn = inst.dyn
@@ -437,59 +592,71 @@ class Pipeline:
     def _dispatch(self, cycle: int) -> None:
         trace = self.trace
         trace_length = len(trace)
-        if self._fetch_index >= trace_length:
+        fetch_index = self._fetch_index
+        if fetch_index >= trace_length:
             return
         stats = self.stats
         if cycle < self._fetch_resume_cycle:
             stats.fetch_stall_cycles += 1
             return
 
-        config = self.config
-        rename_width = config.rename_width
-        taken_branch_limit = config.taken_branches_per_fetch
-        fetch_block_bytes = config.l1i.block_bytes
+        rename_width = self._rename_width
+        taken_branch_limit = self._taken_branch_limit
+        fetch_block_bytes = self._fetch_block_bytes
         renamer = self.renamer
-        rob = self.rob
+        # Capacity checks run per candidate instruction; compare container
+        # lengths directly instead of paying a property call for each.
+        rob_entries = self.rob._entries
         issue_queue = self.issue_queue
-        store_queue = self.store_queue
-        load_queue = self.load_queue
-        prf = self.prf
+        sq_entries = self.store_queue.entries
+        lq_entries = self.load_queue.entries
+        rob_room = self.rob.capacity - len(rob_entries)
+        iq_room = issue_queue.capacity - issue_queue._count
+        sq_room = self.store_queue.capacity - len(sq_entries)
+        lq_room = self.load_queue.capacity - len(lq_entries)
+        prf_ready = self._prf_ready
         preg_writer = self._preg_writer
         collect_timing = self.collect_timing
+        iq_add = issue_queue.add
 
+        last_fetch_block = self._last_fetch_block
         taken_branches = 0
         dispatched = 0
+        pregs_allocated = 0
         renamer.begin_group()
-        while dispatched < rename_width and self._fetch_index < trace_length:
-            dyn = trace[self._fetch_index]
+        while dispatched < rename_width and fetch_index < trace_length:
+            dyn = trace[fetch_index]
             instruction = dyn.instruction
             spec = instruction.spec
 
-            # Structural stalls (checked conservatively before renaming).
-            if rob.full:
+            # Structural stalls (checked conservatively before renaming;
+            # the room counters mirror the containers' free space).
+            if not rob_room:
                 stats.rob_stall_cycles += 1
                 break
-            if issue_queue.full:
+            if not iq_room:
                 stats.iq_stall_cycles += 1
                 break
-            if spec.is_store and store_queue.full:
-                stats.lsq_stall_cycles += 1
-                break
-            if spec.is_load and load_queue.full:
+            if spec.is_store:
+                if not sq_room:
+                    stats.lsq_stall_cycles += 1
+                    break
+            elif spec.is_load and not lq_room:
                 stats.lsq_stall_cycles += 1
                 break
 
             # Instruction cache: one access per new block.
             block = dyn.pc // fetch_block_bytes
-            if block != self._last_fetch_block:
+            if block != last_fetch_block:
                 access = self.caches.access_instruction(dyn.pc, cycle)
+                last_fetch_block = block
                 self._last_fetch_block = block
                 if not access.l1_hit:
                     self._fetch_resume_cycle = cycle + access.latency
                     break
 
             # Taken-branch fetch limit.
-            is_taken_control = spec.is_control and bool(dyn.taken)
+            is_taken_control = spec.is_control and dyn.taken is True
             if is_taken_control and taken_branches >= taken_branch_limit:
                 break
 
@@ -499,18 +666,16 @@ class Pipeline:
                 stats.rename_stall_cycles += 1
                 break
 
-            inst = InFlightInst(dyn=dyn, rename=result,
-                                fetch_cycle=cycle, rename_cycle=cycle,
-                                dispatch_cycle=cycle)
+            inst = InFlightInst(dyn, result, cycle)
             inst.latency = spec.latency
             if collect_timing:
                 self._record_producers(inst)
             if result.allocated:
-                prf.mark_pending(result.dest_preg)
+                prf_ready[result.dest_preg] = NOT_READY   # inlined mark_pending
                 if collect_timing:
                     # The producer map only feeds timing records.
                     preg_writer[result.dest_preg] = dyn.seq
-                stats.pregs_allocated += 1
+                pregs_allocated += 1
 
             if is_taken_control:
                 taken_branches += 1
@@ -530,12 +695,35 @@ class Pipeline:
                     self._fetch_resume_cycle = _STALLED
                     stop_after = True
 
-            self._insert(inst, cycle)
-            self._fetch_index += 1
+            # Insertion (inlined): place the instruction into the ROB and,
+            # unless it was collapsed away, the IQ/LSQ.  Capacity was already
+            # checked by the structural-stall logic above.
+            rob_entries.append(inst)
+            rob_room -= 1
+            if result.eliminated or spec.op_class in _NO_EXECUTE_CLASSES:
+                # Collapsed out of the execution core (or a NOP/HALT): no
+                # issue-queue entry, no execution — immediately complete for
+                # retirement purposes.
+                inst.complete_cycle = cycle
+                inst.stage = _COMPLETED
+            else:
+                if spec.is_store:
+                    sq_entries.append(StoreQueueEntry(
+                        dyn.seq, dyn.pc, spec.mem_bytes, dyn.eff_addr))
+                    sq_room -= 1
+                elif spec.is_load:
+                    lq_entries.add(dyn.seq)
+                    lq_room -= 1
+                inst.stage = _WAITING
+                iq_add(inst, cycle, prf_ready)
+                iq_room -= 1
+            fetch_index += 1
             dispatched += 1
-            stats.fetched += 1
             if stop_after:
                 break
+        self._fetch_index = fetch_index
+        stats.fetched += dispatched
+        stats.pregs_allocated += pregs_allocated
         renamer.end_group()
 
         in_use = self.config.num_physical_regs - self.renamer.free_register_count()
@@ -552,34 +740,3 @@ class Pipeline:
             producers = producers + (self._preg_writer.get(inst.rename.dest_preg, -1),)
         self._producers[inst.seq] = producers
 
-    def _insert(self, inst: InFlightInst, cycle: int) -> None:
-        """Place a renamed instruction into the ROB and, if needed, the IQ/LSQ."""
-        dyn = inst.dyn
-        spec = dyn.instruction.spec
-        self.rob.add(inst)
-
-        if inst.rename.eliminated:
-            # Collapsed out of the execution core: no issue-queue entry, no
-            # execution.  It is immediately complete for retirement purposes.
-            inst.complete_cycle = cycle
-            inst.stage = Stage.COMPLETED
-            return
-
-        op_class = spec.op_class
-        if op_class in (OpClass.NOP, OpClass.HALT):
-            inst.complete_cycle = cycle
-            inst.stage = Stage.COMPLETED
-            return
-
-        if spec.is_store:
-            self.store_queue.add(StoreQueueEntry(
-                seq=dyn.seq,
-                pc=dyn.pc,
-                size=spec.mem_bytes,
-                trace_addr=dyn.eff_addr,
-            ))
-        elif spec.is_load:
-            self.load_queue.add(dyn.seq)
-
-        inst.stage = Stage.WAITING
-        self.issue_queue.add(inst)

@@ -18,7 +18,7 @@ class Stage:
     RETIRED = "retired"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class InFlightInst:
     """One instruction travelling down the pipeline.
 
@@ -33,8 +33,8 @@ class InFlightInst:
 
     dyn: DynamicInstruction
     rename: RenameResult
-    fetch_cycle: int = 0
-    rename_cycle: int = 0
+    # Fetch/rename/dispatch all happen in the same front-end cycle in this
+    # model, so one field records it.
     dispatch_cycle: int = 0
     issue_cycle: int = -1
     complete_cycle: int = -1
@@ -47,33 +47,42 @@ class InFlightInst:
     dcache_latency: int = 0
     replayed: bool = False
     mispredicted_branch: bool = False
-    # Load/store bookkeeping.
-    store_data_ready_cycle: int = -1
     # Issue-port class, cached by IssueQueue.add so wakeup/select never
     # re-derives it from the opcode spec.
     port_class: str = ""
+    # Outstanding-operand count, owned by the IssueQueue: the number of
+    # renamed source operands not yet available.  Set once at dispatch by
+    # IssueQueue.add and decremented only by the wakeup queue (one decrement
+    # per registered source, at that source's ready cycle); the instruction
+    # may appear in a ready list iff this count is zero.
+    waiting_ops: int = 0
+    # Copied from ``dyn.seq`` at construction: the wakeup/select structures
+    # sort by it constantly, so it must be a plain attribute, not a property.
+    seq: int = field(init=False, default=0)
 
-    @property
-    def seq(self) -> int:
-        return self.dyn.seq
+    def __post_init__(self) -> None:
+        self.seq = self.dyn.seq
 
     @property
     def is_load(self) -> bool:
+        """True for loads (delegates to the opcode spec)."""
         return self.dyn.instruction.is_load
 
     @property
     def is_store(self) -> bool:
+        """True for stores (delegates to the opcode spec)."""
         return self.dyn.instruction.is_store
 
     @property
     def eliminated(self) -> bool:
+        """True if RENO collapsed this instruction at rename."""
         return self.rename.eliminated
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<InFlight #{self.seq} {self.dyn.instruction} {self.stage}>"
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingRecord:
     """Compact per-retired-instruction record used by the critical-path model."""
 
@@ -100,7 +109,7 @@ def make_timing_record(inst: InFlightInst, producers: tuple[int, ...]) -> Timing
     return TimingRecord(
         seq=dyn.seq,
         opcode=dyn.instruction.opcode.value,
-        fetch_cycle=inst.fetch_cycle,
+        fetch_cycle=inst.dispatch_cycle,      # fetch == dispatch cycle here
         dispatch_cycle=inst.dispatch_cycle,
         issue_cycle=inst.issue_cycle,
         complete_cycle=inst.complete_cycle,

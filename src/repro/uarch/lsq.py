@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreQueueEntry:
     """One in-flight store.
 
@@ -34,7 +34,7 @@ def range_covers(addr_a: int, size_a: int, addr_b: int, size_b: int) -> bool:
     return addr_a <= addr_b and addr_a + size_a >= addr_b + size_b
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadCheck:
     """Outcome of disambiguating a load against the store queue."""
 
@@ -55,14 +55,17 @@ class StoreQueue:
 
     @property
     def full(self) -> bool:
+        """True when no store-queue entry is free."""
         return len(self.entries) >= self.capacity
 
     def add(self, entry: StoreQueueEntry) -> None:
-        if self.full:
+        """Append an in-flight store (dispatch order == program order)."""
+        if len(self.entries) >= self.capacity:
             raise RuntimeError("store queue overflow (dispatch should have stalled)")
         self.entries.append(entry)
 
     def find(self, seq: int) -> StoreQueueEntry | None:
+        """The entry for store ``seq`` (None if absent)."""
         for entry in self.entries:
             if entry.seq == seq:
                 return entry
@@ -93,9 +96,12 @@ class StoreQueue:
           **wait_store** until that store commits;
         * otherwise the load reads the **memory** image.
         """
-        for entry in sorted(
-            (e for e in self.entries if e.seq < seq), key=lambda e: -e.seq
-        ):
+        # The queue is kept in program order (appends happen at dispatch),
+        # so a reverse walk visits older stores youngest-first without the
+        # sort the previous implementation paid on every load.
+        for entry in reversed(self.entries):
+            if entry.seq >= seq:
+                continue
             if not entry.executed:
                 if ranges_overlap(entry.trace_addr, entry.size, addr, size):
                     return LoadCheck("violation", store=entry)
@@ -123,12 +129,15 @@ class LoadQueue:
 
     @property
     def full(self) -> bool:
+        """True when no load-queue entry is free."""
         return len(self.entries) >= self.capacity
 
     def add(self, seq: int) -> None:
-        if self.full:
+        """Track an in-flight load (capacity limit only)."""
+        if len(self.entries) >= self.capacity:
             raise RuntimeError("load queue overflow (dispatch should have stalled)")
         self.entries.add(seq)
 
     def remove(self, seq: int) -> None:
+        """Stop tracking a retired load (no-op for unknown loads)."""
         self.entries.discard(seq)

@@ -15,20 +15,25 @@ from repro.functional.trace import DynamicInstruction
 from repro.isa.registers import NUM_LOGICAL_REGS
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceOperand:
     """A renamed source operand: a physical register plus a displacement.
 
     In the conventional pipeline the displacement is always zero.  Under
     RENO_CF the map table attaches a displacement, and the consumer's
     functional unit adds it (operation fusion).
+
+    Source operands are immutable in practice and freely shared between
+    rename results (the RENO renamer reuses its map-table ``Mapping``
+    objects directly — anything with ``preg``/``disp`` attributes
+    qualifies); never mutate one in place.
     """
 
     preg: int
     disp: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RenameResult:
     """Everything the pipeline needs to know about one renamed instruction.
 
@@ -124,22 +129,30 @@ class BaselineRenamer(Renamer):
         self.map_table: list[int] = list(range(NUM_LOGICAL_REGS))
         self.free_list: deque[int] = deque(range(NUM_LOGICAL_REGS, num_physical_regs))
         self.allocations = 0
+        # Zero-displacement operands are immutable, so one shared instance
+        # per physical register serves every rename (no per-instruction
+        # allocation).
+        self._operand_cache = [SourceOperand(preg) for preg in range(num_physical_regs)]
 
     # ------------------------------------------------------------------
 
     def free_register_count(self) -> int:
+        """Registers left on the free list."""
         return len(self.free_list)
 
     def rename_next(self, dyn: DynamicInstruction) -> RenameResult | None:
+        """Map sources, allocate a fresh destination register (None = stall)."""
         instruction = dyn.instruction
         dest = instruction.dest_register
         if dest is not None and not self.free_list:
             return None
+        operand_cache = self._operand_cache
+        map_table = self.map_table
         sources = [
-            SourceOperand(self.map_table[logical])
-            for logical in instruction.source_registers()
+            operand_cache[map_table[logical]]
+            for logical in instruction._sources   # precomputed source_registers()
         ]
-        result = RenameResult(sources=sources)
+        result = RenameResult(sources)
         if dest is not None:
             new_preg = self.free_list.popleft()
             self.allocations += 1
@@ -150,8 +163,10 @@ class BaselineRenamer(Renamer):
         return result
 
     def commit(self, result: RenameResult) -> None:
+        """Free the previous mapping of the committed instruction."""
         if result.prev_dest_preg is not None:
             self.free_list.append(result.prev_dest_preg)
 
     def mapping_snapshot(self) -> list[tuple[int, int]]:
+        """Current logical -> (physical, 0) map (displacements are always 0)."""
         return [(preg, 0) for preg in self.map_table]

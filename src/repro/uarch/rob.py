@@ -26,19 +26,24 @@ class ReorderBuffer:
 
     @property
     def full(self) -> bool:
+        """True when no ROB entry is free."""
         return len(self._entries) >= self.capacity
 
     @property
     def free_entries(self) -> int:
+        """Remaining ROB capacity."""
         return self.capacity - len(self._entries)
 
     def add(self, inst: InFlightInst) -> None:
-        if self.full:
+        """Append a renamed instruction at the tail."""
+        if len(self._entries) >= self.capacity:
             raise RuntimeError("ROB overflow (dispatch should have stalled)")
         self._entries.append(inst)
 
     def head(self) -> InFlightInst | None:
+        """The oldest in-flight instruction (None when empty)."""
         return self._entries[0] if self._entries else None
 
     def pop_head(self) -> InFlightInst:
+        """Remove and return the (retiring) head."""
         return self._entries.popleft()

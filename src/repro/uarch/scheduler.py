@@ -1,19 +1,70 @@
-"""Issue queue and wakeup/select scheduling."""
+"""Issue queue with event-driven wakeup/select scheduling.
+
+The issue window used to be selected by a full scan: every cycle, every
+resident instruction was visited and its operands re-checked against the
+physical register file.  That is O(window × width) Python work per cycle even
+when nothing woke up.  This module replaces the scan with the standard
+event-driven model used by cycle-level simulators:
+
+* **Outstanding-operand counts.**  When an instruction enters the window,
+  :meth:`IssueQueue.add` counts how many of its renamed source operands are
+  not yet available (``InFlightInst.waiting_ops``).  An instruction with a
+  zero count goes straight to its port class's ready list.
+* **Cycle-indexed wakeup queue.**  A producer whose value becomes visible at
+  cycle *R* schedules its consumers in ``_wakeups[R]``; a min-heap of pending
+  cycles lets :meth:`IssueQueue.select` drain exactly the buckets that are
+  due.  Each drained entry decrements one outstanding-operand count; the
+  count hitting zero moves the instruction to a ready list.
+* **Per-class ready lists.**  Ready instructions are kept oldest-first (by
+  the dispatch ``seq``) in one list per issue-port class, so selection merges
+  a handful of list heads instead of re-deriving ``issue_class`` and
+  re-checking operands across the whole window.
+
+Invariants (relied on by the pipeline and checked by the equivalence tests in
+``tests/uarch/test_scheduler_equivalence.py``):
+
+* An instruction appears in a ready list **iff** every renamed source operand
+  has a readiness timestamp ``<=`` the current cycle, i.e. its
+  ``waiting_ops`` count has reached zero.  Loads additionally consult the
+  pipeline's memory-ordering predicate (the ``ready_fn`` callback) at select
+  time; a load that fails it simply stays in its ready list.
+* Operand counts are decremented only by the wakeup queue: once per
+  registered (instruction, source) pair, at that source's ready cycle.  The
+  pipeline is the only producer — it calls :meth:`IssueQueue.wakeup` after
+  every physical-register write, which moves the register's registered
+  waiters into the wakeup bucket for the write's ready cycle.
+* A source operand that is unwritten at dispatch time (readiness sentinel
+  ``NOT_READY``) registers the instruction under the source register in
+  ``_waiters``; the register is guaranteed to be written before it can be
+  freed/reallocated, so waiter lists never leak across register reuse.
+* Selection visits ready instructions in global ``seq`` order (oldest first),
+  skipping classes whose per-cycle port limit is exhausted, until the total
+  issue width is consumed — byte-for-byte the order the full scan produced.
+
+The pre-rewrite full scan survives as ``reference_select`` in the equivalence
+test module, which drives seeded random programs through both schedulers and
+asserts identical per-cycle issue sets and final statistics.
+"""
 
 from __future__ import annotations
 
 from bisect import insort
-from typing import Callable
+from heapq import heappop, heappush
+from typing import Callable, Sequence
 
 from repro.isa.opcodes import OpClass
 from repro.uarch.config import MachineConfig
 from repro.uarch.inflight import InFlightInst
+from repro.uarch.regfile import NOT_READY
 
 #: Issue-port classes.
 INT_CLASS = "int"
 LOAD_CLASS = "load"
 STORE_CLASS = "store"
 FP_CLASS = "fp"
+
+#: All port classes, in the order selection considers them.
+PORT_CLASSES = (INT_CLASS, LOAD_CLASS, STORE_CLASS, FP_CLASS)
 
 
 def issue_class(inst: InFlightInst) -> str:
@@ -26,84 +77,290 @@ def issue_class(inst: InFlightInst) -> str:
     return INT_CLASS
 
 
+def _seq_key(inst: InFlightInst) -> int:
+    return inst.seq
+
+
 class IssueQueue:
-    """The unified out-of-order issue window.
+    """The unified out-of-order issue window (event-driven wakeup/select).
 
     Selection is oldest-first among ready instructions, subject to per-class
     and total issue-width limits.  The wakeup/select loop latency is modelled
     by the producer's readiness timestamp (see the pipeline), not here.
+
+    See the module docstring for the wakeup-queue/ready-list invariants.
     """
 
     def __init__(self, config: MachineConfig):
         self.capacity = config.issue_queue_size
         self.config = config
-        self.entries: list[InFlightInst] = []
+        #: Resident-instruction count (window occupancy).
+        self._count = 0
+        #: Ready instructions across all classes (for the O(1) idle check).
+        self._ready_total = 0
+        #: Per-class ready lists, each sorted oldest-first by ``seq``.
+        self._ready: dict[str, list[InFlightInst]] = {
+            port_class: [] for port_class in PORT_CLASSES
+        }
+        #: Source preg -> instructions waiting for it to be produced.
+        self._waiters: dict[int, list[InFlightInst]] = {}
+        #: Ready cycle -> instructions receiving one operand wakeup then.
+        self._wakeups: dict[int, list[InFlightInst]] = {}
+        #: Min-heap of the cycles present in ``_wakeups``.
+        self._wakeup_heap: list[int] = []
+        #: Total issue width, fixed for the run.
+        self._total_issue = config.total_issue
+        #: (class, per-cycle port width) pairs, fixed for the run.
+        self._port_limits = (
+            (INT_CLASS, config.int_issue),
+            (LOAD_CLASS, config.load_issue),
+            (STORE_CLASS, config.store_issue),
+            (FP_CLASS, config.fp_issue),
+        )
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._count
 
     @property
     def full(self) -> bool:
-        return len(self.entries) >= self.capacity
+        """True when the window has no free entry."""
+        return self._count >= self.capacity
 
     @property
     def free_entries(self) -> int:
-        return self.capacity - len(self.entries)
+        """Remaining window capacity."""
+        return self.capacity - self._count
 
-    def add(self, inst: InFlightInst) -> None:
-        if self.full:
+    def add(
+        self,
+        inst: InFlightInst,
+        cycle: int = 0,
+        ready_cycles: Sequence[int] | None = None,
+    ) -> None:
+        """Insert a dispatched instruction and classify its operand state.
+
+        Args:
+            inst: The renamed instruction entering the window.
+            cycle: The dispatch cycle (used to decide which operands are
+                already available).
+            ready_cycles: The physical register file's readiness timestamps
+                (``PhysicalRegisterFile.ready_cycle``).  None treats every
+                operand as available, which is what unit tests that drive the
+                queue without a register file want.
+        """
+        if self._count >= self.capacity:
             raise RuntimeError("issue queue overflow (dispatch should have stalled)")
-        inst.port_class = issue_class(inst)
-        entries = self.entries
-        if entries and inst.seq < entries[-1].seq:
-            # The pipeline dispatches in sequence order, so this path is only
-            # taken by out-of-order external callers; keep the list sorted so
-            # oldest-first selection needs no per-cycle sort.
-            insort(entries, inst, key=lambda entry: entry.seq)
+        # Inline issue_class: this runs once per dispatched instruction.
+        op_class = inst.dyn.instruction.spec.op_class
+        if op_class is OpClass.LOAD:
+            inst.port_class = LOAD_CLASS
+        elif op_class is OpClass.STORE:
+            inst.port_class = STORE_CLASS
         else:
-            entries.append(inst)
+            inst.port_class = INT_CLASS
+        pending = 0
+        if ready_cycles is not None:
+            for source in inst.rename.sources:
+                ready_at = ready_cycles[source.preg]
+                if ready_at <= cycle:
+                    continue
+                pending += 1
+                if ready_at == NOT_READY:
+                    bucket = self._waiters.get(source.preg)
+                    if bucket is None:
+                        self._waiters[source.preg] = [inst]
+                    else:
+                        bucket.append(inst)
+                else:
+                    self._schedule(inst, ready_at)
+        inst.waiting_ops = pending
+        self._count += 1
+        if not pending:
+            # Inlined _push_ready (all operands already available — the
+            # common case at dispatch).
+            self._ready_total += 1
+            ready = self._ready[inst.port_class]
+            if ready and inst.seq < ready[-1].seq:
+                insort(ready, inst, key=_seq_key)
+            else:
+                ready.append(inst)
+
+    def wakeup(self, preg: int, ready_cycle: int) -> None:
+        """A producer wrote ``preg``; its value is visible at ``ready_cycle``.
+
+        Moves every instruction registered as waiting on ``preg`` into the
+        wakeup bucket for ``ready_cycle``.  Called by the pipeline after each
+        physical-register write; a write nobody waits on is a no-op.
+        """
+        waiters = self._waiters.pop(preg, None)
+        if waiters is None:
+            return
+        bucket = self._wakeups.get(ready_cycle)
+        if bucket is None:
+            self._wakeups[ready_cycle] = waiters
+            heappush(self._wakeup_heap, ready_cycle)
+        else:
+            bucket.extend(waiters)
+
+    def _schedule(self, inst: InFlightInst, ready_cycle: int) -> None:
+        """Register one operand wakeup for ``inst`` at ``ready_cycle``."""
+        bucket = self._wakeups.get(ready_cycle)
+        if bucket is None:
+            self._wakeups[ready_cycle] = [inst]
+            heappush(self._wakeup_heap, ready_cycle)
+        else:
+            bucket.append(inst)
+
+    def _push_ready(self, inst: InFlightInst) -> None:
+        """All operands available: move ``inst`` to its class's ready list."""
+        self._ready_total += 1
+        ready = self._ready[inst.port_class]
+        if ready and inst.seq < ready[-1].seq:
+            insort(ready, inst, key=_seq_key)
+        else:
+            ready.append(inst)
+
+    def idle_until(self) -> int | None:
+        """The cycle before which no select can possibly issue anything.
+
+        Returns None when some instruction is already ready (select must run
+        every cycle); otherwise the earliest pending wakeup cycle, or a
+        sentinel far beyond any simulation when nothing is in flight.  This is
+        what lets the pipeline's cycle loop fast-forward through guaranteed
+        idle stretches (dcache misses, branch-resolution stalls).
+        """
+        if self._ready_total:
+            return None
+        heap = self._wakeup_heap
+        return heap[0] if heap else NOT_READY
+
+    def _drain_wakeups(self, cycle: int) -> None:
+        """Apply every wakeup due at or before ``cycle``."""
+        heap = self._wakeup_heap
+        wakeups = self._wakeups
+        ready_lists = self._ready
+        while heap and heap[0] <= cycle:
+            for inst in wakeups.pop(heappop(heap)):
+                pending = inst.waiting_ops - 1
+                inst.waiting_ops = pending
+                if not pending:
+                    # Inlined _push_ready.
+                    self._ready_total += 1
+                    ready = ready_lists[inst.port_class]
+                    if ready and inst.seq < ready[-1].seq:
+                        insort(ready, inst, key=_seq_key)
+                    else:
+                        ready.append(inst)
 
     def select(
         self,
         cycle: int,
-        ready_fn: Callable[[InFlightInst, int], bool],
+        ready_fn: Callable[[InFlightInst, int], bool] | None = None,
     ) -> list[InFlightInst]:
         """Pick the instructions to issue this cycle and remove them.
 
         Args:
             cycle: Current cycle.
-            ready_fn: Callback deciding whether an instruction's operands
-                (and, for memory operations, its queue conditions) allow it
-                to issue at ``cycle``.
+            ready_fn: Optional last-moment veto, called (oldest-first) only
+                for **load-class** instructions whose operands are already
+                available.  The pipeline uses it for load memory-ordering
+                conditions — the one readiness aspect the wakeup queue cannot
+                index by cycle.  Other classes issue unconditionally once
+                their operand count reaches zero.
 
         Returns:
             Selected instructions, oldest first.
         """
-        config = self.config
-        limits = {
-            INT_CLASS: config.int_issue,
-            LOAD_CLASS: config.load_issue,
-            STORE_CLASS: config.store_issue,
-            FP_CLASS: config.fp_issue,
-        }
-        remaining_total = config.total_issue
-        entries = self.entries
+        heap = self._wakeup_heap
+        if heap and heap[0] <= cycle:
+            self._drain_wakeups(cycle)
+        if not self._ready_total:
+            return []
+
+        ready = self._ready
+        # Per-class cursors: [entries, next index, remaining port width,
+        # kept-back instructions, port class, load veto or None].
+        cursors = []
+        for port_class, limit in self._port_limits:
+            if limit and ready[port_class]:
+                gate = ready_fn if port_class == LOAD_CLASS else None
+                cursors.append([ready[port_class], 0, limit, None, port_class, gate])
+        if not cursors:
+            return []
+
+        remaining_total = self._total_issue
         selected: list[InFlightInst] = []
-        kept: list[InFlightInst] = []
-        index = 0
-        count = len(entries)
-        while index < count and remaining_total:
-            inst = entries[index]
-            index += 1
-            if (limits[inst.port_class] == 0
-                    or inst.dispatch_cycle >= cycle   # earliest issue is next cycle
-                    or not ready_fn(inst, cycle)):
-                kept.append(inst)
+        if len(cursors) == 1:
+            # Single-competitor fast path (the common case): walk the one
+            # ready list oldest-first, no cross-class merge needed.
+            best = cursors[0]
+            entries = best[0]
+            limit = best[2]
+            gate = best[5]
+            kept: list[InFlightInst] | None = None
+            index = 0
+            count = len(entries)
+            while index < count and limit and remaining_total:
+                inst = entries[index]
+                index += 1
+                if (inst.dispatch_cycle >= cycle      # earliest issue is next cycle
+                        or (gate is not None and not gate(inst, cycle))):
+                    if kept is None:
+                        kept = [inst]
+                    else:
+                        kept.append(inst)
+                    continue
+                selected.append(inst)
+                limit -= 1
+                remaining_total -= 1
+            best[1] = index
+            best[3] = kept
+        else:
+            active = list(cursors)
+            while remaining_total and active:
+                # Oldest ready instruction among classes with port width left.
+                best = active[0]
+                best_seq = best[0][best[1]].seq
+                for cursor in active[1:]:
+                    seq = cursor[0][cursor[1]].seq
+                    if seq < best_seq:
+                        best = cursor
+                        best_seq = seq
+                entries, index = best[0], best[1]
+                inst = entries[index]
+                best[1] = index + 1
+                gate = best[5]
+                if (inst.dispatch_cycle >= cycle      # earliest issue is next cycle
+                        or (gate is not None and not gate(inst, cycle))):
+                    if best[3] is None:
+                        best[3] = [inst]
+                    else:
+                        best[3].append(inst)
+                else:
+                    selected.append(inst)
+                    best[2] -= 1
+                    remaining_total -= 1
+                    if not best[2]:
+                        active.remove(best)
+                        continue
+                if best[1] == len(entries):
+                    active.remove(best)
+
+        # Re-assemble each touched ready list: instructions passed over stay,
+        # in order, ahead of the not-yet-visited suffix (both are seq-sorted
+        # and every kept seq precedes the suffix's).
+        for entries, index, _limit, kept, port_class, _gate in cursors:
+            if index == 0:
                 continue
-            limits[inst.port_class] -= 1
-            remaining_total -= 1
-            selected.append(inst)
+            if kept is None:
+                if index == len(entries):
+                    entries.clear()
+                else:
+                    del entries[:index]
+            else:
+                kept.extend(entries[index:])
+                ready[port_class] = kept
         if selected:
-            kept.extend(entries[index:])
-            self.entries = kept
+            self._count -= len(selected)
+            self._ready_total -= len(selected)
         return selected

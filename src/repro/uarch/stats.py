@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
     """Counters accumulated by one timing-simulation run.
 
@@ -74,6 +74,7 @@ class SimStats:
 
     @property
     def total_eliminated(self) -> int:
+        """All instructions collapsed at rename, any kind."""
         return (self.eliminated_moves + self.eliminated_folds
                 + self.eliminated_cse + self.eliminated_ra)
 
@@ -84,22 +85,27 @@ class SimStats:
 
     @property
     def move_elimination_rate(self) -> float:
+        """RENO_ME eliminations per committed instruction."""
         return self.eliminated_moves / self.committed if self.committed else 0.0
 
     @property
     def fold_rate(self) -> float:
+        """RENO_CF folds per committed instruction."""
         return self.eliminated_folds / self.committed if self.committed else 0.0
 
     @property
     def cse_ra_rate(self) -> float:
+        """RENO_CSE+RA integrations per committed instruction."""
         return (self.eliminated_cse + self.eliminated_ra) / self.committed if self.committed else 0.0
 
     @property
     def dcache_miss_rate(self) -> float:
+        """L1D misses per access (0.0 with no accesses)."""
         return self.dcache_misses / self.dcache_accesses if self.dcache_accesses else 0.0
 
     @property
     def it_hit_rate(self) -> float:
+        """Integration-table hits per lookup (0.0 with no lookups)."""
         return self.it_hits / self.it_lookups if self.it_lookups else 0.0
 
     def speedup_over(self, baseline: "SimStats") -> float:

@@ -1,0 +1,29 @@
+"""Tier-1 wrappers around the CI docs checks.
+
+Running these locally keeps the docs job green without waiting for CI:
+broken relative links, dangling anchors, syntax errors in cookbook examples
+and docstring-coverage regressions all fail here first.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def run_script(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / name), *args],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+
+
+def test_docs_links_and_examples():
+    result = run_script("check_docs.py")
+    assert result.returncode == 0, f"{result.stdout}\n{result.stderr}"
+
+
+def test_docstring_coverage_gate():
+    result = run_script("check_docstrings.py", "--threshold", "90")
+    assert result.returncode == 0, f"{result.stdout}\n{result.stderr}"

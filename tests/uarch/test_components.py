@@ -9,7 +9,7 @@ from repro.uarch.config import MachineConfig
 from repro.uarch.inflight import InFlightInst
 from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry, ranges_overlap
 from repro.uarch.regfile import PhysicalRegisterFile
-from repro.uarch.rename import BaselineRenamer, RenameResult
+from repro.uarch.rename import BaselineRenamer, RenameResult, SourceOperand
 from repro.uarch.rob import ReorderBuffer
 from repro.uarch.scheduler import INT_CLASS, LOAD_CLASS, IssueQueue, issue_class
 from repro.uarch.storesets import StoreSets
@@ -178,13 +178,52 @@ def test_issue_queue_skips_instructions_dispatched_this_cycle():
     assert len(queue.select(cycle=6, ready_fn=lambda inst, cycle: True)) == 1
 
 
-def test_issue_queue_respects_ready_fn():
+def test_issue_queue_ready_fn_gates_loads_only():
+    # The ready_fn veto models load memory-ordering conditions, so it only
+    # applies to load-class instructions; other classes issue once their
+    # operands are available.
     queue = IssueQueue(MachineConfig.default_4wide())
     queue.add(inflight(Opcode.ADD, seq=0, dispatch=0))
-    queue.add(inflight(Opcode.ADD, seq=1, dispatch=0))
-    selected = queue.select(cycle=3, ready_fn=lambda inst, cycle: inst.seq == 1)
-    assert [i.seq for i in selected] == [1]
+    queue.add(inflight(Opcode.LD, seq=1, dispatch=0))
+    selected = queue.select(cycle=3, ready_fn=lambda inst, cycle: False)
+    assert [i.seq for i in selected] == [0]
     assert len(queue) == 1
+    # The rejected load stays in its ready list and issues once the veto lifts.
+    selected = queue.select(cycle=4, ready_fn=lambda inst, cycle: True)
+    assert [i.seq for i in selected] == [1]
+    assert len(queue) == 0
+
+
+def test_issue_queue_event_driven_wakeup():
+    # An instruction with a pending operand becomes selectable only at the
+    # producer's announced ready cycle (via the cycle-indexed wakeup queue).
+    queue = IssueQueue(MachineConfig.default_4wide())
+    prf = PhysicalRegisterFile(64, [0] * 32)
+    consumer = inflight(Opcode.ADD, seq=0, dispatch=0)
+    consumer.rename.sources = [SourceOperand(40)]
+    prf.mark_pending(40)
+    queue.add(consumer, 0, prf.ready_cycle)
+    assert consumer.waiting_ops == 1
+    assert queue.select(cycle=1) == []
+    # Producer writes p40, visible at cycle 5.
+    prf.write(40, 123, 5)
+    queue.wakeup(40, 5)
+    assert queue.select(cycle=4) == []
+    assert queue.select(cycle=5) == [consumer]
+    assert consumer.waiting_ops == 0
+
+
+def test_issue_queue_idle_until():
+    queue = IssueQueue(MachineConfig.default_4wide())
+    prf = PhysicalRegisterFile(64, [0] * 32)
+    assert queue.idle_until() is not None        # empty queue: idle forever
+    consumer = inflight(Opcode.ADD, seq=0, dispatch=0)
+    consumer.rename.sources = [SourceOperand(40)]
+    prf.write(40, 7, 9)                          # ready in the future
+    queue.add(consumer, 0, prf.ready_cycle)
+    assert queue.idle_until() == 9               # next wakeup cycle
+    assert queue.select(cycle=9) == [consumer]
+    assert len(queue) == 0
 
 
 # ---------------------------------------------------------------------------
