@@ -8,21 +8,17 @@ few ALU-heavy kernels.
 Run with:  python examples/core_downsizing.py
 """
 
-from repro.harness import (
-    figure11_issue_width,
-    figure11_register_file,
-    figure12_scheduler,
-)
+from repro.harness import run_experiment
 
 WORKLOADS = ["gsm_encode_like", "gzip_like", "mesa_osdemo_like", "vortex_like"]
 
 
 def main():
-    print(figure11_register_file("specint", workloads=WORKLOADS))
+    print(run_experiment("fig11_regs", suite="specint", workloads=WORKLOADS))
     print()
-    print(figure11_issue_width("mediabench", workloads=WORKLOADS))
+    print(run_experiment("fig11_width", suite="mediabench", workloads=WORKLOADS))
     print()
-    print(figure12_scheduler("specint", workloads=WORKLOADS))
+    print(run_experiment("fig12", suite="specint", workloads=WORKLOADS))
     print()
     print("Reading the tables: 100% is the full-size baseline machine without RENO.")
     print("Rows show how much of that performance each configuration retains as the")

@@ -1,16 +1,24 @@
-"""Quickstart: write a small program, run it with and without RENO.
+"""Quickstart: write a small program, run it through the experiment engine.
 
-This example builds a tiny AXP-lite program with the assembler DSL, runs it
-on the paper's 4-wide machine with the conventional renamer and with the full
-RENO renamer, and prints what RENO eliminated and what that did to cycles.
+This example builds a tiny AXP-lite program with the assembler DSL, wraps it
+as an ad-hoc workload, and runs the {baseline, RENO} grid through
+``run_matrix`` — the same engine behind every registered experiment — then
+prints what RENO eliminated and what that did to cycles.
+
+The registered paper figures need no Python at all:
+
+    python -m repro list
+    python -m repro run fig8 --workloads gzip_like --json fig8.json
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import RenoConfig, simulate
+from repro.core import RenoConfig
+from repro.harness import SPEEDUP_BASELINE, run_matrix
 from repro.isa.assembler import Assembler
 from repro.isa.registers import RegisterNames as R
 from repro.uarch import MachineConfig
+from repro.workloads.base import Workload
 
 
 def build_program():
@@ -32,13 +40,22 @@ def build_program():
 
 
 def main():
-    program = build_program()
-    machine = MachineConfig.default_4wide()
+    # Ad-hoc workloads plug into the same grid engine the figures use; the
+    # closure builder cannot cross a process boundary, so the engine runs it
+    # in-process (keeping the full functional outcome we print below).
+    workload = Workload(name="quickstart", suite="example",
+                        builder=lambda scale: build_program(),
+                        description="quickstart kernel")
+    matrix = run_matrix(
+        [workload],
+        machines={"4wide": MachineConfig.default_4wide()},
+        renos={SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()},
+        cache=False,
+    )
+    baseline = matrix.get("quickstart", "4wide", SPEEDUP_BASELINE)
+    reno = matrix.get("quickstart", "4wide", "RENO")
 
-    baseline = simulate(program, machine)
-    reno = simulate(program, machine, RenoConfig.reno_default(), trace=baseline.functional)
-
-    print(f"program: {program.name} — {baseline.functional.dynamic_count} dynamic instructions")
+    print(f"program: quickstart — {baseline.functional.dynamic_count} dynamic instructions")
     print(f"architectural result (V0): {baseline.functional.state.read(R.V0)}")
     print()
     print(f"{'':24s}{'baseline':>12s}{'RENO':>12s}")
@@ -49,10 +66,14 @@ def main():
     print(f"{'additions folded':24s}{0:>12d}{stats.eliminated_folds:>12d}")
     print(f"{'loads eliminated':24s}{0:>12d}{stats.eliminated_cse + stats.eliminated_ra:>12d}")
     print(f"{'physical regs allocated':24s}{baseline.stats.pregs_allocated:>12d}{stats.pregs_allocated:>12d}")
-    speedup = baseline.cycles / reno.cycles - 1
+    speedup = matrix.speedup("quickstart", "4wide", "RENO") - 1
     print()
     print(f"RENO eliminated {stats.elimination_rate:.1%} of the dynamic instructions "
           f"and improved performance by {speedup:+.1%}.")
+    print()
+    print("Next: `python -m repro list` shows every registered paper experiment;")
+    print("`python -m repro run fig8 --workloads gzip_like --json fig8.json`")
+    print("writes a machine-readable report artifact.")
 
 
 if __name__ == "__main__":

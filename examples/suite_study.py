@@ -9,7 +9,7 @@ Run with:  python examples/suite_study.py  [--full]
 
 import sys
 
-from repro.harness import figure8_elimination_and_speedup, instruction_mix
+from repro.harness import run_experiment
 
 SPEC_SUBSET = ["gzip_like", "vortex_like", "crafty_like", "parser_like"]
 MEDIA_SUBSET = ["adpcm_decode_like", "gsm_decode_like", "jpeg_encode_like", "epic_like"]
@@ -20,13 +20,19 @@ def main():
     spec = None if full else SPEC_SUBSET
     media = None if full else MEDIA_SUBSET
 
-    print(instruction_mix("specint", workloads=spec))
+    print(run_experiment("mix", suite="specint", workloads=spec))
     print()
-    print(instruction_mix("mediabench", workloads=media))
+    print(run_experiment("mix", suite="mediabench", workloads=media))
     print()
-    print(figure8_elimination_and_speedup("specint", workloads=spec))
+    spec_report = run_experiment("fig8", suite="specint", workloads=spec)
+    media_report = run_experiment("fig8", suite="mediabench", workloads=media)
+    print(spec_report)
     print()
-    print(figure8_elimination_and_speedup("mediabench", workloads=media))
+    print(media_report)
+    print()
+    # Reports are structured, not just printable: pull the headline numbers.
+    print(f"SPECint amean elimination: {spec_report.data['amean']['total']:.1%}, "
+          f"MediaBench: {media_report.data['amean']['total']:.1%}")
 
 
 if __name__ == "__main__":

@@ -2,10 +2,12 @@
 
 Measures three things and writes one committed artifact each run:
 
-1. **Engine sweep** — the full fig8–fig12 experiment sweep three ways
-   (``jobs=1``/no cache, ``jobs=N``/cold cache, ``jobs=N``/warm cache), with
-   every report row compared across the three runs (the engine must be a
-   pure speedup, so any row difference is a hard failure).
+1. **Engine sweep** — the full fig8–fig12 experiment sweep four ways
+   (``jobs=1``/no cache, ``jobs=N``/cold cache, ``jobs=N``/warm cache,
+   ``jobs="auto"``/no cache), with every structured report (rows, raw data
+   and generating spec, via ``ExperimentReport.to_dict``) compared across
+   the runs (the engine must be a pure speedup, so any difference is a hard
+   failure).
 2. **Cycle loop** — the fig8 serial sweep again with a wall-clock probe
    around ``Pipeline.run``, isolating the cycle loop from program
    build, functional simulation and report formatting.  Both numbers are
@@ -36,26 +38,10 @@ import time
 from pathlib import Path
 
 import repro.uarch.core as uarch_core
-from repro.harness import (
-    SimulationCache,
-    figure8_elimination_and_speedup,
-    figure9_critical_path,
-    figure10_division_of_labor,
-    figure11_issue_width,
-    figure11_register_file,
-    figure12_scheduler,
-    run_scale_sweep,
-)
+from repro.harness import SimulationCache, run_experiment, run_scale_sweep
 
-#: The figure sweep being timed (the paper's full evaluation section).
-FIGURES = [
-    ("fig8", figure8_elimination_and_speedup),
-    ("fig9", figure9_critical_path),
-    ("fig10", figure10_division_of_labor),
-    ("fig11_regs", figure11_register_file),
-    ("fig11_width", figure11_issue_width),
-    ("fig12", figure12_scheduler),
-]
+#: The registered figure experiments being timed (the paper's evaluation).
+FIGURES = ["fig8", "fig9", "fig10", "fig11_regs", "fig11_width", "fig12"]
 
 #: Default workload subset: the same representative SPECint kernels the
 #: benchmark suite uses (see benchmarks/conftest.py).
@@ -109,32 +95,38 @@ def run_sweep(workloads, scale, jobs, cache):
     """Run every figure experiment once; returns (reports, seconds)."""
     reports = {}
     start = time.perf_counter()
-    for name, figure in FIGURES:
-        reports[name] = figure("specint", workloads=workloads, scale=scale,
-                               jobs=jobs, cache=cache)
+    for name in FIGURES:
+        reports[name] = run_experiment(name, suite="specint", workloads=workloads,
+                                       scale=scale, jobs=jobs, cache=cache)
     return reports, time.perf_counter() - start
 
 
-def check_rows_identical(reference, candidate, label) -> None:
-    """Fail loudly if any report row differs from the serial reference."""
+def check_reports_identical(reference, candidate, label) -> None:
+    """Fail loudly if any structured report differs from the serial reference.
+
+    Reports are compared in their ``to_dict`` form — rows, raw data values
+    and generating spec all at once — so the engine cannot drift in ways a
+    formatted-table comparison would miss.
+    """
     for name in reference:
-        if reference[name].rows != candidate[name].rows:
+        if reference[name].to_dict() != candidate[name].to_dict():
             raise SystemExit(
-                f"FAIL: {name} rows differ between serial/cold and {label};"
-                f"\nserial: {reference[name].rows}\n{label}: {candidate[name].rows}"
+                f"FAIL: {name} report differs between serial/cold and {label};"
+                f"\nserial: {reference[name].to_dict()}"
+                f"\n{label}: {candidate[name].to_dict()}"
             )
 
 
-def time_fig8_serial(workloads, repeats: int = 3):
-    """Best-of-N fig8 serial sweep wall-clock plus in-sim cycle-loop time."""
+def time_fig8(workloads, jobs, repeats: int = 3):
+    """Best-of-N fig8 sweep wall-clock plus in-sim cycle-loop time."""
     best_sweep = float("inf")
     best_loop = float("inf")
     for _ in range(repeats):
         probe = CycleLoopProbe()
         start = time.perf_counter()
         with probe:
-            figure8_elimination_and_speedup(
-                "specint", workloads=workloads, scale=1, jobs=1, cache=False)
+            run_experiment("fig8", suite="specint", workloads=workloads,
+                           scale=1, jobs=jobs, cache=False)
         sweep = time.perf_counter() - start
         best_sweep = min(best_sweep, sweep)
         best_loop = min(best_loop, probe.seconds)
@@ -152,10 +144,10 @@ def time_scale_sweep(workloads, jobs, cache_dir):
     warm_report = run_scale_sweep("specint", workloads=workloads,
                                   scales=SCALES, jobs=jobs, cache=cache)
     warm_s = time.perf_counter() - start
-    if cold_report.rows != warm_report.rows:
+    if cold_report.to_dict() != warm_report.to_dict():
         raise SystemExit(
-            f"FAIL: scale-sweep rows differ between cold and warm cache;"
-            f"\ncold: {cold_report.rows}\nwarm: {warm_report.rows}"
+            f"FAIL: scale-sweep report differs between cold and warm cache;"
+            f"\ncold: {cold_report.to_dict()}\nwarm: {warm_report.to_dict()}"
         )
     return cold_report, cold_s, warm_s
 
@@ -185,12 +177,15 @@ def main(argv=None) -> int:
         serial_reports, serial_s = run_sweep(args.workloads, args.scale, 1, False)
         cold_reports, cold_s = run_sweep(args.workloads, args.scale, args.jobs, cache)
         warm_reports, warm_s = run_sweep(args.workloads, args.scale, args.jobs, cache)
+        auto_reports, auto_s = run_sweep(args.workloads, args.scale, "auto", False)
 
-        check_rows_identical(serial_reports, cold_reports, "parallel/cold")
-        check_rows_identical(serial_reports, warm_reports, "parallel/warm")
+        check_reports_identical(serial_reports, cold_reports, "parallel/cold")
+        check_reports_identical(serial_reports, warm_reports, "parallel/warm")
+        check_reports_identical(serial_reports, auto_reports, "jobs=auto")
         entries = len(cache)
 
-        fig8_s, cycle_loop_s = time_fig8_serial(args.workloads)
+        fig8_s, cycle_loop_s = time_fig8(args.workloads, jobs=1)
+        fig8_auto_s, _ = time_fig8(args.workloads, jobs="auto")
         scale_report, scale_cold_s, scale_warm_s = time_scale_sweep(
             args.workloads, args.jobs, scale_cache_dir)
     finally:
@@ -209,10 +204,13 @@ def main(argv=None) -> int:
         f"{'serial, no cache':<34}{serial_s:>10.2f}s{1.0:>9.2f}x",
         f"{f'jobs={args.jobs}, cold cache':<34}{cold_s:>10.2f}s{serial_s / cold_s:>9.2f}x",
         f"{f'jobs={args.jobs}, warm cache':<34}{warm_s:>10.2f}s{serial_s / warm_s:>9.2f}x",
+        f"{'jobs=auto, no cache':<34}{auto_s:>10.2f}s{serial_s / auto_s:>9.2f}x",
         "",
         "event-driven scheduler vs PR 1 seed (same container, best of 3):",
         f"{'fig8 serial sweep':<34}{fig8_s:>10.2f}s"
         f"   {fig8_speedup:.2f}x vs seed {args.fig8_reference:.2f}s",
+        f"{'fig8 sweep, jobs=auto':<34}{fig8_auto_s:>10.2f}s"
+        f"   {fig8_s / fig8_auto_s:.2f}x vs serial {fig8_s:.2f}s",
         f"{'fig8 cycle loop (in-sim)':<34}{cycle_loop_s:>10.2f}s"
         f"   {cycle_speedup:.2f}x vs seed {args.cycle_reference:.2f}s",
         "",
@@ -221,7 +219,8 @@ def main(argv=None) -> int:
         f"{'scale_sweep warm cache':<34}{scale_warm_s:>10.2f}s"
         f"{scale_cold_s / scale_warm_s:>9.2f}x",
         "",
-        "rows identical across all runs (serial/parallel/warm, cold/warm scale sweep): yes",
+        "structured reports identical across all runs "
+        "(serial/parallel/warm/auto, cold/warm scale sweep): yes",
     ]
     text = "\n".join(lines)
     print(text)

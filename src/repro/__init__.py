@@ -10,7 +10,9 @@ The package is organised as:
   move elimination, constant folding, integration/CSE+RA),
 * :mod:`repro.analysis` — critical-path analysis and reporting,
 * :mod:`repro.harness` — experiment definitions that regenerate the paper's
-  figures.
+  figures (declarative sweep specs, a registry, pluggable executors),
+* :mod:`repro.cli` — the unified ``python -m repro`` command line
+  (``run`` / ``list`` / ``cache``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

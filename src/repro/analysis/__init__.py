@@ -1,11 +1,18 @@
 """Analysis utilities: critical-path breakdown (Figure 9) and report tables."""
 
 from repro.analysis.critpath import CriticalPathBreakdown, analyze_critical_path
-from repro.analysis.report import format_table, format_percent
+from repro.analysis.report import (
+    decode_data_key,
+    encode_data_key,
+    format_percent,
+    format_table,
+)
 
 __all__ = [
     "CriticalPathBreakdown",
     "analyze_critical_path",
     "format_table",
     "format_percent",
+    "encode_data_key",
+    "decode_data_key",
 ]

@@ -1,6 +1,32 @@
-"""Plain-text table formatting for harness reports."""
+"""Formatting and serialization helpers for harness reports.
+
+Tables render as plain ASCII (:func:`format_table`); the data half of an
+``ExperimentReport`` — whose keys may be strings or tuples — round-trips
+through JSON via :func:`encode_data_key` / :func:`decode_data_key`.
+"""
 
 from __future__ import annotations
+
+#: JSON tag marking an encoded tuple data key (see :func:`encode_data_key`).
+_TUPLE_TAG = "__tuple__"
+
+
+def encode_data_key(key):
+    """JSON-safe form of an ``ExperimentReport.data`` key (str or tuple).
+
+    Tuple keys (e.g. ``("gzip_like", "RENO")`` or ``("BASE", 160)``) become
+    a tagged object so :func:`decode_data_key` can rebuild them exactly.
+    """
+    if isinstance(key, tuple):
+        return {_TUPLE_TAG: list(key)}
+    return key
+
+
+def decode_data_key(encoded):
+    """Inverse of :func:`encode_data_key`."""
+    if isinstance(encoded, dict) and _TUPLE_TAG in encoded:
+        return tuple(encoded[_TUPLE_TAG])
+    return encoded
 
 
 def format_percent(value: float, signed: bool = False) -> str:

@@ -1,0 +1,167 @@
+"""Unified command-line interface: ``python -m repro``.
+
+Three subcommands cover the whole harness without writing Python:
+
+* ``python -m repro list`` — every registered experiment (registry-driven),
+  plus ``--workloads`` for the workload suites.
+* ``python -m repro run fig8 [--suite S] [--workloads W ...] [--scale N]
+  [--jobs auto|N] [--cache | --no-cache | --cache-dir DIR] [--json PATH]``
+  — build the experiment's spec, run the grid through the engine, print the
+  report table and optionally write the JSON artifact
+  (:meth:`~repro.harness.experiments.ExperimentReport.to_json`, exact
+  round-trip via ``from_json``).
+* ``python -m repro cache [--clear]`` — inspect or wipe the outcome cache
+  (absorbs the older ``python -m repro.harness.cache`` entry point, which
+  still works).
+
+Caching follows the library defaults: enabled when ``$REPRO_CACHE_DIR`` is
+set, unless forced with ``--cache`` / ``--no-cache`` / ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, list and cache the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a registered experiment and print / save its report")
+    run.add_argument("experiment", help="registry name (see `python -m repro list`)")
+    run.add_argument("--suite", default=None,
+                     help="workload suite (default: the experiment's own)")
+    run.add_argument("--workloads", nargs="+", metavar="NAME",
+                     help="explicit workload subset (default: the full suite)")
+    run.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    run.add_argument("--jobs", default=None, metavar="N|auto",
+                     help="worker processes: an integer or 'auto' (adaptive; "
+                          "the default)")
+    cache_group = run.add_mutually_exclusive_group()
+    cache_group.add_argument("--cache", action="store_true",
+                             help="force the default-location outcome cache on")
+    cache_group.add_argument("--no-cache", action="store_true",
+                             help="force the outcome cache off")
+    cache_group.add_argument("--cache-dir", metavar="DIR",
+                             help="use an outcome cache rooted at DIR")
+    run.add_argument("--json", metavar="PATH", dest="json_path",
+                     help="write the report as a JSON artifact to PATH "
+                          "('-' for stdout)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the report table on stdout")
+
+    lst = sub.add_parser("list", help="list registered experiments")
+    lst.add_argument("--workloads", action="store_true",
+                     help="also list the workload suites and their kernels")
+
+    cache = sub.add_parser("cache", help="inspect or clear the outcome cache")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+
+    return parser
+
+
+def _resolve_cache_arg(args) -> object:
+    """Map the --cache/--no-cache/--cache-dir flags onto the library forms."""
+    if args.cache:
+        return True
+    if args.no_cache:
+        return False
+    if args.cache_dir:
+        return args.cache_dir
+    return None
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.spec import get_experiment
+
+    try:
+        entry = get_experiment(args.experiment)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    try:
+        # jobs=None honors $REPRO_JOBS and otherwise defaults to "auto"
+        # (see repro.harness.executors.resolve_executor).
+        report = entry.run(
+            suite=args.suite,
+            workloads=args.workloads,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache=_resolve_cache_arg(args),
+        )
+    except (KeyError, ValueError) as error:
+        from repro.harness.runner import MatrixLookupError, ZeroCycleError
+
+        if isinstance(error, (MatrixLookupError, ZeroCycleError)):
+            # A broken simulation, not a usage error — surface the full
+            # traceback rather than a quiet exit-2 message.
+            raise
+        # Unknown workloads/suites and malformed grids arrive here; show the
+        # message without a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        print(report)
+    if args.json_path:
+        text = report.to_json()
+        if args.json_path == "-":
+            print(text)
+        else:
+            path = Path(args.json_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.harness.spec import list_experiments
+
+    entries = list_experiments()
+    width = max(len(entry.name) for entry in entries)
+    print("experiments:")
+    for entry in entries:
+        suite = f" [suite: {entry.default_suite}]"
+        print(f"  {entry.name:<{width}}  {entry.title} — {entry.description}{suite}")
+    print(f"\nrun one with: python -m repro run {entries[0].name} "
+          f"[--workloads ...] [--json out.json]")
+
+    if args.workloads:
+        from repro.workloads.base import list_workloads
+
+        by_suite: dict[str, list[str]] = {}
+        for workload in list_workloads():
+            by_suite.setdefault(workload.suite, []).append(workload.name)
+        print("\nworkloads:")
+        for suite_name, names in sorted(by_suite.items()):
+            print(f"  {suite_name}: {', '.join(names)}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.harness.cache import main as cache_main
+
+    return cache_main(["--clear"] if args.clear else [])
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_cache(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    raise SystemExit(main())

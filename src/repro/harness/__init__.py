@@ -1,15 +1,48 @@
 """Experiment harness: regenerates every figure of the paper's evaluation.
 
-Each ``figure*`` function in :mod:`repro.harness.experiments` corresponds to
-one figure (or in-text result) of the paper and returns an
-:class:`~repro.harness.experiments.ExperimentReport` whose rows mirror the
-series the paper plots.  The benchmarks in ``benchmarks/`` and the examples in
-``examples/`` are thin wrappers around these functions.
+The harness is organised around three layers:
+
+* **Specs and the registry** (:mod:`repro.harness.spec`): every figure is a
+  declarative :class:`SweepSpec` grid plus a pure reducer, registered under
+  a short name (``fig8`` ... ``fig12``, ``mix``, ``fusion``, ``it_cost``,
+  ``scale_sweep``) and runnable via :func:`run_experiment` or the
+  ``python -m repro`` CLI.
+* **The engine** (:mod:`repro.harness.executors`,
+  :mod:`repro.harness.cache`): pluggable execution backends (serial /
+  process pool / adaptive ``"auto"``) over a content-addressed on-disk
+  outcome cache.
+* **Compat wrappers** (:mod:`repro.harness.experiments`): the original
+  ``figure*`` functions, now thin shims over the registry, still returning
+  :class:`~repro.harness.experiments.ExperimentReport` objects whose rows
+  mirror the paper's figures.  The benchmarks in ``benchmarks/`` and the
+  examples in ``examples/`` build on these layers.
 """
 
 from repro.harness.cache import SimulationCache, outcome_key, program_digest
-from repro.harness.parallel import execute_grid
-from repro.harness.runner import MatrixLookupError, run_matrix, SPEEDUP_BASELINE
+from repro.harness.executors import (
+    AutoExecutor,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    execute_grid,
+    resolve_executor,
+)
+from repro.harness.runner import (
+    MatrixLookupError,
+    MatrixResult,
+    SPEEDUP_BASELINE,
+    ZeroCycleError,
+    run_matrix,
+)
+from repro.harness.spec import (
+    Experiment,
+    SweepSpec,
+    experiment,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run_experiment,
+)
 from repro.harness.experiments import (
     ExperimentReport,
     figure8_elimination_and_speedup,
@@ -26,12 +59,26 @@ from repro.harness.experiments import (
 
 __all__ = [
     "run_matrix",
+    "MatrixResult",
     "SPEEDUP_BASELINE",
     "MatrixLookupError",
+    "ZeroCycleError",
     "SimulationCache",
     "execute_grid",
     "outcome_key",
     "program_digest",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "AutoExecutor",
+    "resolve_executor",
+    "SweepSpec",
+    "Experiment",
+    "experiment",
+    "register_experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
     "ExperimentReport",
     "figure8_elimination_and_speedup",
     "figure9_critical_path",

@@ -1,0 +1,470 @@
+"""Pluggable execution backends for experiment grids.
+
+:func:`execute_grid` is the machinery behind
+:func:`repro.harness.runner.run_matrix`: it splits the (workload × machine ×
+RENO config) grid into one :class:`WorkloadTask` per workload, consults the
+on-disk outcome cache, and hands the task list to an :class:`Executor`:
+
+* :class:`SerialExecutor` runs every task in-process (keeping full outcomes).
+* :class:`ProcessExecutor` fans tasks out over a ``fork`` multiprocessing
+  pool, falling back to serial when the platform lacks ``fork``, a task
+  cannot be pickled, or there is only one task.
+* :class:`AutoExecutor` — the default behind ``jobs="auto"`` — probes the
+  CPU count, the grid size, and the *measured* per-cell cost of the first
+  workload before committing to a backend, so single-core containers and
+  tiny grids never pay fork + pickling overhead just to lose to the plain
+  serial loop.
+
+Design points:
+
+* **Task granularity is one workload.**  All (machine, RENO) points of a
+  workload share one functional trace — exactly the paper's methodology and
+  the serial runner's behaviour — so splitting finer would recompute traces.
+  Parallelism across workloads is where the wall-clock time is.
+* **Deterministic ordering.**  Results are assembled in grid order (workload,
+  then machine, then RENO label) regardless of worker completion order, so
+  ``MatrixResult`` iteration order is identical to the serial runner's.
+* **Graceful fallback.**  Every executor degrades to in-process execution
+  with identical results whenever a pool cannot help.
+* **Cache-aware workers.**  Each worker checks the cache per grid point and
+  only computes (and stores) the misses; the functional trace is built only
+  if at least one point of the workload misses.
+
+Workers return *slim* outcomes (no program / functional trace) to keep
+inter-process traffic proportional to the statistics, not the trace length.
+The in-process path keeps full outcomes for cache misses, preserving the
+original ``run_matrix`` behaviour for callers that inspect
+``outcome.functional``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from repro.core.config import RenoConfig
+from repro.core.simulator import SimulationOutcome, simulate
+from repro.functional.simulator import FunctionalSimulator
+from repro.harness.cache import SimulationCache, outcome_key, program_digest, resolve_cache
+from repro.uarch.config import MachineConfig
+from repro.workloads.base import Workload
+
+#: Environment variable supplying the default worker count for ``jobs=None``
+#: (an integer, or ``auto`` for adaptive backend selection).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Grid-point key: (workload name, machine label, RENO label).
+GridKey = tuple[str, str, str]
+
+#: One executed workload block: grid-ordered (key, outcome) pairs.
+Block = list[tuple[GridKey, SimulationOutcome]]
+
+#: Estimated remaining serial seconds above which :class:`AutoExecutor`
+#: switches from the serial loop to a process pool.  Roughly an order of
+#: magnitude above pool spawn + pickling overhead, so going parallel is only
+#: chosen when it can actually pay for itself.
+PROBE_THRESHOLD_S = 0.5
+
+
+@dataclass(frozen=True)
+class WorkloadTask:
+    """Everything a worker needs to run one workload's (machine × RENO) block."""
+
+    workload: Workload
+    scale: int
+    machines: tuple[tuple[str, MachineConfig], ...]
+    renos: tuple[tuple[str, RenoConfig | None], ...]
+    collect_timing: bool
+    max_instructions: int
+    cache_root: str | None
+
+    @property
+    def cells(self) -> int:
+        """Number of grid points this task covers."""
+        return len(self.machines) * len(self.renos)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a numeric ``jobs=`` argument (None → ``$REPRO_JOBS`` or 1).
+
+    Kept for backwards compatibility with pre-executor callers; the engine
+    itself now routes through :func:`resolve_executor`, which also accepts
+    ``"auto"``.
+    """
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+def _slim(outcome: SimulationOutcome) -> SimulationOutcome:
+    """Drop the program and functional trace before crossing a process pipe."""
+    return replace(outcome, program=None, functional=None)
+
+
+def run_workload_block(
+    task: WorkloadTask, *, slim: bool, cache: SimulationCache | None = None
+) -> Block:
+    """Run (or load from cache) every grid point of one workload.
+
+    Args:
+        task: The workload block description.
+        slim: Strip programs/traces from computed outcomes (used by worker
+            processes; the in-process path keeps them).
+        cache: Cache instance to use; defaults to one rooted at
+            ``task.cache_root`` (worker processes build their own so the
+            task stays cheap to pickle).
+
+    Returns:
+        ``[(grid_key, outcome), ...]`` in (machine, RENO) grid order.
+    """
+    workload = task.workload
+    if cache is None and task.cache_root is not None:
+        cache = SimulationCache(task.cache_root)
+    program = workload.build(task.scale)
+    digest = program_digest(program) if cache is not None else ""
+
+    points: list[tuple[GridKey, str | None, SimulationOutcome | None]] = []
+    misses = 0
+    for machine_label, machine in task.machines:
+        for reno_label, reno in task.renos:
+            grid_key = (workload.name, machine_label, reno_label)
+            key = None
+            outcome = None
+            if cache is not None:
+                key = outcome_key(digest, machine, reno,
+                                  task.max_instructions, task.collect_timing)
+                outcome = cache.get(key)
+            if outcome is None:
+                misses += 1
+            points.append((grid_key, key, outcome))
+
+    functional = None
+    if misses:
+        functional = FunctionalSimulator(program, task.max_instructions).run()
+
+    machines = dict(task.machines)
+    renos = dict(task.renos)
+    results: Block = []
+    for grid_key, key, outcome in points:
+        if outcome is None:
+            _, machine_label, reno_label = grid_key
+            outcome = simulate(
+                program,
+                machines[machine_label],
+                renos[reno_label],
+                trace=functional,
+                collect_timing=task.collect_timing,
+                max_instructions=task.max_instructions,
+            )
+            if cache is not None:
+                cache.put(key, outcome)
+            if slim:
+                outcome = _slim(outcome)
+        results.append((grid_key, outcome))
+    return results
+
+
+def _worker(task: WorkloadTask):
+    """Pool entry point: slim outcomes plus the worker-local cache stats,
+    which the parent merges so ``cache.stats`` is meaningful for pools."""
+    cache = SimulationCache(task.cache_root) if task.cache_root is not None else None
+    block = run_workload_block(task, slim=True, cache=cache)
+    return block, (cache.stats if cache is not None else None)
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None when the platform lacks it."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _tasks_picklable(tasks: list[WorkloadTask]) -> bool:
+    """Whether every task can cross a process boundary (ad-hoc workloads with
+    closure builders cannot; they silently run in-process instead)."""
+    try:
+        for task in tasks:
+            pickle.dumps(task)
+    except Exception:
+        return False
+    return True
+
+
+def build_tasks(
+    workloads: list[Workload],
+    machines: dict[str, MachineConfig],
+    renos: dict[str, RenoConfig | None],
+    *,
+    scale: int = 1,
+    collect_timing: bool = False,
+    max_instructions: int = 2_000_000,
+    cache_root: str | None = None,
+) -> list[WorkloadTask]:
+    """One :class:`WorkloadTask` per workload, covering the full grid."""
+    return [
+        WorkloadTask(
+            workload=workload,
+            scale=scale,
+            machines=tuple(machines.items()),
+            renos=tuple(renos.items()),
+            collect_timing=collect_timing,
+            max_instructions=max_instructions,
+            cache_root=cache_root,
+        )
+        for workload in workloads
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Strategy for running a list of workload tasks.
+
+    Implementations must return one block per task, **in task order**, with
+    each block's (machine, RENO) pairs in grid order — the deterministic
+    ordering contract every consumer of :func:`execute_grid` relies on.
+    """
+
+    def execute(
+        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+    ) -> list[Block]:
+        """Run every task and return their blocks in task order."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SerialExecutor:
+    """Run every task in-process (full, non-slim outcomes)."""
+
+    def execute(
+        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+    ) -> list[Block]:
+        """Run the tasks one after another in the current process."""
+        return [run_workload_block(task, slim=False, cache=cache) for task in tasks]
+
+
+class ProcessExecutor:
+    """Fan tasks out over a ``fork`` multiprocessing pool.
+
+    Falls back to :class:`SerialExecutor` whenever a pool cannot help or
+    cannot work: a single task, ``jobs <= 1``, a platform without ``fork``,
+    or tasks that cannot be pickled.
+    """
+
+    def __init__(self, jobs: int):
+        """Create an executor using at most ``jobs`` worker processes."""
+        self.jobs = jobs
+
+    def execute(
+        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+    ) -> list[Block]:
+        """Run the tasks on a worker pool (serial fallback when impossible)."""
+        jobs = min(self.jobs, len(tasks))
+        context = _fork_context()
+        if jobs <= 1 or context is None or not _tasks_picklable(tasks):
+            return SerialExecutor().execute(tasks, cache)
+        with context.Pool(processes=jobs) as pool:
+            results = pool.map(_worker, tasks)
+        blocks: list[Block] = []
+        for block, worker_stats in results:
+            blocks.append(block)
+            if cache is not None and worker_stats is not None:
+                cache.stats.hits += worker_stats.hits
+                cache.stats.misses += worker_stats.misses
+                cache.stats.stores += worker_stats.stores
+        return blocks
+
+
+class AutoExecutor:
+    """Adaptive backend selection: probe first, then commit.
+
+    The decision has two phases:
+
+    1. **Static** (:meth:`static_choice`): serial whenever a pool cannot
+       possibly win — one CPU, fewer than two tasks, no ``fork``, or
+       unpicklable tasks.  This is what fixes the historical single-core
+       regression, where fork + pickling overhead made ``jobs=N`` slower
+       than the plain loop.
+    2. **Probe**: otherwise tasks run in-process until one actually
+       *computes* something (an all-cache-hit block costs ~nothing and says
+       nothing about simulation cost, so it is consumed and the probe moves
+       on), giving a measured per-miss cell cost.  The remaining tasks go
+       to a :class:`ProcessExecutor` only when their estimated serial time
+       exceeds ``probe_threshold_s``; tiny grids (e.g. micro-workload test
+       sweeps) stay serial and skip pool spawn entirely.
+
+    Simulated results are identical whichever backend is chosen; only
+    wall-clock time (and outcome slimness, see module docstring) differ.
+    """
+
+    def __init__(
+        self,
+        max_jobs: int | None = None,
+        cpu_count: int | None = None,
+        probe_threshold_s: float = PROBE_THRESHOLD_S,
+    ):
+        """Create the executor.
+
+        Args:
+            max_jobs: Cap on worker processes (None = number of CPUs).
+            cpu_count: Override the probed CPU count (for tests).
+            probe_threshold_s: Estimated remaining serial seconds above
+                which the process pool is chosen.
+        """
+        self.max_jobs = max_jobs
+        self.cpu_count = cpu_count
+        self.probe_threshold_s = probe_threshold_s
+
+    def _cpus(self) -> int:
+        return self.cpu_count if self.cpu_count is not None else (os.cpu_count() or 1)
+
+    def static_choice(self, tasks: list[WorkloadTask]) -> Executor | None:
+        """The backend decidable without probing, or None when a probe is needed."""
+        if self._cpus() <= 1 or len(tasks) < 2:
+            return SerialExecutor()
+        if _fork_context() is None or not _tasks_picklable(tasks):
+            return SerialExecutor()
+        return None
+
+    def _pool_jobs(self, tasks: list[WorkloadTask]) -> int:
+        jobs = min(self._cpus(), len(tasks))
+        if self.max_jobs is not None:
+            jobs = min(jobs, self.max_jobs)
+        return jobs
+
+    def execute(
+        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+    ) -> list[Block]:
+        """Run the tasks on the backend the probe selects."""
+        choice = self.static_choice(tasks)
+        if choice is not None:
+            return choice.execute(tasks, cache)
+
+        # Probe in-process until a block actually computes cells: estimating
+        # cost from an all-cache-hit block would read as "free" and wrongly
+        # keep an expensive, mostly-uncached remainder serial.
+        blocks: list[Block] = []
+        per_cell = None
+        index = 0
+        while index < len(tasks):
+            task = tasks[index]
+            misses_before = cache.stats.misses if cache is not None else 0
+            start = time.perf_counter()
+            blocks.append(run_workload_block(task, slim=False, cache=cache))
+            elapsed = time.perf_counter() - start
+            computed = (cache.stats.misses - misses_before
+                        if cache is not None else task.cells)
+            index += 1
+            if computed:
+                per_cell = elapsed / computed
+                break
+
+        rest = tasks[index:]
+        if not rest:
+            return blocks
+        # Remaining cells are costed as if uncached — an upper bound, so a
+        # warm remainder at worst pays one pool spawn for near-free hits.
+        remaining_cells = sum(task.cells for task in rest)
+        if per_cell * remaining_cells < self.probe_threshold_s:
+            blocks.extend(SerialExecutor().execute(rest, cache))
+        else:
+            blocks.extend(ProcessExecutor(self._pool_jobs(rest)).execute(rest, cache))
+        return blocks
+
+
+def resolve_executor(
+    jobs: int | str | None = None, executor: Executor | None = None
+) -> Executor:
+    """Normalise the ``jobs=`` / ``executor=`` arguments to an :class:`Executor`.
+
+    * An explicit ``executor`` always wins.
+    * ``jobs=None`` (the default) reads ``$REPRO_JOBS``; an unset (or
+      unparseable) variable means ``"auto"``.
+    * ``jobs="auto"`` selects :class:`AutoExecutor`.
+    * ``jobs<=1`` selects :class:`SerialExecutor`; larger integers select
+      :class:`ProcessExecutor` with that many workers.
+    """
+    if executor is not None:
+        return executor
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV, "").strip() or "auto"
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            return AutoExecutor()
+        try:
+            jobs = int(jobs)
+        except ValueError:
+            return AutoExecutor()
+    if jobs <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs)
+
+
+# ---------------------------------------------------------------------------
+# The grid entry point
+# ---------------------------------------------------------------------------
+
+
+def execute_grid(
+    workloads: list[Workload],
+    machines: dict[str, MachineConfig],
+    renos: dict[str, RenoConfig | None],
+    *,
+    scale: int = 1,
+    collect_timing: bool = False,
+    max_instructions: int = 2_000_000,
+    jobs: int | str | None = None,
+    cache: SimulationCache | bool | str | None = None,
+    executor: Executor | None = None,
+) -> dict[GridKey, SimulationOutcome]:
+    """Run the full grid and return outcomes in deterministic grid order.
+
+    Args:
+        workloads: Resolved workload objects (one task each).
+        machines: Machine-label → configuration.
+        renos: RENO-label → configuration (None = baseline).
+        scale: Workload scale factor.
+        collect_timing: Keep per-instruction timing records.
+        max_instructions: Functional-simulation budget.
+        jobs: Worker processes: an int, ``"auto"`` (adaptive; the default),
+            or None to read ``$REPRO_JOBS``.
+        cache: Outcome cache; accepts every form
+            :func:`repro.harness.cache.resolve_cache` understands
+            (instance / bool / path / None).
+        executor: Explicit :class:`Executor` instance (overrides ``jobs``).
+
+    Returns:
+        ``{(workload name, machine label, reno label): outcome}`` ordered
+        exactly as the serial nested loops would produce it.  Outcomes
+        computed by worker processes or loaded from the cache are *slim*:
+        ``program``/``functional`` are None, while all timing-side fields
+        are byte-identical to an in-process run.
+    """
+    executor = resolve_executor(jobs, executor)
+    cache = resolve_cache(cache)
+    cache_root = str(cache.root) if cache is not None else None
+    tasks = build_tasks(
+        workloads,
+        machines,
+        renos,
+        scale=scale,
+        collect_timing=collect_timing,
+        max_instructions=max_instructions,
+        cache_root=cache_root,
+    )
+    blocks = executor.execute(tasks, cache) if tasks else []
+    outcomes: dict[GridKey, SimulationOutcome] = {}
+    for block in blocks:
+        for grid_key, outcome in block:
+            outcomes[grid_key] = outcome
+    return outcomes

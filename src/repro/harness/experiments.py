@@ -1,20 +1,35 @@
 """One experiment per figure / in-text result of the paper's evaluation.
 
-Every function returns an :class:`ExperimentReport` whose rows mirror the
+Each figure is registered in the experiment registry
+(:mod:`repro.harness.spec`) as a *spec builder* — parameters →
+:class:`~repro.harness.spec.SweepSpec` — plus a *pure reducer* that turns the
+resulting :class:`~repro.harness.runner.MatrixResult` into an
+:class:`ExperimentReport`.  The registry is what drives the ``python -m
+repro`` CLI; the original ``figure*`` functions remain as thin
+backwards-compatible wrappers over :func:`~repro.harness.spec.run_experiment`.
+
+Every experiment returns an :class:`ExperimentReport` whose rows mirror the
 series of the corresponding figure.  ``workloads=None`` runs the full suite;
 passing an explicit subset (as the benchmarks do) keeps runtimes bounded.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.analysis.critpath import analyze_critical_path
-from repro.analysis.report import format_percent, format_table
+from repro.analysis.report import (
+    decode_data_key,
+    encode_data_key,
+    format_percent,
+    format_table,
+)
 from repro.core.config import RenoConfig
 from repro.functional.simulator import FunctionalSimulator
 from repro.functional.trace import mix_statistics
-from repro.harness.runner import SPEEDUP_BASELINE, run_matrix
+from repro.harness.runner import SPEEDUP_BASELINE, MatrixResult, run_matrix
+from repro.harness.spec import Experiment, SweepSpec, experiment, register_experiment, run_experiment
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload
 from repro.workloads.suites import suite_by_name
@@ -22,16 +37,64 @@ from repro.workloads.suites import suite_by_name
 
 @dataclass
 class ExperimentReport:
-    """A regenerated table/figure: labelled rows plus the raw data."""
+    """A regenerated table/figure: labelled rows plus the raw data.
+
+    ``experiment`` and ``spec`` are provenance filled in by the registry
+    (the registry name and the generating spec's dict form); reports built
+    by hand leave them empty.  The whole report — including tuple-keyed
+    ``data`` entries — round-trips exactly through :meth:`to_json` /
+    :meth:`from_json`, which is what the ``--json`` CLI artifacts and the
+    structured benchmark comparisons consume.
+    """
 
     name: str
     description: str
     headers: list[str]
     rows: list[list[str]]
     data: dict = field(default_factory=dict)
+    experiment: str = ""
+    spec: dict | None = None
 
     def __str__(self) -> str:
         return format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI artifacts, structured benchmark comparisons)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary form (tuple data keys are tagged)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "experiment": self.experiment,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "data": [[encode_data_key(key), value] for key, value in self.data.items()],
+            "spec": self.spec,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            description=payload["description"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            data={decode_data_key(key): value for key, value in payload["data"]},
+            experiment=payload.get("experiment", ""),
+            spec=payload.get("spec"),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict` (the ``--json`` artifact format)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        """Inverse of :meth:`to_json` (exact round-trip)."""
+        return cls.from_dict(json.loads(text))
 
 
 def _workload_list(suite: str, workloads: list[str] | None) -> list[str | Workload]:
@@ -59,20 +122,8 @@ _RENO_STACK = {
 # ---------------------------------------------------------------------------
 
 
-def figure8_elimination_and_speedup(
-    suite: str = "specint",
-    workloads: list[str] | None = None,
-    scale: int = 1,
-    jobs: int | None = None,
-    cache=None,
-) -> ExperimentReport:
-    """Fraction of dynamic instructions eliminated (ME/CF/RA+CSE stack) and
-    the speedup of full RENO over the baseline, on 4- and 6-wide machines."""
-    names = _workload_list(suite, workloads)
-    machines = {"4wide": MachineConfig.default_4wide(), "6wide": MachineConfig.default_6wide()}
-    renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()}
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
-
+def _reduce_fig8(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Elimination/fold shares and 4/6-wide speedups per workload + amean."""
     headers = ["benchmark", "ME%", "CF%", "RA+CSE%", "total%",
                "speedup 4w", "speedup 6w"]
     rows = []
@@ -94,10 +145,41 @@ def figure8_elimination_and_speedup(
                 + [format_percent(v, signed=True) for v in averages[4:]])
     data["amean"] = dict(zip(["me", "cf", "cse_ra", "total", "speedup4", "speedup6"], averages))
     return ExperimentReport(
-        name=f"Figure 8 ({suite})",
+        name=f"Figure 8 ({spec.suite})",
         description="instructions eliminated/folded and RENO speedups (4- and 6-wide)",
         headers=headers, rows=rows, data=data,
     )
+
+
+@experiment("fig8", title="Figure 8",
+            description="instructions eliminated/folded and RENO speedups (4- and 6-wide)",
+            reducer=_reduce_fig8)
+def _fig8_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """Grid: {4wide, 6wide} × {BASE, RENO} over the suite."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"4wide": MachineConfig.default_4wide(),
+                  "6wide": MachineConfig.default_6wide()},
+        renos={SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()},
+        scale=scale,
+    )
+
+
+def figure8_elimination_and_speedup(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    jobs: int | str | None = None,
+    cache=None,
+    executor=None,
+) -> ExperimentReport:
+    """Fraction of dynamic instructions eliminated (ME/CF/RA+CSE stack) and
+    the speedup of full RENO over the baseline, on 4- and 6-wide machines.
+
+    Compat wrapper over ``run_experiment("fig8", ...)``.
+    """
+    return run_experiment("fig8", suite=suite, workloads=workloads, scale=scale,
+                          jobs=jobs, cache=cache, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -105,26 +187,13 @@ def figure8_elimination_and_speedup(
 # ---------------------------------------------------------------------------
 
 
-def figure9_critical_path(
-    suite: str = "specint",
-    workloads: list[str] | None = None,
-    scale: int = 1,
-    jobs: int | None = None,
-    cache=None,
-) -> ExperimentReport:
-    """Critical-path bucket shares for baseline, CF+ME, and full RENO."""
-    names = _workload_list(suite, workloads)
-    machines = {"4wide": MachineConfig.default_4wide()}
-    renos = {SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
-             "RENO": RenoConfig.reno_default()}
-    matrix = run_matrix(names, machines, renos, scale=scale, collect_timing=True,
-                        jobs=jobs, cache=cache)
-
+def _reduce_fig9(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Critical-path bucket shares per (workload, RENO config)."""
     headers = ["benchmark", "config", "fetch", "alu", "load", "mem", "commit"]
     rows = []
     data = {}
     for name in matrix.workloads:
-        for reno_label in renos:
+        for reno_label in matrix.reno_labels:
             outcome = matrix.get(name, "4wide", reno_label)
             breakdown = analyze_critical_path(outcome.timing.timing_records or [])
             fractions = breakdown.fractions()
@@ -138,10 +207,41 @@ def figure9_critical_path(
                 format_percent(fractions["commit"]),
             ])
     return ExperimentReport(
-        name=f"Figure 9 ({suite})",
+        name=f"Figure 9 ({spec.suite})",
         description="critical-path breakdown: baseline vs CF+ME vs full RENO",
         headers=headers, rows=rows, data=data,
     )
+
+
+@experiment("fig9", title="Figure 9",
+            description="critical-path breakdown: baseline vs CF+ME vs full RENO",
+            reducer=_reduce_fig9)
+def _fig9_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """Grid: 4wide × {BASE, CF+ME, RENO}, with timing records collected."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"4wide": MachineConfig.default_4wide()},
+        renos={SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
+               "RENO": RenoConfig.reno_default()},
+        scale=scale,
+        collect_timing=True,
+    )
+
+
+def figure9_critical_path(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    jobs: int | str | None = None,
+    cache=None,
+    executor=None,
+) -> ExperimentReport:
+    """Critical-path bucket shares for baseline, CF+ME, and full RENO.
+
+    Compat wrapper over ``run_experiment("fig9", ...)``.
+    """
+    return run_experiment("fig9", suite=suite, workloads=workloads, scale=scale,
+                          jobs=jobs, cache=cache, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -149,26 +249,9 @@ def figure9_critical_path(
 # ---------------------------------------------------------------------------
 
 
-def figure10_division_of_labor(
-    suite: str = "specint",
-    workloads: list[str] | None = None,
-    scale: int = 1,
-    jobs: int | None = None,
-    cache=None,
-) -> ExperimentReport:
-    """Speedups of RENO, RENO+full IT, full integration only, loads-only
-    integration (the four bars of Figure 10)."""
-    names = _workload_list(suite, workloads)
-    machines = {"4wide": MachineConfig.default_4wide()}
-    renos = {
-        SPEEDUP_BASELINE: None,
-        "RENO": RenoConfig.reno_default(),
-        "RENO+FullInteg": RenoConfig.reno_full_integration(),
-        "FullInteg": RenoConfig.integration_only_full(),
-        "LoadsInteg": RenoConfig.integration_only_loads(),
-    }
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
-    config_labels = [label for label in renos if label != SPEEDUP_BASELINE]
+def _reduce_fig10(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Per-config speedups over baseline plus the cross-workload average."""
+    config_labels = [label for label in matrix.reno_labels if label != SPEEDUP_BASELINE]
     headers = ["benchmark"] + [f"{label} speedup" for label in config_labels]
     rows = []
     data = {}
@@ -187,10 +270,46 @@ def figure10_division_of_labor(
     for label in config_labels:
         data[("avg", label)] = sums[label] / count
     return ExperimentReport(
-        name=f"Figure 10 ({suite})",
+        name=f"Figure 10 ({spec.suite})",
         description="cooperation between RENO_CF and RENO_CSE+RA",
         headers=headers, rows=rows, data=data,
     )
+
+
+@experiment("fig10", title="Figure 10",
+            description="cooperation between RENO_CF and RENO_CSE+RA",
+            reducer=_reduce_fig10)
+def _fig10_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """Grid: 4wide × {BASE, RENO, RENO+FullInteg, FullInteg, LoadsInteg}."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"4wide": MachineConfig.default_4wide()},
+        renos={
+            SPEEDUP_BASELINE: None,
+            "RENO": RenoConfig.reno_default(),
+            "RENO+FullInteg": RenoConfig.reno_full_integration(),
+            "FullInteg": RenoConfig.integration_only_full(),
+            "LoadsInteg": RenoConfig.integration_only_loads(),
+        },
+        scale=scale,
+    )
+
+
+def figure10_division_of_labor(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    jobs: int | str | None = None,
+    cache=None,
+    executor=None,
+) -> ExperimentReport:
+    """Speedups of RENO, RENO+full IT, full integration only, loads-only
+    integration (the four bars of Figure 10).
+
+    Compat wrapper over ``run_experiment("fig10", ...)``.
+    """
+    return run_experiment("fig10", suite=suite, workloads=workloads, scale=scale,
+                          jobs=jobs, cache=cache, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -198,23 +317,10 @@ def figure10_division_of_labor(
 # ---------------------------------------------------------------------------
 
 
-def figure11_register_file(
-    suite: str = "specint",
-    workloads: list[str] | None = None,
-    scale: int = 1,
-    register_sizes: tuple[int, ...] = (96, 112, 128, 160),
-    jobs: int | None = None,
-    cache=None,
-) -> ExperimentReport:
-    """Relative performance at several register-file sizes for BASE, CF+ME,
-    RA+CSE (full RENO); 100% = baseline machine with 160 registers."""
-    names = _workload_list(suite, workloads)
-    machines = {f"p{size}": MachineConfig.default_4wide().with_registers(size)
-                for size in register_sizes}
-    renos = dict(_RENO_STACK)
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
+def _reduce_fig11_registers(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Relative performance per register-file size; 100% = biggest-file BASE."""
+    register_sizes = [int(label[1:]) for label in matrix.machine_labels]
     reference_machine = f"p{max(register_sizes)}"
-
     headers = ["config"] + [f"p{size}" for size in register_sizes]
     rows = []
     data = {}
@@ -231,35 +337,59 @@ def figure11_register_file(
             row.append(format_percent(relative))
         rows.append(row)
     return ExperimentReport(
-        name=f"Figure 11 top ({suite})",
+        name=f"Figure 11 top ({spec.suite})",
         description="RENO compensating for physical register file size",
         headers=headers, rows=rows, data=data,
     )
 
 
-def figure11_issue_width(
+@experiment("fig11_regs", title="Figure 11 (top)",
+            description="RENO compensating for physical register file size",
+            reducer=_reduce_fig11_registers)
+def _fig11_regs_spec(
+    suite: str,
+    workloads: list[str] | None,
+    scale: int,
+    register_sizes: tuple[int, ...] = (96, 112, 128, 160),
+) -> SweepSpec:
+    """Grid: one machine per register-file size × the full RENO stack."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={f"p{size}": MachineConfig.default_4wide().with_registers(size)
+                  for size in register_sizes},
+        renos=dict(_RENO_STACK),
+        scale=scale,
+    )
+
+
+def figure11_register_file(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scale: int = 1,
-    widths: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 4)),
-    jobs: int | None = None,
+    register_sizes: tuple[int, ...] = (96, 112, 128, 160),
+    jobs: int | str | None = None,
     cache=None,
+    executor=None,
 ) -> ExperimentReport:
-    """Relative performance at i2t2 / i2t3 / i3t4 issue widths; 100% = the
-    baseline i3t4 machine without RENO."""
-    names = _workload_list(suite, workloads)
-    machines = {f"i{i}t{t}": MachineConfig.default_4wide().with_issue(i, t)
-                for i, t in widths}
-    renos = dict(_RENO_STACK)
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
-    reference_machine = f"i{widths[-1][0]}t{widths[-1][1]}"
+    """Relative performance at several register-file sizes for BASE, CF+ME,
+    RA+CSE (full RENO); 100% = baseline machine with 160 registers.
 
-    headers = ["config"] + list(machines)
+    Compat wrapper over ``run_experiment("fig11_regs", ...)``.
+    """
+    return run_experiment("fig11_regs", suite=suite, workloads=workloads, scale=scale,
+                          register_sizes=register_sizes,
+                          jobs=jobs, cache=cache, executor=executor)
+
+
+def _reduce_fig11_width(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Relative performance per issue width; 100% = widest-machine BASE."""
+    reference_machine = matrix.machine_labels[-1]
+    headers = ["config"] + list(matrix.machine_labels)
     rows = []
     data = {}
     for reno_label in (SPEEDUP_BASELINE, "CF+ME", "RENO"):
         row = [reno_label]
-        for machine_label in machines:
+        for machine_label in matrix.machine_labels:
             relative = 0.0
             for name in matrix.workloads:
                 reference = matrix.get(name, reference_machine, SPEEDUP_BASELINE).cycles
@@ -270,10 +400,47 @@ def figure11_issue_width(
             row.append(format_percent(relative))
         rows.append(row)
     return ExperimentReport(
-        name=f"Figure 11 bottom ({suite})",
+        name=f"Figure 11 bottom ({spec.suite})",
         description="RENO compensating for reduced issue width",
         headers=headers, rows=rows, data=data,
     )
+
+
+@experiment("fig11_width", title="Figure 11 (bottom)",
+            description="RENO compensating for reduced issue width",
+            reducer=_reduce_fig11_width)
+def _fig11_width_spec(
+    suite: str,
+    workloads: list[str] | None,
+    scale: int,
+    widths: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 4)),
+) -> SweepSpec:
+    """Grid: one machine per (int, total) issue width × the full RENO stack."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={f"i{i}t{t}": MachineConfig.default_4wide().with_issue(i, t)
+                  for i, t in widths},
+        renos=dict(_RENO_STACK),
+        scale=scale,
+    )
+
+
+def figure11_issue_width(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    widths: tuple[tuple[int, int], ...] = ((2, 2), (2, 3), (3, 4)),
+    jobs: int | str | None = None,
+    cache=None,
+    executor=None,
+) -> ExperimentReport:
+    """Relative performance at i2t2 / i2t3 / i3t4 issue widths; 100% = the
+    baseline i3t4 machine without RENO.
+
+    Compat wrapper over ``run_experiment("fig11_width", ...)``.
+    """
+    return run_experiment("fig11_width", suite=suite, workloads=workloads, scale=scale,
+                          widths=widths, jobs=jobs, cache=cache, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -281,27 +448,14 @@ def figure11_issue_width(
 # ---------------------------------------------------------------------------
 
 
-def figure12_scheduler(
-    suite: str = "specint",
-    workloads: list[str] | None = None,
-    scale: int = 1,
-    jobs: int | None = None,
-    cache=None,
-) -> ExperimentReport:
-    """Relative performance with 1- vs 2-cycle scheduling loops; 100% = the
-    1-cycle baseline without RENO."""
-    names = _workload_list(suite, workloads)
-    machines = {"sched1": MachineConfig.default_4wide(),
-                "sched2": MachineConfig.default_4wide().with_scheduler_latency(2)}
-    renos = dict(_RENO_STACK)
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
-
+def _reduce_fig12(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Relative performance per scheduler latency; 100% = 1-cycle BASE."""
     headers = ["config", "1-cycle", "2-cycle"]
     rows = []
     data = {}
     for reno_label in (SPEEDUP_BASELINE, "CF+ME", "RENO"):
         row = [reno_label]
-        for machine_label in machines:
+        for machine_label in matrix.machine_labels:
             relative = 0.0
             for name in matrix.workloads:
                 reference = matrix.get(name, "sched1", SPEEDUP_BASELINE).cycles
@@ -312,10 +466,41 @@ def figure12_scheduler(
             row.append(format_percent(relative))
         rows.append(row)
     return ExperimentReport(
-        name=f"Figure 12 ({suite})",
+        name=f"Figure 12 ({spec.suite})",
         description="RENO with a 2-cycle wakeup-select loop",
         headers=headers, rows=rows, data=data,
     )
+
+
+@experiment("fig12", title="Figure 12",
+            description="RENO with a 2-cycle wakeup-select loop",
+            reducer=_reduce_fig12)
+def _fig12_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """Grid: {1-cycle, 2-cycle scheduler} × the full RENO stack."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"sched1": MachineConfig.default_4wide(),
+                  "sched2": MachineConfig.default_4wide().with_scheduler_latency(2)},
+        renos=dict(_RENO_STACK),
+        scale=scale,
+    )
+
+
+def figure12_scheduler(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    jobs: int | str | None = None,
+    cache=None,
+    executor=None,
+) -> ExperimentReport:
+    """Relative performance with 1- vs 2-cycle scheduling loops; 100% = the
+    1-cycle baseline without RENO.
+
+    Compat wrapper over ``run_experiment("fig12", ...)``.
+    """
+    return run_experiment("fig12", suite=suite, workloads=workloads, scale=scale,
+                          jobs=jobs, cache=cache, executor=executor)
 
 
 # ---------------------------------------------------------------------------
@@ -327,9 +512,10 @@ def run_scale_sweep(
     suite: str = "specint",
     workloads: list[str] | None = None,
     scales: tuple[int, ...] = (1, 2, 4),
-    jobs: int | None = None,
+    jobs: int | str | None = None,
     cache=None,
     max_instructions: int = 2_000_000,
+    executor=None,
 ) -> ExperimentReport:
     """Baseline-vs-RENO behaviour as the workloads scale up.
 
@@ -348,6 +534,7 @@ def run_scale_sweep(
         jobs: Worker processes per grid (see :func:`repro.harness.run_matrix`).
         cache: Outcome cache (same forms as :func:`repro.harness.run_matrix`).
         max_instructions: Functional-simulation budget per workload run.
+        executor: Explicit execution backend (overrides ``jobs``).
     """
     names = _workload_list(suite, workloads)
     machines = {"4wide": MachineConfig.default_4wide()}
@@ -359,7 +546,8 @@ def run_scale_sweep(
     data = {}
     for scale in scales:
         matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs,
-                            cache=cache, max_instructions=max_instructions)
+                            cache=cache, max_instructions=max_instructions,
+                            executor=executor)
         speedup_sum = 0.0
         for name in matrix.workloads:
             base = matrix.get(name, "4wide", SPEEDUP_BASELINE)
@@ -383,6 +571,28 @@ def run_scale_sweep(
         description=f"baseline vs RENO at workload scales {list(scales)}",
         headers=headers, rows=rows, data=data,
     )
+
+
+def _run_scale_sweep_experiment(suite, workloads=None, scale=1, jobs=None,
+                                cache=None, executor=None, scales=(1, 2, 4),
+                                **params):
+    """Registry adapter for the scale sweep, which sweeps ``scales`` and
+    therefore rejects a single ``scale=`` instead of silently ignoring it."""
+    if scale != 1:
+        raise ValueError(
+            f"scale_sweep sweeps scales={tuple(scales)} and ignores scale=; "
+            f"pass scales=... (Python) instead of scale={scale}"
+        )
+    return run_scale_sweep(suite, workloads=workloads, scales=scales,
+                           jobs=jobs, cache=cache, executor=executor, **params)
+
+
+register_experiment(Experiment(
+    name="scale_sweep",
+    title="Scale sweep",
+    description="baseline vs RENO at workload scales {1, 2, 4}",
+    run_fn=_run_scale_sweep_experiment,
+))
 
 
 # ---------------------------------------------------------------------------
@@ -427,19 +637,23 @@ def instruction_mix(
     )
 
 
-def fusion_sensitivity(
-    suite: str = "mediabench",
-    workloads: list[str] | None = None,
-    scale: int = 1,
-    jobs: int | None = None,
-    cache=None,
-) -> ExperimentReport:
-    """§3.3: how much of RENO_CF's benefit survives if every fusion costs a cycle."""
-    names = _workload_list(suite, workloads)
-    machines = {"4wide": MachineConfig.default_4wide()}
-    renos = {SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
-             "CF+ME slow fusion": RenoConfig.reno_cf_me().with_slow_fusion()}
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
+def _run_mix_experiment(suite, workloads=None, scale=1, jobs=None, cache=None,
+                        executor=None, **params):
+    """Registry adapter: the mix is functional-only, so the engine arguments
+    (``jobs``/``cache``/``executor``) are accepted and ignored."""
+    return instruction_mix(suite, workloads=workloads, scale=scale)
+
+
+register_experiment(Experiment(
+    name="mix",
+    title="Instruction mix",
+    description="dynamic move / register-immediate-addition fractions (§2.3)",
+    run_fn=_run_mix_experiment,
+))
+
+
+def _reduce_fusion(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Benefit retained per workload when every fusion costs a cycle."""
     headers = ["benchmark", "CF+ME speedup", "slow-fusion speedup", "benefit retained"]
     rows = []
     data = {}
@@ -451,26 +665,44 @@ def fusion_sensitivity(
         rows.append([_label(name), format_percent(fast, signed=True),
                      format_percent(slow, signed=True), format_percent(retained)])
     return ExperimentReport(
-        name=f"Fusion sensitivity ({suite})",
+        name=f"Fusion sensitivity ({spec.suite})",
         description="RENO_CF benefit with 0-cycle vs 1-cycle fusion (§3.3)",
         headers=headers, rows=rows, data=data,
     )
 
 
-def integration_table_cost(
-    suite: str = "specint",
+@experiment("fusion", title="Fusion sensitivity",
+            description="RENO_CF benefit with 0-cycle vs 1-cycle fusion (§3.3)",
+            suite="mediabench", reducer=_reduce_fusion)
+def _fusion_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """Grid: 4wide × {BASE, CF+ME, CF+ME with 1-cycle fusion}."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"4wide": MachineConfig.default_4wide()},
+        renos={SPEEDUP_BASELINE: None, "CF+ME": RenoConfig.reno_cf_me(),
+               "CF+ME slow fusion": RenoConfig.reno_cf_me().with_slow_fusion()},
+        scale=scale,
+    )
+
+
+def fusion_sensitivity(
+    suite: str = "mediabench",
     workloads: list[str] | None = None,
     scale: int = 1,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
     cache=None,
+    executor=None,
 ) -> ExperimentReport:
-    """§4.4: IT bandwidth (lookups + insertions) for the default division of
-    labor versus a full integration table."""
-    names = _workload_list(suite, workloads)
-    machines = {"4wide": MachineConfig.default_4wide()}
-    renos = {SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default(),
-             "RENO+FullInteg": RenoConfig.reno_full_integration()}
-    matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs, cache=cache)
+    """§3.3: how much of RENO_CF's benefit survives if every fusion costs a cycle.
+
+    Compat wrapper over ``run_experiment("fusion", ...)``.
+    """
+    return run_experiment("fusion", suite=suite, workloads=workloads, scale=scale,
+                          jobs=jobs, cache=cache, executor=executor)
+
+
+def _reduce_it_cost(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """IT bandwidth (lookups + insertions) per division-of-labor policy."""
     headers = ["benchmark", "RENO IT accesses", "FullInteg IT accesses", "saved", "elim RENO", "elim FullInteg"]
     rows = []
     data = {}
@@ -486,7 +718,38 @@ def integration_table_cost(
                      format_percent(default_stats.elimination_rate),
                      format_percent(full_stats.elimination_rate)])
     return ExperimentReport(
-        name=f"Integration table cost ({suite})",
+        name=f"Integration table cost ({spec.suite})",
         description="IT bandwidth: loads-only division of labor vs full integration (§4.4)",
         headers=headers, rows=rows, data=data,
     )
+
+
+@experiment("it_cost", title="Integration table cost",
+            description="IT bandwidth: loads-only division of labor vs full integration (§4.4)",
+            reducer=_reduce_it_cost)
+def _it_cost_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """Grid: 4wide × {BASE, RENO, RENO+FullInteg}."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"4wide": MachineConfig.default_4wide()},
+        renos={SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default(),
+               "RENO+FullInteg": RenoConfig.reno_full_integration()},
+        scale=scale,
+    )
+
+
+def integration_table_cost(
+    suite: str = "specint",
+    workloads: list[str] | None = None,
+    scale: int = 1,
+    jobs: int | str | None = None,
+    cache=None,
+    executor=None,
+) -> ExperimentReport:
+    """§4.4: IT bandwidth (lookups + insertions) for the default division of
+    labor versus a full integration table.
+
+    Compat wrapper over ``run_experiment("it_cost", ...)``.
+    """
+    return run_experiment("it_cost", suite=suite, workloads=workloads, scale=scale,
+                          jobs=jobs, cache=cache, executor=executor)

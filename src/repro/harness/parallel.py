@@ -1,239 +1,25 @@
-"""Parallel, cached execution engine for experiment grids.
+"""Backwards-compatible aliases for the experiment execution engine.
 
-:func:`execute_grid` is the machinery behind
-:func:`repro.harness.runner.run_matrix`: it takes the (workload × machine ×
-RENO config) grid, consults the on-disk outcome cache, and fans the remaining
-work out over ``multiprocessing`` workers.
-
-Design points:
-
-* **Task granularity is one workload.**  All (machine, RENO) points of a
-  workload share one functional trace — exactly the paper's methodology and
-  the serial runner's behaviour — so splitting finer would recompute traces.
-  Parallelism across workloads is where the wall-clock time is.
-* **Deterministic ordering.**  Results are assembled in grid order (workload,
-  then machine, then RENO label) regardless of worker completion order, so
-  ``MatrixResult`` iteration order is identical to the serial runner's.
-* **Graceful fallback.**  ``jobs=1``, a platform without ``fork``, or a task
-  that cannot be pickled all fall back to in-process execution with the same
-  results.
-* **Cache-aware workers.**  Each worker checks the cache per grid point and
-  only computes (and stores) the misses; the functional trace is built only
-  if at least one point of the workload misses.
-
-Workers return *slim* outcomes (no program / functional trace) to keep
-inter-process traffic proportional to the statistics, not the trace length.
-The in-process path keeps full outcomes for cache misses, preserving the
-original ``run_matrix`` behaviour for callers that inspect
-``outcome.functional``.
+The engine moved to :mod:`repro.harness.executors` when execution backends
+became pluggable (``SerialExecutor`` / ``ProcessExecutor`` / ``AutoExecutor``
+behind the ``Executor`` protocol).  This module re-exports the original names
+so pre-executor imports keep working unchanged.
 """
 
-from __future__ import annotations
+from repro.harness.executors import (  # noqa: F401
+    GridKey,
+    JOBS_ENV,
+    WorkloadTask,
+    execute_grid,
+    resolve_jobs,
+    run_workload_block,
+)
 
-import multiprocessing
-import os
-import pickle
-from dataclasses import dataclass, replace
-
-from repro.core.config import RenoConfig
-from repro.core.simulator import SimulationOutcome, simulate
-from repro.functional.simulator import FunctionalSimulator
-from repro.harness.cache import SimulationCache, outcome_key, program_digest, resolve_cache
-from repro.uarch.config import MachineConfig
-from repro.workloads.base import Workload
-
-#: Environment variable supplying the default worker count for ``jobs=None``.
-JOBS_ENV = "REPRO_JOBS"
-
-#: Grid-point key: (workload name, machine label, RENO label).
-GridKey = tuple[str, str, str]
-
-
-@dataclass(frozen=True)
-class WorkloadTask:
-    """Everything a worker needs to run one workload's (machine × RENO) block."""
-
-    workload: Workload
-    scale: int
-    machines: tuple[tuple[str, MachineConfig], ...]
-    renos: tuple[tuple[str, RenoConfig | None], ...]
-    collect_timing: bool
-    max_instructions: int
-    cache_root: str | None
-
-
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalise the ``jobs=`` argument (None → ``$REPRO_JOBS`` or 1)."""
-    if jobs is None:
-        try:
-            jobs = int(os.environ.get(JOBS_ENV, "1"))
-        except ValueError:
-            jobs = 1
-    return max(1, jobs)
-
-
-def _slim(outcome: SimulationOutcome) -> SimulationOutcome:
-    """Drop the program and functional trace before crossing a process pipe."""
-    return replace(outcome, program=None, functional=None)
-
-
-def run_workload_block(
-    task: WorkloadTask, *, slim: bool, cache: SimulationCache | None = None
-) -> list[tuple[GridKey, SimulationOutcome]]:
-    """Run (or load from cache) every grid point of one workload.
-
-    Args:
-        task: The workload block description.
-        slim: Strip programs/traces from computed outcomes (used by worker
-            processes; the in-process path keeps them).
-        cache: Cache instance to use; defaults to one rooted at
-            ``task.cache_root`` (worker processes build their own so the
-            task stays cheap to pickle).
-
-    Returns:
-        ``[(grid_key, outcome), ...]`` in (machine, RENO) grid order.
-    """
-    workload = task.workload
-    if cache is None and task.cache_root is not None:
-        cache = SimulationCache(task.cache_root)
-    program = workload.build(task.scale)
-    digest = program_digest(program) if cache is not None else ""
-
-    points: list[tuple[GridKey, str | None, SimulationOutcome | None]] = []
-    misses = 0
-    for machine_label, machine in task.machines:
-        for reno_label, reno in task.renos:
-            grid_key = (workload.name, machine_label, reno_label)
-            key = None
-            outcome = None
-            if cache is not None:
-                key = outcome_key(digest, machine, reno,
-                                  task.max_instructions, task.collect_timing)
-                outcome = cache.get(key)
-            if outcome is None:
-                misses += 1
-            points.append((grid_key, key, outcome))
-
-    functional = None
-    if misses:
-        functional = FunctionalSimulator(program, task.max_instructions).run()
-
-    machines = dict(task.machines)
-    renos = dict(task.renos)
-    results: list[tuple[GridKey, SimulationOutcome]] = []
-    for grid_key, key, outcome in points:
-        if outcome is None:
-            _, machine_label, reno_label = grid_key
-            outcome = simulate(
-                program,
-                machines[machine_label],
-                renos[reno_label],
-                trace=functional,
-                collect_timing=task.collect_timing,
-                max_instructions=task.max_instructions,
-            )
-            if cache is not None:
-                cache.put(key, outcome)
-            if slim:
-                outcome = _slim(outcome)
-        results.append((grid_key, outcome))
-    return results
-
-
-def _worker(task: WorkloadTask):
-    """Pool entry point: slim outcomes plus the worker-local cache stats,
-    which the parent merges so ``cache.stats`` is meaningful for jobs>1."""
-    cache = SimulationCache(task.cache_root) if task.cache_root is not None else None
-    block = run_workload_block(task, slim=True, cache=cache)
-    return block, (cache.stats if cache is not None else None)
-
-
-def _fork_context():
-    """The fork multiprocessing context, or None when the platform lacks it."""
-    if "fork" not in multiprocessing.get_all_start_methods():
-        return None
-    return multiprocessing.get_context("fork")
-
-
-def _tasks_picklable(tasks: list[WorkloadTask]) -> bool:
-    """Whether every task can cross a process boundary (ad-hoc workloads with
-    closure builders cannot; they silently run in-process instead)."""
-    try:
-        for task in tasks:
-            pickle.dumps(task)
-    except Exception:
-        return False
-    return True
-
-
-def execute_grid(
-    workloads: list[Workload],
-    machines: dict[str, MachineConfig],
-    renos: dict[str, RenoConfig | None],
-    *,
-    scale: int = 1,
-    collect_timing: bool = False,
-    max_instructions: int = 2_000_000,
-    jobs: int | None = None,
-    cache: SimulationCache | bool | str | None = None,
-) -> dict[GridKey, SimulationOutcome]:
-    """Run the full grid and return outcomes in deterministic grid order.
-
-    Args:
-        workloads: Resolved workload objects (one task each).
-        machines: Machine-label → configuration.
-        renos: RENO-label → configuration (None = baseline).
-        scale: Workload scale factor.
-        collect_timing: Keep per-instruction timing records.
-        max_instructions: Functional-simulation budget.
-        jobs: Worker processes; None reads ``$REPRO_JOBS`` (default 1);
-            1 runs in-process.
-        cache: Outcome cache; accepts every form
-            :func:`repro.harness.cache.resolve_cache` understands
-            (instance / bool / path / None).
-
-    Returns:
-        ``{(workload name, machine label, reno label): outcome}`` ordered
-        exactly as the serial nested loops would produce it.  Outcomes
-        computed by worker processes (``jobs>1``) or loaded from the cache
-        are *slim*: ``program``/``functional`` are None, while all
-        timing-side fields are byte-identical to an in-process run.
-    """
-    jobs = resolve_jobs(jobs)
-    cache = resolve_cache(cache)
-    cache_root = str(cache.root) if cache is not None else None
-    tasks = [
-        WorkloadTask(
-            workload=workload,
-            scale=scale,
-            machines=tuple(machines.items()),
-            renos=tuple(renos.items()),
-            collect_timing=collect_timing,
-            max_instructions=max_instructions,
-            cache_root=cache_root,
-        )
-        for workload in workloads
-    ]
-
-    jobs = min(jobs, len(tasks)) if tasks else 1
-    context = _fork_context()
-    use_pool = jobs > 1 and context is not None and _tasks_picklable(tasks)
-
-    if use_pool:
-        with context.Pool(processes=jobs) as pool:
-            results = pool.map(_worker, tasks)
-        blocks = []
-        for block, worker_stats in results:
-            blocks.append(block)
-            if cache is not None and worker_stats is not None:
-                cache.stats.hits += worker_stats.hits
-                cache.stats.misses += worker_stats.misses
-                cache.stats.stores += worker_stats.stores
-    else:
-        blocks = [run_workload_block(task, slim=False, cache=cache) for task in tasks]
-
-    outcomes: dict[GridKey, SimulationOutcome] = {}
-    for block in blocks:
-        for grid_key, outcome in block:
-            outcomes[grid_key] = outcome
-    return outcomes
+__all__ = [
+    "GridKey",
+    "JOBS_ENV",
+    "WorkloadTask",
+    "execute_grid",
+    "resolve_jobs",
+    "run_workload_block",
+]

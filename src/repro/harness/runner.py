@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.config import RenoConfig
 from repro.core.simulator import SimulationOutcome
 from repro.harness.cache import SimulationCache
-from repro.harness.parallel import execute_grid
+from repro.harness.executors import Executor, execute_grid
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload, get_workload
 
@@ -36,6 +36,49 @@ class MatrixLookupError(KeyError):
         return self.args[0]
 
 
+class ZeroCycleError(ValueError):
+    """An outcome involved in a speedup has ``cycles == 0``.
+
+    A zero-cycle outcome means the simulation never ran (or was truncated to
+    nothing) — silently reporting parity would hide a broken run, so the
+    offending grid point is named instead.
+    """
+
+    def __init__(self, workload: str, machine: str, reno: str):
+        self.triple = (workload, machine, reno)
+        super().__init__(
+            f"outcome for workload={workload!r}, machine={machine!r}, "
+            f"reno={reno!r} has cycles == 0; a zero-cycle outcome indicates "
+            f"a broken run, not parity — refusing to compute a speedup from it"
+        )
+
+
+def _require_unique(labels: list[str], kind: str) -> None:
+    """Raise ValueError naming any label that appears more than once."""
+    seen: set[str] = set()
+    duplicates: set[str] = set()
+    for label in labels:
+        if label in seen:
+            duplicates.add(label)
+        seen.add(label)
+    if duplicates:
+        raise ValueError(
+            f"duplicate {kind} label(s) {sorted(duplicates)}: every {kind} in a "
+            f"grid needs a unique label, otherwise outcomes silently overwrite "
+            f"each other"
+        )
+
+
+def _normalize_axis(axis, kind: str) -> dict:
+    """Normalise a machines/renos axis (dict or (label, config) pairs) to a
+    dict, rejecting duplicate labels."""
+    if isinstance(axis, dict):
+        return axis
+    pairs = list(axis)
+    _require_unique([label for label, _ in pairs], kind)
+    return dict(pairs)
+
+
 @dataclass
 class MatrixResult:
     """All simulation outcomes of one experiment grid."""
@@ -55,16 +98,26 @@ class MatrixResult:
     def speedup(self, workload: str, machine: str, reno: str,
                 baseline_machine: str | None = None,
                 baseline_reno: str = SPEEDUP_BASELINE) -> float:
-        """Cycles(baseline) / cycles(config) for one workload."""
-        baseline = self.get(workload, baseline_machine or machine, baseline_reno)
+        """Cycles(baseline) / cycles(config) for one workload.
+
+        Raises :class:`ZeroCycleError` when either outcome reports zero
+        cycles (a broken run), rather than returning a fake ratio.
+        """
+        baseline_machine = baseline_machine or machine
+        baseline = self.get(workload, baseline_machine, baseline_reno)
         target = self.get(workload, machine, reno)
-        return baseline.cycles / target.cycles if target.cycles else 1.0
+        if not target.cycles:
+            raise ZeroCycleError(workload, machine, reno)
+        if not baseline.cycles:
+            raise ZeroCycleError(workload, baseline_machine, baseline_reno)
+        return baseline.cycles / target.cycles
 
 
 def _resolve_workloads(workloads: list[str | Workload]) -> list[Workload]:
     resolved = []
     for entry in workloads:
         resolved.append(get_workload(entry) if isinstance(entry, str) else entry)
+    _require_unique([workload.name for workload in resolved], "workload")
     return resolved
 
 
@@ -75,8 +128,9 @@ def run_matrix(
     scale: int = 1,
     collect_timing: bool = False,
     max_instructions: int = 2_000_000,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
     cache: SimulationCache | bool | str | None = None,
+    executor: Executor | None = None,
 ) -> MatrixResult:
     """Simulate every (workload, machine, RENO config) combination.
 
@@ -84,15 +138,23 @@ def run_matrix(
     machine/RENO points, so every configuration sees the identical dynamic
     instruction stream (as in the paper's methodology).
 
+    Duplicate labels on any axis — the same workload name twice, or a reused
+    machine/RENO label — raise ValueError instead of silently overwriting
+    outcomes in the result matrix.
+
     Args:
         workloads: Workload names (resolved via the registry) or objects.
-        machines: Machine-label → configuration.
-        renos: RENO-label → configuration (None = conventional baseline).
+        machines: Machine-label → configuration (a dict, or (label, config)
+            pairs).
+        renos: RENO-label → configuration (None = conventional baseline);
+            same forms as ``machines``.
         scale: Workload scale factor.
         collect_timing: Keep per-instruction timing records (Figure 9).
         max_instructions: Functional-simulation budget per workload.
-        jobs: Worker processes to fan workloads out over.  None reads
-            ``$REPRO_JOBS`` (default 1); 1 runs in-process.  Simulated
+        jobs: Worker processes to fan workloads out over: an int, ``"auto"``
+            (adaptive backend selection, see
+            :class:`repro.harness.executors.AutoExecutor`), or None to read
+            ``$REPRO_JOBS`` (unset defaults to ``"auto"``).  Simulated
             results and their ordering are identical for every ``jobs``
             value, but outcomes computed by worker processes are *slim*
             (``outcome.program``/``outcome.functional`` are None — the
@@ -103,8 +165,12 @@ def run_matrix(
             ``$REPRO_CACHE_DIR`` is set; True/False force it on/off; a path
             or :class:`~repro.harness.cache.SimulationCache` selects a
             specific cache.  See :mod:`repro.harness.cache`.
+        executor: Explicit :class:`~repro.harness.executors.Executor`
+            backend (overrides ``jobs``).
     """
     resolved = _resolve_workloads(workloads)
+    machines = _normalize_axis(machines, "machine")
+    renos = _normalize_axis(renos, "RENO")
     outcomes = execute_grid(
         resolved,
         machines,
@@ -114,6 +180,7 @@ def run_matrix(
         max_instructions=max_instructions,
         jobs=jobs,
         cache=cache,
+        executor=executor,
     )
     return MatrixResult(
         outcomes=outcomes,
