@@ -1,6 +1,6 @@
 """Timing harness for the experiment engine and the event-driven cycle loop.
 
-Measures three things and writes one committed artifact each run:
+Measures three things and writes committed artifacts each run:
 
 1. **Engine sweep** — the full fig8–fig12 experiment sweep four ways
    (``jobs=1``/no cache, ``jobs=N``/cold cache, ``jobs=N``/warm cache,
@@ -11,15 +11,18 @@ Measures three things and writes one committed artifact each run:
 2. **Cycle loop** — the fig8 serial sweep again with a wall-clock probe
    around ``Pipeline.run``, isolating the cycle loop from program
    build, functional simulation and report formatting.  Both numbers are
-   compared against the recorded PR 1 seed measurements (same container,
-   same workloads; override with ``--fig8-reference``/``--cycle-reference``).
+   compared against the recorded PR 3 measurements (same container, same
+   workloads; override with ``--fig8-reference``/``--cycle-reference``).
 3. **Scale sweep** — ``run_scale_sweep`` over ``scale ∈ {1, 2, 4}`` cold and
    then warm against the same cache, rows verified identical, with the
    report table written to ``benchmarks/results/scale_sweep_specint.txt``.
 
-The summary table is printed and written to
-``benchmarks/results/engine_timing.txt`` so the measurement is a committed
-artifact.
+Artifacts: the human-readable summary goes to
+``benchmarks/results/engine_timing.txt``; the same measurements are also
+written machine-readably as ``BENCH_engine.json`` (engine sweep + scale
+sweep) and ``BENCH_cycle_loop.json`` (cycle-loop probe, including the
+normalised committed-instructions-per-second figure the CI perf-smoke gate
+``scripts/perf_smoke.py`` compares against).
 
 Usage::
 
@@ -31,6 +34,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import shutil
 import sys
 import tempfile
@@ -53,22 +58,31 @@ SCALES = (1, 2, 4)
 
 #: PR 1 seed (commit d9de97a) measurements on the same container and default
 #: workloads: median of five best-of-3 runs of (a) the fig8 serial sweep and
-#: (b) the summed ``Pipeline.run`` wall-clock inside that sweep.  These
-#: anchor the speedup columns; re-measure and override when running
-#: elsewhere (``--fig8-reference`` / ``--cycle-reference``).
+#: (b) the summed ``Pipeline.run`` wall-clock inside that sweep.
 FIG8_SERIAL_SEED_S = 1.78
 FIG8_CYCLE_LOOP_SEED_S = 1.66
 
+#: PR 3 baseline (commit 5a1de2b) on the same container and workloads — the
+#: pre-structure-of-arrays engine.  These anchor the speedup columns;
+#: re-measure and override when running elsewhere (``--fig8-reference`` /
+#: ``--cycle-reference``).
+FIG8_SERIAL_PR3_S = 1.16
+FIG8_CYCLE_LOOP_PR3_S = 1.06
+
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "benchmarks" / "results" / "engine_timing.txt"
 SCALE_SWEEP_OUTPUT = DEFAULT_OUTPUT.parent / "scale_sweep_specint.txt"
+BENCH_ENGINE_JSON = DEFAULT_OUTPUT.parent / "BENCH_engine.json"
+BENCH_CYCLE_LOOP_JSON = DEFAULT_OUTPUT.parent / "BENCH_cycle_loop.json"
 
 
 class CycleLoopProbe:
     """Accumulates wall-clock spent inside ``Pipeline.run`` (the cycle
-    loop), measured the same way the seed reference numbers were."""
+    loop) plus the committed-instruction total, measured the same way the
+    seed reference numbers were."""
 
     def __init__(self):
         self.seconds = 0.0
+        self.instructions = 0
         self._original = None
 
     def __enter__(self):
@@ -79,9 +93,11 @@ class CycleLoopProbe:
         def timed(pipeline_self):
             start = time.perf_counter()
             try:
-                return original(pipeline_self)
+                result = original(pipeline_self)
             finally:
                 probe.seconds += time.perf_counter() - start
+            probe.instructions += result.stats.committed
+            return result
 
         uarch_core.Pipeline.run = timed
         return self
@@ -118,9 +134,16 @@ def check_reports_identical(reference, candidate, label) -> None:
 
 
 def time_fig8(workloads, jobs, repeats: int = 3):
-    """Best-of-N fig8 sweep wall-clock plus in-sim cycle-loop time."""
+    """Best-of-N fig8 sweep wall-clock plus in-sim cycle-loop time.
+
+    Returns ``(sweep_s, loop_s, committed_instructions)`` — the instruction
+    total is per single sweep (identical across repeats), so
+    ``instructions / loop_s`` is the committed-instructions-per-second
+    figure the perf-smoke gate normalises against.
+    """
     best_sweep = float("inf")
     best_loop = float("inf")
+    instructions = 0
     for _ in range(repeats):
         probe = CycleLoopProbe()
         start = time.perf_counter()
@@ -130,7 +153,8 @@ def time_fig8(workloads, jobs, repeats: int = 3):
         sweep = time.perf_counter() - start
         best_sweep = min(best_sweep, sweep)
         best_loop = min(best_loop, probe.seconds)
-    return best_sweep, best_loop
+        instructions = probe.instructions
+    return best_sweep, best_loop, instructions
 
 
 def time_scale_sweep(workloads, jobs, cache_dir):
@@ -163,10 +187,12 @@ def main(argv=None) -> int:
                         help="where to write the timing table")
     parser.add_argument("--scale-sweep-output", type=Path, default=SCALE_SWEEP_OUTPUT,
                         help="where to write the scale-sweep report")
-    parser.add_argument("--fig8-reference", type=float, default=FIG8_SERIAL_SEED_S,
-                        help="seed fig8 serial sweep seconds (speedup baseline)")
-    parser.add_argument("--cycle-reference", type=float, default=FIG8_CYCLE_LOOP_SEED_S,
-                        help="seed fig8 cycle-loop seconds (speedup baseline)")
+    parser.add_argument("--fig8-reference", type=float, default=FIG8_SERIAL_PR3_S,
+                        help="PR 3 fig8 serial sweep seconds (speedup baseline)")
+    parser.add_argument("--cycle-reference", type=float, default=FIG8_CYCLE_LOOP_PR3_S,
+                        help="PR 3 fig8 cycle-loop seconds (speedup baseline)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N repetitions for the fig8 probes")
     args = parser.parse_args(argv)
 
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-engine-timing-"))
@@ -184,8 +210,10 @@ def main(argv=None) -> int:
         check_reports_identical(serial_reports, auto_reports, "jobs=auto")
         entries = len(cache)
 
-        fig8_s, cycle_loop_s = time_fig8(args.workloads, jobs=1)
-        fig8_auto_s, _ = time_fig8(args.workloads, jobs="auto")
+        fig8_s, cycle_loop_s, loop_instructions = time_fig8(
+            args.workloads, jobs=1, repeats=args.repeats)
+        fig8_auto_s, _, _ = time_fig8(args.workloads, jobs="auto",
+                                      repeats=args.repeats)
         scale_report, scale_cold_s, scale_warm_s = time_scale_sweep(
             args.workloads, args.jobs, scale_cache_dir)
     finally:
@@ -206,13 +234,13 @@ def main(argv=None) -> int:
         f"{f'jobs={args.jobs}, warm cache':<34}{warm_s:>10.2f}s{serial_s / warm_s:>9.2f}x",
         f"{'jobs=auto, no cache':<34}{auto_s:>10.2f}s{serial_s / auto_s:>9.2f}x",
         "",
-        "event-driven scheduler vs PR 1 seed (same container, best of 3):",
+        f"SoA core vs PR 3 engine (same container, best of {args.repeats}):",
         f"{'fig8 serial sweep':<34}{fig8_s:>10.2f}s"
-        f"   {fig8_speedup:.2f}x vs seed {args.fig8_reference:.2f}s",
+        f"   {fig8_speedup:.2f}x vs PR 3 {args.fig8_reference:.2f}s",
         f"{'fig8 sweep, jobs=auto':<34}{fig8_auto_s:>10.2f}s"
         f"   {fig8_s / fig8_auto_s:.2f}x vs serial {fig8_s:.2f}s",
         f"{'fig8 cycle loop (in-sim)':<34}{cycle_loop_s:>10.2f}s"
-        f"   {cycle_speedup:.2f}x vs seed {args.cycle_reference:.2f}s",
+        f"   {cycle_speedup:.2f}x vs PR 3 {args.cycle_reference:.2f}s",
         "",
         f"scale sweep (scales {list(SCALES)}, jobs={args.jobs}):",
         f"{'scale_sweep cold cache':<34}{scale_cold_s:>10.2f}s{1.0:>9.2f}x",
@@ -227,6 +255,56 @@ def main(argv=None) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(text + "\n")
 
+    # Machine-readable artifacts: the engine sweep and the cycle-loop probe
+    # (the latter is the committed baseline scripts/perf_smoke.py gates on).
+    # They follow --output's directory, so re-timing into /tmp never
+    # silently rewrites the committed CI baselines.
+    bench_engine_json = args.output.parent / BENCH_ENGINE_JSON.name
+    bench_cycle_json = args.output.parent / BENCH_CYCLE_LOOP_JSON.name
+    engine_payload = {
+        "schema": "repro-bench-engine/1",
+        "workloads": list(args.workloads),
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "grid_points_cached": entries,
+        "python": platform.python_version(),
+        "engine": {
+            "serial_no_cache_s": round(serial_s, 4),
+            "parallel_cold_s": round(cold_s, 4),
+            "parallel_warm_s": round(warm_s, 4),
+            "auto_no_cache_s": round(auto_s, 4),
+        },
+        "scale_sweep": {
+            "scales": list(SCALES),
+            "cold_s": round(scale_cold_s, 4),
+            "warm_s": round(scale_warm_s, 4),
+        },
+        "reports_identical": True,
+    }
+    bench_engine_json.write_text(json.dumps(engine_payload, indent=2) + "\n")
+
+    cycle_payload = {
+        "schema": "repro-bench-cycle-loop/1",
+        "workloads": list(args.workloads),
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "fig8_sweep_s": round(fig8_s, 4),
+        "fig8_sweep_auto_s": round(fig8_auto_s, 4),
+        "cycle_loop_s": round(cycle_loop_s, 4),
+        "committed_instructions": loop_instructions,
+        "instructions_per_second": round(loop_instructions / cycle_loop_s, 1),
+        "reference": {
+            "label": "PR 3 engine (pre-SoA), same container",
+            "fig8_sweep_s": args.fig8_reference,
+            "cycle_loop_s": args.cycle_reference,
+        },
+        "speedup_vs_reference": {
+            "fig8_sweep": round(fig8_speedup, 3),
+            "cycle_loop": round(cycle_speedup, 3),
+        },
+    }
+    bench_cycle_json.write_text(json.dumps(cycle_payload, indent=2) + "\n")
+
     scale_lines = [
         "Scale sweep (specint): baseline vs RENO at workload scales "
         f"{list(SCALES)}",
@@ -239,6 +317,7 @@ def main(argv=None) -> int:
     args.scale_sweep_output.write_text("\n".join(scale_lines) + "\n")
 
     print(f"\nwritten to {args.output}")
+    print(f"machine-readable: {bench_engine_json}, {bench_cycle_json}")
     print(f"scale sweep written to {args.scale_sweep_output}")
     return 0
 

@@ -1,0 +1,86 @@
+"""CI perf-smoke gate: fail on a large cycle-loop slowdown.
+
+Re-measures the fig8 in-sim cycle-loop probe (the same measurement
+``scripts/benchmark_engine.py`` records into
+``benchmarks/results/BENCH_cycle_loop.json``) and fails when the measured
+**committed-instructions-per-second** figure drops below ``baseline /
+threshold``.  Normalising by simulated instructions makes the gate
+meaningful on machines other than the one that produced the committed
+baseline; the generous default threshold (1.5×) absorbs ordinary
+machine-speed differences while still catching order-of-magnitude
+regressions (an accidental de-inlining, a per-instruction object creep).
+
+Environment overrides:
+
+* ``REPRO_PERF_SMOKE_FACTOR`` — slowdown factor that fails the gate
+  (default 1.5).
+* ``REPRO_PERF_SMOKE_SKIP=1`` — skip entirely (emergency hatch for
+  known-slow environments).
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py            # full baseline gate
+    PYTHONPATH=src python scripts/perf_smoke.py --repeats 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_cycle_loop.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help="committed BENCH_cycle_loop.json to gate against")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N probe repetitions (default 3)")
+    parser.add_argument("--factor", type=float, default=None,
+                        help="slowdown factor that fails the gate "
+                             "(default $REPRO_PERF_SMOKE_FACTOR or 1.5)")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("REPRO_PERF_SMOKE_SKIP") == "1":
+        print("perf smoke: skipped (REPRO_PERF_SMOKE_SKIP=1)")
+        return 0
+
+    factor = args.factor
+    if factor is None:
+        try:
+            factor = float(os.environ.get("REPRO_PERF_SMOKE_FACTOR", "1.5"))
+        except ValueError:
+            factor = 1.5
+
+    baseline = json.loads(args.baseline.read_text())
+    baseline_ips = baseline["instructions_per_second"]
+    workloads = baseline["workloads"]
+
+    from benchmark_engine import time_fig8  # noqa: E402  (sibling script)
+
+    _, loop_s, instructions = time_fig8(workloads, jobs=1, repeats=args.repeats)
+    measured_ips = instructions / loop_s
+    floor = baseline_ips / factor
+
+    print(f"perf smoke: cycle loop {loop_s:.3f}s for {instructions} instructions")
+    print(f"perf smoke: measured {measured_ips:,.0f} instr/s, "
+          f"baseline {baseline_ips:,.0f} instr/s, floor {floor:,.0f} "
+          f"(factor {factor:.2f}x)")
+    if measured_ips < floor:
+        print(f"perf smoke: FAIL — cycle loop is more than {factor:.2f}x "
+              f"slower than the committed baseline", file=sys.stderr)
+        return 1
+    print("perf smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="workload suite (default: the experiment's own)")
     run.add_argument("--workloads", nargs="+", metavar="NAME",
                      help="explicit workload subset (default: the full suite)")
-    run.add_argument("--scale", type=int, default=1, help="workload scale factor")
+    run.add_argument("--scale", default="1", metavar="N|N,N,...",
+                     help="workload scale factor; scale_sweep also accepts a "
+                          "comma-separated list of scales (e.g. 1,2,4,8)")
     run.add_argument("--jobs", default=None, metavar="N|auto",
                      help="worker processes: an integer or 'auto' (adaptive; "
                           "the default)")
@@ -78,13 +80,41 @@ def _resolve_cache_arg(args) -> object:
     return None
 
 
+def _parse_scales(text: str) -> list[int]:
+    """Parse the ``--scale`` value: one integer or a comma-separated list."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(f"--scale expects an integer or a comma list, got {text!r}")
+    if not values or any(value < 1 for value in values):
+        raise ValueError(f"--scale values must be >= 1, got {text!r}")
+    return values
+
+
 def _cmd_run(args) -> int:
     from repro.harness.spec import get_experiment
 
     try:
         entry = get_experiment(args.experiment)
+        scales = _parse_scales(args.scale)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    params = {}
+    if entry.name == "scale_sweep":
+        # Scales are the sweep's own axis: route any --scale value (one
+        # integer or a list, duplicates dropped) through scales=.
+        scale = 1
+        params["scales"] = tuple(dict.fromkeys(scales))
+    elif len(scales) == 1:
+        scale = scales[0]
+    else:
+        print(f"error: only scale_sweep accepts a list of scales; "
+              f"pass a single --scale to {entry.name}", file=sys.stderr)
         return 2
 
     try:
@@ -93,9 +123,10 @@ def _cmd_run(args) -> int:
         report = entry.run(
             suite=args.suite,
             workloads=args.workloads,
-            scale=args.scale,
+            scale=scale,
             jobs=args.jobs,
             cache=_resolve_cache_arg(args),
+            **params,
         )
     except (KeyError, ValueError) as error:
         from repro.harness.runner import MatrixLookupError, ZeroCycleError

@@ -16,7 +16,7 @@ register-register operation carry displacements.
 
 from __future__ import annotations
 
-from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.opcodes import OPCODE_SPECS, OpClass, Opcode, spec_for
 from repro.core.config import RenoConfig
 
 #: Opcodes whose primary operation is an addition/subtraction/compare, and
@@ -26,6 +26,26 @@ _ADDITIVE_OPCODES = frozenset({
     Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPULT,
     Opcode.CMPEQI, Opcode.CMPLTI, Opcode.CMPLEI, Opcode.CMPULTI,
 })
+
+#: Fusion cost categories, precomputed per opcode so the per-instruction
+#: decision is one dict lookup: FREE has a dedicated adder, NONADD pays the
+#: non-additive penalty, ADDITIVE is free unless both inputs are displaced.
+_FREE, _NONADD, _ADDITIVE = 0, 1, 2
+
+
+def _category(opcode: Opcode) -> int:
+    op_class = spec_for(opcode).op_class
+    if op_class in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.JUMP,
+                    OpClass.CALL, OpClass.RET):
+        return _FREE
+    if op_class in (OpClass.SHIFT, OpClass.MUL, OpClass.DIV):
+        return _NONADD
+    if opcode not in _ADDITIVE_OPCODES:
+        return _NONADD
+    return _ADDITIVE
+
+
+_CATEGORIES: dict[Opcode, int] = {opcode: _category(opcode) for opcode in OPCODE_SPECS}
 
 
 def fusion_extra_latency(opcode: Opcode, source_disps: list[int], config: RenoConfig) -> int:
@@ -40,32 +60,26 @@ def fusion_extra_latency(opcode: Opcode, source_disps: list[int], config: RenoCo
     Returns:
         Additional execution cycles (0 in the common case).
     """
-    displaced = [disp for disp in source_disps if disp]
+    displaced = 0
+    for disp in source_disps:
+        if disp:
+            displaced += 1
     if not displaced:
         return 0
     if config.fusion_penalty_all_ops:
         return config.fusion_penalty_all_ops
 
-    from repro.isa.opcodes import spec_for
-
-    spec = spec_for(opcode)
-    op_class = spec.op_class
-
+    category = _CATEGORIES[opcode]
     # Memory address generation, branch direction and store data all have
     # dedicated adders; a single displaced operand is free.
-    if op_class in (OpClass.LOAD, OpClass.STORE, OpClass.BRANCH, OpClass.JUMP,
-                    OpClass.CALL, OpClass.RET):
+    if category == _FREE:
         return 0
-
     # Shifts, multiplies, divides and logical operations cannot absorb the
     # addition in the same cycle.
-    if op_class in (OpClass.SHIFT, OpClass.MUL, OpClass.DIV):
+    if category == _NONADD:
         return config.fused_nonadd_penalty
-    if opcode not in _ADDITIVE_OPCODES:
-        return config.fused_nonadd_penalty
-
     # Additive consumer: free with a 3-input adder unless both register
     # inputs carry displacements (needs the augmented ALU, one extra cycle).
-    if len(displaced) >= 2:
+    if displaced >= 2:
         return config.fused_double_disp_penalty
     return 0

@@ -85,11 +85,21 @@ class IntegrationTable:
         return mixed % self.num_sets
 
     def _register_pregs(self, entry: IntegrationEntry, set_index: int) -> None:
-        pregs = {entry.out_preg}
+        index = self._preg_index
+        out_preg = entry.out_preg
+        bucket = index.get(out_preg)
+        if bucket is None:
+            index[out_preg] = {set_index}
+        else:
+            bucket.add(set_index)
         for operand in entry.key[2]:
-            pregs.add(operand[0])
-        for preg in pregs:
-            self._preg_index.setdefault(preg, set()).add(set_index)
+            preg = operand[0]
+            if preg != out_preg:
+                bucket = index.get(preg)
+                if bucket is None:
+                    index[preg] = {set_index}
+                else:
+                    bucket.add(set_index)
 
     @staticmethod
     def make_key(opcode: str, imm: int, inputs: tuple[tuple[int, int], ...]) -> tuple:

@@ -28,7 +28,15 @@ from repro.core.integration import IntegrationEntry, IntegrationTable
 from repro.core.maptable import ExtendedMapTable, Mapping
 from repro.core.refcount import ReferenceCountManager
 from repro.functional.trace import DynamicInstruction
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import (
+    DF_IT_ALU,
+    DF_LOAD,
+    DF_MOVE,
+    DF_REG_IMM_ADD,
+    DF_STORE,
+    Instruction,
+    decode_op,
+)
 from repro.isa.opcodes import OpClass, Opcode
 from repro.isa.registers import NUM_LOGICAL_REGS
 from repro.isa.semantics import fits_signed
@@ -44,6 +52,17 @@ _STORE_TO_LOAD = {
 #: Canonical key opcode for all register-immediate additions, so that
 #: ``addi r, 16`` matches a reverse entry created by ``subi r, 16``.
 _CANONICAL_ADD = "addi"
+
+#: Memory-instruction mask (loads and stores always maintain IT entries).
+_DF_MEM = DF_LOAD | DF_STORE
+
+#: Elimination kind → stats counter key (module-level: built once).
+_ELIM_STATS_KEYS = {
+    "move": "eliminated_moves",
+    "cf": "eliminated_folds",
+    "cse": "eliminated_cse",
+    "ra": "eliminated_ra",
+}
 
 
 class RenoRenamer(Renamer):
@@ -64,6 +83,30 @@ class RenoRenamer(Renamer):
             num_physical_regs, NUM_LOGICAL_REGS, on_free=self._on_register_freed
         )
         self._group_eliminated_logicals: set[int] = set()
+        # Hot-path precomputation: config knobs as plain attributes, the
+        # refcount free list for O(1) "can allocate" checks, and one shared
+        # zero-displacement Mapping per physical register (mappings are
+        # frozen, so the common ``[p : 0]`` case never allocates).
+        config = self.config
+        self._policy_full = config.integration_policy == IT_POLICY_FULL
+        self._fold_moves = config.enable_move_elimination or config.enable_constant_folding
+        self._fold_adds = config.enable_constant_folding
+        self._allow_dependent = config.allow_dependent_eliminations
+        self._disp_bits = config.displacement_bits
+        self._free_list = self.refcounts._free
+        self._zero_maps = [Mapping(preg) for preg in range(num_physical_regs)]
+        # Decoded-flag mask of instructions that could possibly be
+        # eliminated under this configuration; anything else skips the
+        # _try_eliminate call entirely (no stats are counted on those
+        # paths, so the gate is exact).
+        elig = 0
+        if self._fold_moves or self._fold_adds:
+            elig |= DF_REG_IMM_ADD
+        if self.integration_table is not None:
+            elig |= DF_LOAD
+            if self._policy_full:
+                elig |= DF_IT_ALU
+        self._elig_mask = elig
         self.stats: dict[str, int] = {
             "eliminated_moves": 0,
             "eliminated_folds": 0,
@@ -94,27 +137,56 @@ class RenoRenamer(Renamer):
         # Group state is reset lazily by the next begin_group.
         pass
 
-    def rename_next(self, dyn: DynamicInstruction) -> RenameResult | None:
-        instruction = dyn.instruction
-        source_logicals = instruction._sources    # precomputed source_registers()
+    def rename_next(self, dyn: DynamicInstruction, op: tuple | None = None) -> RenameResult | None:
+        if op is None:
+            op = decode_op(dyn.instruction)
+        source_logicals = op[9]                   # decoded source registers
         map_entries = self.map_table._entries     # inlined ExtendedMapTable.get
         source_mappings = [map_entries[logical] for logical in source_logicals]
-        dest = instruction.dest_register
+        dest = op[4]                              # decoded dest register (-1 = none)
 
         elimination = None
-        if dest is not None:
-            elimination = self._try_eliminate(dyn, source_logicals, source_mappings, dest)
-            if elimination is None and self.refcounts.free_count() == 0:
+        if dest >= 0:
+            if op[0] & self._elig_mask:
+                elimination = self._try_eliminate(dyn, op, source_mappings, dest)
+            if elimination is None and not self._free_list:
                 return None  # must allocate, but no physical register is free
 
         # Map-table Mapping entries are frozen and expose preg/disp, so they
         # serve directly as source operands — no per-instruction copies.
-        result = RenameResult(source_mappings)
+        # The result record is built through __new__ + direct slot stores:
+        # same fields as RenameResult(source_mappings), minus the generated
+        # __init__ frame (this runs once per renamed instruction).
+        result = RenameResult.__new__(RenameResult)
+        result.sources = source_mappings
+        result.dest_preg = None
+        result.dest_disp = 0
+        result.prev_dest_preg = None
+        result.allocated = False
+        result.eliminated = False
+        result.elim_kind = None
+        result.needs_reexecution = False
+        result.fusion_extra_latency = 0
 
         if elimination is not None:
             kind, shared_preg, out_disp, needs_reexec = elimination
-            self.refcounts.share(shared_preg)
-            previous = self.map_table.set(dest, shared_preg, out_disp)
+            # Inlined ReferenceCountManager.share (once per elimination).
+            refcounts = self.refcounts
+            counts = refcounts.counts
+            count = counts[shared_preg]
+            if count <= 0:
+                refcounts.share(shared_preg)      # raises the underflow error
+            else:
+                count += 1
+                counts[shared_preg] = count
+                refcounts.total_shares += 1
+                if count > refcounts.max_observed_count:
+                    refcounts.max_observed_count = count
+            # Inlined ExtendedMapTable.set (zero displacements reuse the
+            # shared per-register mapping).
+            previous = map_entries[dest]
+            map_entries[dest] = (self._zero_maps[shared_preg] if out_disp == 0
+                                 else Mapping(shared_preg, out_disp))
             result.dest_preg = shared_preg
             result.dest_disp = out_disp
             result.prev_dest_preg = previous.preg
@@ -122,12 +194,21 @@ class RenoRenamer(Renamer):
             result.elim_kind = kind
             result.needs_reexecution = needs_reexec
             self._group_eliminated_logicals.add(dest)
-            self._count_elimination(kind)
+            self.stats[_ELIM_STATS_KEYS[kind]] += 1
             return result
 
-        if dest is not None:
-            new_preg = self.refcounts.allocate()
-            previous = self.map_table.set(dest, new_preg, 0)
+        if dest >= 0:
+            # Inlined ReferenceCountManager.allocate (the earlier free-list
+            # check guarantees a register is available).
+            refcounts = self.refcounts
+            new_preg = self._free_list.popleft()
+            if refcounts.counts[new_preg] != 0:
+                self._free_list.appendleft(new_preg)
+                refcounts.allocate()              # raises the invariant error
+            refcounts.counts[new_preg] = 1
+            refcounts.total_allocations += 1
+            previous = map_entries[dest]
+            map_entries[dest] = self._zero_maps[new_preg]  # inlined set(dest, p, 0)
             result.dest_preg = new_preg
             result.prev_dest_preg = previous.preg
             result.allocated = True
@@ -136,17 +217,38 @@ class RenoRenamer(Renamer):
                 # Only displaced operands can cost fusion latency; the common
                 # zero-displacement case skips the model call entirely.
                 result.fusion_extra_latency = fusion_extra_latency(
-                    instruction.opcode,
+                    op[6],
                     [m.disp for m in source_mappings],
                     self.config,
                 )
                 break
-        self._insert_it_entries(dyn, source_mappings, result)
+        if self.integration_table is not None and (
+                op[0] & _DF_MEM or self._policy_full):
+            # Loads/stores always create entries; plain ALU work only does
+            # under the full policy — hoisting the test here skips the call
+            # for the (majority) plain-ALU case of the loads-only policy.
+            self._insert_it_entries(dyn, op, source_mappings, result)
         return result
 
     def commit(self, result: RenameResult) -> None:
-        if result.prev_dest_preg is not None:
-            self.refcounts.release(result.prev_dest_preg)
+        prev = result.prev_dest_preg
+        if prev is None:
+            return
+        # Inlined ReferenceCountManager.release (this runs once per committed
+        # instruction): drop one reference, free the register and invalidate
+        # the IT entries naming it when the count reaches zero.
+        counts = self.refcounts.counts
+        count = counts[prev]
+        if count <= 0:
+            self.refcounts.release(prev)      # raises the underflow error
+        elif count == 1:
+            counts[prev] = 0
+            self._free_list.append(prev)
+            table = self.integration_table
+            if table is not None and prev in table._preg_index:
+                table.invalidate_preg(prev)
+        else:
+            counts[prev] = count - 1
 
     def mapping_snapshot(self) -> list[tuple[int, int]]:
         return self.map_table.snapshot()
@@ -155,45 +257,45 @@ class RenoRenamer(Renamer):
     # Elimination decisions
     # ------------------------------------------------------------------
 
-    def _count_elimination(self, kind: str) -> None:
-        key = {
-            "move": "eliminated_moves",
-            "cf": "eliminated_folds",
-            "cse": "eliminated_cse",
-            "ra": "eliminated_ra",
-        }[kind]
-        self.stats[key] += 1
-
     def _try_eliminate(
         self,
         dyn: DynamicInstruction,
-        source_logicals: tuple[int, ...],
+        op: tuple,
         source_mappings: list[Mapping],
-        dest: int | None,
+        dest: int,
     ) -> tuple[str, int, int, bool] | None:
         """Decide whether the instruction can be collapsed.
 
         Returns ``(kind, shared_preg, out_disp, needs_reexecution)`` or None.
         """
-        if dest is None:
-            return None
-        instruction = dyn.instruction
-        spec = instruction.spec
-        config = self.config
-
-        if spec.is_reg_imm_add:
-            # Only register-immediate additions can fold (the check that used
-            # to head _try_fold).
-            fold = self._try_fold(instruction, source_logicals, source_mappings)
-            if fold is not None:
-                return fold
+        flags = op[0]
+        if flags & DF_REG_IMM_ADD:
+            # Only register-immediate additions can fold (RENO_ME / RENO_CF).
+            if flags & DF_MOVE:
+                fold_ok = self._fold_moves
+                kind = "move"
+            else:
+                fold_ok = self._fold_adds
+                kind = "cf"
+            if fold_ok:
+                if (op[9][0] in self._group_eliminated_logicals
+                        and not self._allow_dependent):
+                    # Two dependent eliminations in one rename group are
+                    # disallowed to bound the output-selection mux
+                    # complexity (§3.2).
+                    self.stats["dependent_elimination_blocks"] += 1
+                else:
+                    source = source_mappings[0]
+                    new_disp = source.disp + op[7]    # folded displacement
+                    if fits_signed(new_disp, self._disp_bits):
+                        return (kind, source.preg, new_disp, False)
+                    self.stats["overflow_cancellations"] += 1
 
         # Inlined _it_lookup_eligible.
-        if config.enable_integration and (
-                spec.is_load
-                or (config.integration_policy == IT_POLICY_FULL
-                    and spec.op_class in (OpClass.ALU, OpClass.SHIFT))):
-            return self._try_integrate(dyn, source_mappings)
+        if self.integration_table is not None and (
+                flags & DF_LOAD
+                or (self._policy_full and flags & DF_IT_ALU)):
+            return self._try_integrate(dyn, op, source_mappings)
         return None
 
     def _try_fold(
@@ -202,54 +304,53 @@ class RenoRenamer(Renamer):
         source_logicals: tuple[int, ...],
         source_mappings: list[Mapping],
     ) -> tuple[str, int, int, bool] | None:
-        """RENO_ME / RENO_CF: collapse moves and register-immediate additions."""
-        config = self.config
+        """RENO_ME / RENO_CF fold check (compat wrapper for unit tests).
+
+        The pipeline path runs the same decision inlined in
+        :meth:`_try_eliminate`; this wrapper keeps the original standalone
+        signature for tests that probe folding in isolation.
+        """
         spec = instruction.spec
+        if not spec.is_reg_imm_add:
+            return None
         is_move = spec.is_move
         if is_move:
-            if not (config.enable_move_elimination or config.enable_constant_folding):
+            if not self._fold_moves:
                 return None
-        elif not config.enable_constant_folding:
+        elif not self._fold_adds:
             return None
-
-        source_logical = source_logicals[0]
-        if (source_logical in self._group_eliminated_logicals
-                and not config.allow_dependent_eliminations):
-            # Two dependent eliminations in one rename group are disallowed
-            # to bound the output-selection mux complexity (§3.2).
+        if (source_logicals[0] in self._group_eliminated_logicals
+                and not self._allow_dependent):
             self.stats["dependent_elimination_blocks"] += 1
             return None
-
         source = source_mappings[0]
         new_disp = source.disp + instruction.folded_displacement
-        if not fits_signed(new_disp, config.displacement_bits):
+        if not fits_signed(new_disp, self._disp_bits):
             self.stats["overflow_cancellations"] += 1
             return None
-        kind = "move" if is_move else "cf"
-        return (kind, source.preg, new_disp, False)
+        return ("move" if is_move else "cf", source.preg, new_disp, False)
 
     def _try_integrate(
-        self, dyn: DynamicInstruction, source_mappings: list[Mapping]
+        self, dyn: DynamicInstruction, op: tuple, source_mappings: list[Mapping]
     ) -> tuple[str, int, int, bool] | None:
         """RENO_CSE+RA: probe the integration table for an existing value."""
-        instruction = dyn.instruction
-        key = self._it_key(instruction, source_mappings)
-        self.stats["it_lookups"] += 1
+        key = self._it_key(op, source_mappings)
+        stats = self.stats
+        stats["it_lookups"] += 1
         entry = self.integration_table.lookup(key)
         if entry is None:
             return None
-        if not self.refcounts.is_live(entry.out_preg):
+        if self.refcounts.counts[entry.out_preg] <= 0:   # inlined is_live
             return None
         # Stand-in for the pre-retirement re-execution check: integrate only
         # when the shared register will hold the architecturally correct
         # value.  A mismatch corresponds to a squashed integration.
         if entry.value is None or dyn.result is None or entry.value != dyn.result:
-            self.stats["it_value_mismatches"] += 1
+            stats["it_value_mismatches"] += 1
             return None
-        self.stats["it_hits"] += 1
+        stats["it_hits"] += 1
         kind = "ra" if entry.origin == "store" else "cse"
-        needs_reexec = instruction.spec.is_load
-        return (kind, entry.out_preg, entry.out_disp, needs_reexec)
+        return (kind, entry.out_preg, entry.out_disp, bool(op[0] & DF_LOAD))
 
     # ------------------------------------------------------------------
     # Integration-table maintenance
@@ -263,55 +364,63 @@ class RenoRenamer(Renamer):
             return False
         return instruction.spec.op_class in (OpClass.ALU, OpClass.SHIFT)
 
-    def _it_key(self, instruction: Instruction, source_mappings: list[Mapping]) -> tuple:
-        inputs = tuple((mapping.preg, mapping.disp) for mapping in source_mappings)
-        if instruction.spec.is_reg_imm_add:
-            return IntegrationTable.make_key(
-                _CANONICAL_ADD, instruction.folded_displacement, inputs
-            )
-        return IntegrationTable.make_key(instruction.opcode.value, instruction.imm, inputs)
+    def _it_key(self, op: tuple, source_mappings: list[Mapping]) -> tuple:
+        # Inlined IntegrationTable.make_key: the signature is the plain
+        # (opcode, imm, inputs) triple; the 0/1/2-source cases are unrolled.
+        count = len(source_mappings)
+        if count == 1:
+            mapping = source_mappings[0]
+            inputs = ((mapping.preg, mapping.disp),)
+        elif count == 2:
+            first, second = source_mappings
+            inputs = ((first.preg, first.disp), (second.preg, second.disp))
+        else:
+            inputs = tuple((m.preg, m.disp) for m in source_mappings)
+        if op[0] & DF_REG_IMM_ADD:
+            return (_CANONICAL_ADD, op[7], inputs)
+        return (op[6].value, op[5], inputs)
 
     def _insert_it_entries(
         self,
         dyn: DynamicInstruction,
+        op: tuple,
         source_mappings: list[Mapping],
         result: RenameResult,
     ) -> None:
-        """Create IT entries for a non-eliminated instruction."""
-        if self.integration_table is None:
-            return
-        instruction = dyn.instruction
-        policy_full = self.config.integration_policy == IT_POLICY_FULL
+        """Create IT entries for a non-eliminated instruction.
 
-        spec = instruction.spec
-        if spec.is_store:
-            self._insert_reverse_store_entry(dyn, source_mappings)
+        The caller has already checked that the integration table exists.
+        """
+        flags = op[0]
+        if flags & DF_STORE:
+            self._insert_reverse_store_entry(dyn, op, source_mappings)
             return
-        if spec.is_load and result.dest_preg is not None:
-            key = self._it_key(instruction, source_mappings)
-            self._insert(IntegrationEntry(
+        if flags & DF_LOAD and result.dest_preg is not None:
+            key = self._it_key(op, source_mappings)
+            # Inlined _insert (one insertion per executed load).
+            self.integration_table.insert(IntegrationEntry(
                 key=key, out_preg=result.dest_preg, out_disp=0,
                 origin="load", value=dyn.result,
             ))
+            self.stats["it_insertions"] += 1
             return
-        if not policy_full or result.dest_preg is None:
+        if not self._policy_full or result.dest_preg is None:
             return
-        op_class = spec.op_class
-        if op_class not in (OpClass.ALU, OpClass.SHIFT):
+        if not flags & DF_IT_ALU:
             return
-        key = self._it_key(instruction, source_mappings)
+        key = self._it_key(op, source_mappings)
         self._insert(IntegrationEntry(
             key=key, out_preg=result.dest_preg, out_disp=0,
             origin="alu", value=dyn.result,
         ))
-        if spec.is_reg_imm_add:
+        if flags & DF_REG_IMM_ADD:
             # Reverse entry: lets the matching future increment share the
             # pre-decrement register (bootstraps memory bypassing across
             # calls when constant folding is disabled).
             source = source_mappings[0]
             reverse_key = IntegrationTable.make_key(
                 _CANONICAL_ADD,
-                -instruction.folded_displacement,
+                -op[7],
                 ((result.dest_preg, 0),),
             )
             self._insert(IntegrationEntry(
@@ -320,23 +429,22 @@ class RenoRenamer(Renamer):
             ))
 
     def _insert_reverse_store_entry(
-        self, dyn: DynamicInstruction, source_mappings: list[Mapping]
+        self, dyn: DynamicInstruction, op: tuple, source_mappings: list[Mapping]
     ) -> None:
         """Stores create entries shaped like the load that will read the value."""
-        instruction = dyn.instruction
-        load_opcode = _STORE_TO_LOAD[instruction.opcode]
+        load_opcode = _STORE_TO_LOAD[op[6]]
         base_mapping = source_mappings[0]            # rs1 is the base register
         data_mapping = source_mappings[1]            # rs2 is the data register
-        key = IntegrationTable.make_key(
-            load_opcode.value, instruction.imm, ((base_mapping.preg, base_mapping.disp),)
-        )
+        key = (load_opcode.value, op[5], ((base_mapping.preg, base_mapping.disp),))
         # Sharing the data register is only correct if the future load reads
         # back exactly the data register's value.  Recording that value here
         # lets the hit-time check reject truncating/size-mismatched cases.
-        self._insert(IntegrationEntry(
+        # (_insert inlined: one insertion per executed store.)
+        self.integration_table.insert(IntegrationEntry(
             key=key, out_preg=data_mapping.preg, out_disp=data_mapping.disp,
             origin="store", value=dyn.store_value,
         ))
+        self.stats["it_insertions"] += 1
 
     def _insert(self, entry: IntegrationEntry) -> None:
         self.integration_table.insert(entry)

@@ -39,11 +39,14 @@ original ``run_matrix`` behaviour for callers that inspect
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import pickle
+import tempfile
 import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 from repro.core.config import RenoConfig
@@ -179,6 +182,24 @@ def _worker(task: WorkloadTask):
     return block, (cache.stats if cache is not None else None)
 
 
+def _task_fully_cached(task: WorkloadTask, cache: SimulationCache) -> bool:
+    """Whether every grid point of ``task`` already has a cache entry.
+
+    Checks entry-file existence only (no unpickling, no hit/miss stats),
+    so the :class:`AutoExecutor` recall path can cheaply distinguish a warm
+    repeat run from a cold grid before committing to a worker pool.
+    """
+    program = task.workload.build(task.scale)
+    digest = program_digest(program)
+    for _, machine in task.machines:
+        for _, reno in task.renos:
+            key = outcome_key(digest, machine, reno,
+                              task.max_instructions, task.collect_timing)
+            if not cache.path_for(key).exists():
+                return False
+    return True
+
+
 def _fork_context():
     """The fork multiprocessing context, or None when the platform lacks it."""
     if "fork" not in multiprocessing.get_all_start_methods():
@@ -220,6 +241,68 @@ def build_tasks(
         )
         for workload in workloads
     ]
+
+
+# ---------------------------------------------------------------------------
+# The persisted cost model
+# ---------------------------------------------------------------------------
+
+
+#: File name of the persisted cost model inside the outcome-cache root.
+COSTS_FILENAME = "costs.json"
+
+
+class CostModel:
+    """Cross-run store of measured per-workload cell timings.
+
+    Lives next to the outcome cache (``$REPRO_CACHE_DIR/costs.json``) and is
+    keyed per workload task — name, scale, timing collection and instruction
+    budget — mirroring how the outcome cache distinguishes grid points.  The
+    values are measured serial seconds per computed (machine × RENO) cell.
+
+    :class:`AutoExecutor` records a cost every time its in-process probe
+    actually computes cells, and on later runs uses the recorded costs to
+    pick the serial loop or the process pool *without any probe*.  Costs are
+    advisory (a stale entry can only cost wall-clock time, never results),
+    so the store degrades gracefully: unreadable files read as empty and
+    failed writes are ignored.
+    """
+
+    def __init__(self, root: str | Path):
+        """Create a model stored under the cache root directory ``root``."""
+        self.path = Path(root) / COSTS_FILENAME
+
+    @staticmethod
+    def key(task: WorkloadTask) -> str:
+        """The store key for one workload task (outcome-cache style)."""
+        return (f"{task.workload.name}|scale={task.scale}"
+                f"|timing={int(task.collect_timing)}"
+                f"|budget={task.max_instructions}")
+
+    def load(self) -> dict[str, float]:
+        """All recorded costs (empty on a missing or unreadable store)."""
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        return {key: float(value) for key, value in payload.items()
+                if isinstance(value, (int, float))}
+
+    def record(self, task: WorkloadTask, seconds_per_cell: float) -> None:
+        """Merge one measured cost into the store (atomic, best-effort)."""
+        costs = self.load()
+        costs[self.key(task)] = seconds_per_cell
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=self.path.parent, suffix=".tmp")
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(costs, handle, indent=0, sort_keys=True)
+            os.replace(temp_name, self.path)
+        except OSError:
+            pass
 
 
 # ---------------------------------------------------------------------------
@@ -286,20 +369,25 @@ class ProcessExecutor:
 
 
 class AutoExecutor:
-    """Adaptive backend selection: probe first, then commit.
+    """Adaptive backend selection: recall, else probe, then commit.
 
-    The decision has two phases:
+    The decision has three phases:
 
     1. **Static** (:meth:`static_choice`): serial whenever a pool cannot
        possibly win — one CPU, fewer than two tasks, no ``fork``, or
        unpicklable tasks.  This is what fixes the historical single-core
        regression, where fork + pickling overhead made ``jobs=N`` slower
        than the plain loop.
-    2. **Probe**: otherwise tasks run in-process until one actually
+    2. **Recall** (when a cache is active): if the persisted
+       :class:`CostModel` has a measured per-cell cost for *every* task,
+       the backend is chosen from the recorded costs alone — no probe runs
+       at all on repeat grids.
+    3. **Probe**: otherwise tasks run in-process until one actually
        *computes* something (an all-cache-hit block costs ~nothing and says
        nothing about simulation cost, so it is consumed and the probe moves
-       on), giving a measured per-miss cell cost.  The remaining tasks go
-       to a :class:`ProcessExecutor` only when their estimated serial time
+       on), giving a measured per-miss cell cost — which is also recorded
+       into the cost model for the next run.  The remaining tasks go to a
+       :class:`ProcessExecutor` only when their estimated serial time
        exceeds ``probe_threshold_s``; tiny grids (e.g. micro-workload test
        sweeps) stay serial and skip pool spawn entirely.
 
@@ -345,10 +433,30 @@ class AutoExecutor:
     def execute(
         self, tasks: list[WorkloadTask], cache: SimulationCache | None
     ) -> list[Block]:
-        """Run the tasks on the backend the probe selects."""
+        """Run the tasks on the backend the cost model or probe selects."""
         choice = self.static_choice(tasks)
         if choice is not None:
             return choice.execute(tasks, cache)
+
+        # Recall: with a recorded cost for every task, choose the backend
+        # without probing at all (the cross-run cost model lives next to
+        # the outcome cache).  Recorded costs assume uncached cells, so
+        # before committing to a pool the first task's cache entries are
+        # checked: a fully warm leading block means the grid is probably
+        # warm, and the probe loop below (which consumes all-hit blocks
+        # in-process) handles that case without ever spawning workers.
+        model = CostModel(cache.root) if cache is not None else None
+        if model is not None:
+            costs = model.load()
+            if costs:
+                known = [costs.get(CostModel.key(task)) for task in tasks]
+                if all(cost is not None for cost in known):
+                    estimate = sum(cost * task.cells
+                                   for cost, task in zip(known, tasks))
+                    if estimate < self.probe_threshold_s:
+                        return SerialExecutor().execute(tasks, cache)
+                    if not _task_fully_cached(tasks[0], cache):
+                        return ProcessExecutor(self._pool_jobs(tasks)).execute(tasks, cache)
 
         # Probe in-process until a block actually computes cells: estimating
         # cost from an all-cache-hit block would read as "free" and wrongly
@@ -367,6 +475,8 @@ class AutoExecutor:
             index += 1
             if computed:
                 per_cell = elapsed / computed
+                if model is not None:
+                    model.record(task, per_cell)
                 break
 
         rest = tasks[index:]

@@ -1,12 +1,24 @@
-"""Backwards-compatible aliases for the experiment execution engine.
+"""Deprecated aliases for the experiment execution engine.
 
 The engine moved to :mod:`repro.harness.executors` when execution backends
 became pluggable (``SerialExecutor`` / ``ProcessExecutor`` / ``AutoExecutor``
 behind the ``Executor`` protocol).  This module re-exports the original names
-so pre-executor imports keep working unchanged.
+so pre-executor imports keep working, but importing it now raises a
+:class:`DeprecationWarning` — update imports to
+``repro.harness.executors`` (or the ``repro.harness`` package namespace,
+which re-exports everything public).
 """
 
-from repro.harness.executors import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.harness.parallel is deprecated; import from "
+    "repro.harness.executors instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.harness.executors import (  # noqa: F401,E402
     GridKey,
     JOBS_ENV,
     WorkloadTask,

@@ -76,22 +76,44 @@ class HybridPredictor:
 
     def predict_and_update(self, pc: int, taken: bool) -> bool:
         """One-pass predict + train (same state changes as predict();
-        update() back to back, with the shared index/counter work done once).
+        update() back to back, with the shared index/counter work done once
+        and the saturating-counter updates applied in place).
         """
+        history = self.history
         base = (pc >> 2) & self._history_mask
-        gshare_index = base ^ (self.history & self._history_mask)
+        gshare_index = base ^ (history & self._history_mask)
         bimodal_counters = self.bimodal._counters
-        bimodal_mask = self.bimodal._mask
+        bimodal_slot = base & self.bimodal._mask
         gshare_counters = self.gshare._counters
-        gshare_mask = self.gshare._mask
-        bimodal_taken = bimodal_counters[base & bimodal_mask] >= 2
-        gshare_taken = gshare_counters[gshare_index & gshare_mask] >= 2
-        predicted = gshare_taken if self.chooser.predict(base) else bimodal_taken
-        if (bimodal_taken == taken) != (gshare_taken == taken):
-            self.chooser.update(base, gshare_taken == taken)
-        self.bimodal.update(base, taken)
-        self.gshare.update(gshare_index, taken)
-        self.history = ((self.history << 1) | int(taken)) & 0xFFFF
+        gshare_slot = gshare_index & self.gshare._mask
+        chooser_counters = self.chooser._counters
+        chooser_slot = base & self.chooser._mask
+        bimodal_value = bimodal_counters[bimodal_slot]
+        gshare_value = gshare_counters[gshare_slot]
+        bimodal_taken = bimodal_value >= 2
+        gshare_taken = gshare_value >= 2
+        predicted = (gshare_taken if chooser_counters[chooser_slot] >= 2
+                     else bimodal_taken)
+        gshare_correct = gshare_taken == taken
+        if (bimodal_taken == taken) != gshare_correct:
+            chooser_value = chooser_counters[chooser_slot]
+            if gshare_correct:
+                if chooser_value < 3:
+                    chooser_counters[chooser_slot] = chooser_value + 1
+            elif chooser_value > 0:
+                chooser_counters[chooser_slot] = chooser_value - 1
+        if taken:
+            if bimodal_value < 3:
+                bimodal_counters[bimodal_slot] = bimodal_value + 1
+            if gshare_value < 3:
+                gshare_counters[gshare_slot] = gshare_value + 1
+            self.history = ((history << 1) | 1) & 0xFFFF
+        else:
+            if bimodal_value > 0:
+                bimodal_counters[bimodal_slot] = bimodal_value - 1
+            if gshare_value > 0:
+                gshare_counters[gshare_slot] = gshare_value - 1
+            self.history = (history << 1) & 0xFFFF
         return predicted
 
 
@@ -156,6 +178,15 @@ class BranchOutcome:
     reason: str = ""
 
 
+#: Shared outcome instances — ``process`` runs once per fetched control
+#: instruction and its result is read-only, so the four possible outcomes
+#: are preallocated instead of constructed per call.
+_OK = BranchOutcome(False)
+_DIRECTION = BranchOutcome(True, "direction")
+_BTB = BranchOutcome(True, "btb")
+_RAS = BranchOutcome(True, "ras")
+
+
 class BranchUnit:
     """Front-end branch handling for the trace-driven pipeline.
 
@@ -174,18 +205,21 @@ class BranchUnit:
         self.ras_mispredictions = 0
 
     def process(self, dyn: DynamicInstruction) -> BranchOutcome:
-        """Predict + train on one fetched control instruction's outcome."""
-        instruction = dyn.instruction
-        op_class = instruction.spec.op_class
+        """Predict + train on one fetched control instruction's outcome.
+
+        Returns one of four shared, read-only :class:`BranchOutcome`
+        instances (never mutate the result).
+        """
+        op_class = dyn.instruction.spec.op_class
         taken = dyn.taken is True
-        outcome = BranchOutcome(mispredicted=False)
+        outcome = _OK
 
         if op_class is OpClass.BRANCH:
             self.conditional_branches += 1
             predicted_taken = self.direction.predict_and_update(dyn.pc, taken)
             if predicted_taken != taken:
                 self.mispredictions += 1
-                outcome = BranchOutcome(True, "direction")
+                outcome = _DIRECTION
             elif taken:
                 outcome = self._check_target(dyn)
         elif op_class is OpClass.JUMP:
@@ -197,7 +231,7 @@ class BranchUnit:
             predicted = self.ras.pop()
             if predicted != dyn.target_pc:
                 self.ras_mispredictions += 1
-                outcome = BranchOutcome(True, "ras")
+                outcome = _RAS
         return outcome
 
     def _check_target(self, dyn: DynamicInstruction) -> BranchOutcome:
@@ -205,8 +239,8 @@ class BranchUnit:
         self.btb.update(dyn.pc, dyn.target_pc)
         if predicted_target != dyn.target_pc:
             self.btb_misses += 1
-            return BranchOutcome(True, "btb")
-        return BranchOutcome(False)
+            return _BTB
+        return _OK
 
     @property
     def misprediction_rate(self) -> float:

@@ -34,6 +34,11 @@ class Cache:
         block = address >> self.block_shift       # inlined _locate
         ways = self._sets[block % self.num_sets]
         tag = block // self.num_sets
+        if ways and ways[0] == tag:
+            # MRU fast path: repeated accesses to the hottest block need no
+            # LRU reshuffle at all.
+            self.hits += 1
+            return True
         if tag in ways:
             ways.remove(tag)
             ways.insert(0, tag)
@@ -104,14 +109,37 @@ class CacheHierarchy:
         self.l1d = Cache(config.l1d, "L1D")
         self.l2 = Cache(config.l2, "L2")
         self._mshr = _Mshr(config.max_outstanding_misses)
+        # L1/L2 hit latencies are run constants, so the (read-only) result
+        # objects for the hit paths are preallocated per L1 cache; only real
+        # misses (which consult the MSHR) construct a fresh result.
+        self._hit_results = {
+            cache: (MemoryAccessResult(cache.latency, True, False),
+                    MemoryAccessResult(cache.latency + self.l2.latency, False, True))
+            for cache in (self.l1i, self.l1d)
+        }
 
     # ------------------------------------------------------------------
 
     def _access(self, l1: Cache, address: int, now: int, is_write: bool) -> MemoryAccessResult:
-        if l1.lookup(address):
-            return MemoryAccessResult(l1.latency, True, False)
+        # Inlined Cache.lookup with the MRU fast path first: L1 hits are the
+        # overwhelming majority of accesses and touch nothing but a counter.
+        block = address >> l1.block_shift
+        ways = l1._sets[block % l1.num_sets]
+        tag = block // l1.num_sets
+        if ways and ways[0] == tag:
+            l1.hits += 1
+            return self._hit_results[l1][0]
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            l1.hits += 1
+            return self._hit_results[l1][0]
+        l1.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > l1.config.associativity:
+            ways.pop()
         if self.l2.lookup(address):
-            return MemoryAccessResult(l1.latency + self.l2.latency, False, True)
+            return self._hit_results[l1][1]
         miss_latency = self.l2.latency + self.config.memory_latency
         stall = self._mshr.acquire(now, miss_latency)
         latency = l1.latency + miss_latency + stall

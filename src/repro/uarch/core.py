@@ -15,35 +15,63 @@ Modelling notes (also summarised in DESIGN.md):
   after its producer.
 * Scheduling is event-driven (see :mod:`repro.uarch.scheduler`): dispatch
   counts each instruction's unavailable operands, every physical-register
-  write is reported to the issue queue via ``IssueQueue.wakeup`` (the only
-  path that decrements those counts), and the select loop visits only
-  instructions whose count reached zero, kept oldest-first in per-class
-  ready lists.  Loads additionally pass a memory-ordering check
-  (:meth:`Pipeline._load_can_issue`) at select time.
+  write is reported to the issue queue (the only path that decrements those
+  counts), and the select loop visits only instructions whose count reached
+  zero, kept oldest-first in per-class ready lists.  Loads additionally pass
+  a memory-ordering check (:meth:`Pipeline._load_can_issue`) at select time.
 * Memory-ordering violations are detected when a load would consume stale
   data (an older overlapping store has not executed); the load is held back
   and charged a squash penalty, and the store-set predictor is trained.
+
+Hot-path representation: all per-in-flight-instruction state lives in the
+structure-of-arrays :class:`~repro.uarch.inflight.InFlightWindow`, indexed by
+``seq & mask`` (sequence numbers double as ROB positions because dispatch and
+retirement are strictly in program order).  Static per-instruction facts come
+from the decoded-op cache (:func:`repro.isa.instruction.decode_program`).
+:meth:`Pipeline._run_cycles` is written as one interpreter-style loop —
+commit, wakeup/select, execute and dispatch are inlined, every array and
+counter is a local, and the conventional renamer's map-table/free-list
+updates are inlined too (``window.rename[slot]`` stays None on that path) —
+so the per-instruction work is flat list/tuple indexing with no attribute
+traffic and no object allocation beyond what the RENO renamer itself needs.
+The inlined scheduler paths are byte-exact re-statements of
+``IssueQueue.add``/``select``; the scheduler-equivalence property tests pit
+the whole pipeline against an object-model full-scan reference to keep them
+honest.
 """
 
 from __future__ import annotations
 
 import gc
+from bisect import insort
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
 from repro.functional.memory import Memory
 from repro.functional.trace import DynamicInstruction
-from repro.isa.opcodes import OpClass
+from repro.isa.instruction import (
+    CLASS_LOAD,
+    CLASS_STORE,
+    DF_CALL,
+    DF_COND_BRANCH,
+    DF_CONTROL,
+    DF_LOAD,
+    DF_MEM_SIGNED,
+    DF_NO_EXECUTE,
+    DF_STORE,
+    decode_program,
+)
+from repro.isa.opcodes import Opcode
 from repro.isa.program import DATA_BASE, STACK_BASE, Program
 from repro.isa.registers import NUM_LOGICAL_REGS, RegisterNames
 from repro.isa.semantics import MASK64, alu_eval, branch_taken, mask64, sign_extend
 from repro.uarch.branch import BranchUnit
 from repro.uarch.cache import CacheHierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.execute import effective_address, store_value
-from repro.uarch.inflight import InFlightInst, Stage, TimingRecord, make_timing_record
+from repro.uarch.inflight import NO_COMPLETE, InFlightWindow, TimingRecord
 from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry
 from repro.uarch.regfile import NOT_READY, PhysicalRegisterFile
-from repro.uarch.rename import BaselineRenamer, Renamer
+from repro.uarch.rename import BaselineRenamer, RenameResult, Renamer
 from repro.uarch.rob import ReorderBuffer
 from repro.uarch.scheduler import IssueQueue
 from repro.uarch.stats import SimStats
@@ -53,11 +81,13 @@ from repro.uarch.storesets import StoreSets
 #: still unresolved).
 _STALLED = 1 << 60
 
-#: Dispatch-time hot aliases: opcode classes that never execute, and the two
-#: in-flight stages assigned during insertion.
-_NO_EXECUTE_CLASSES = (OpClass.NOP, OpClass.HALT)
-_COMPLETED = Stage.COMPLETED
-_WAITING = Stage.WAITING
+#: Sentinel for "no branch currently stalls the front end".
+_NO_BRANCH = -1
+
+#: Elimination-kind ids for ``InFlightWindow.elim_info`` (0 = not
+#: eliminated; bit 4 marks re-execution at retire).
+_ELIM_IDS = {"move": 1, "cf": 2, "cse": 3, "ra": 4}
+_ELIM_REEXEC = 16
 
 
 class CommitMismatchError(Exception):
@@ -116,6 +146,13 @@ class Pipeline:
         self.program = program
         self.trace = trace
         self.collect_timing = collect_timing
+        self._trace_length = len(trace)
+        #: Decoded-op cache: one immutable tuple per static instruction,
+        #: indexed by the trace records' static index (== PC/4 offset).
+        self._decoded = decode_program(program.instructions)
+        #: The same cache pre-resolved per trace record, so dispatch reaches
+        #: the decoded tuple with one subscript on the fetch index.
+        self._trace_ops = [self._decoded[dyn.index] for dyn in trace]
 
         initial_regs = [0] * NUM_LOGICAL_REGS
         initial_regs[RegisterNames.SP] = STACK_BASE
@@ -133,28 +170,50 @@ class Pipeline:
         self._taken_branch_limit = self.config.taken_branches_per_fetch
         self._fetch_block_bytes = self.config.l1i.block_bytes
         self._front_end_depth = self.config.front_end_depth
+        self._rob_capacity = self.config.rob_size
         self.renamer: Renamer = renamer or BaselineRenamer(self.config.num_physical_regs)
 
         self.branch_unit = BranchUnit(self.config)
         self.caches = CacheHierarchy(self.config)
         self.store_sets = StoreSets(self.config.store_set_entries)
-        self.issue_queue = IssueQueue(self.config)
+        #: The structure-of-arrays in-flight window shared by every stage.
+        self.window = InFlightWindow(self.config.rob_size)
+        self.issue_queue = IssueQueue(self.config, self.window, self.prf.ready_cycle)
         # Producer-side wakeup aliases: most register writes have no
         # registered waiters, so the membership test saves the call.
         self._iq_waiters = self.issue_queue._waiters
         self._iq_wakeup = self.issue_queue.wakeup
-        self.rob = ReorderBuffer(self.config.rob_size)
+        self.rob = ReorderBuffer(self.config.rob_size, self.window)
         self.store_queue = StoreQueue(self.config.store_queue_size)
         self.load_queue = LoadQueue(self.config.load_queue_size)
         self.memory = Memory(program.initial_memory)
 
+        # Window-array aliases (list identities are stable for the run).
+        window = self.window
+        self._w_mask = window.mask
+        self._w_dispatch = window.dispatch_cycle
+        self._w_issue = window.issue_cycle
+        self._w_complete = window.complete_cycle
+        self._w_retire = window.retire_cycle
+        self._w_latency = window.latency
+        self._w_value = window.value
+        self._w_eff = window.eff_addr
+        self._w_dcache = window.dcache_latency
+        self._w_replayed = window.replayed
+        self._w_mispred = window.mispredicted
+        self._w_rename = window.rename
+        self._w_decoded = window.decoded
+        self._w_dest = window.dest_preg
+        self._w_fextra = window.fusion_extra
+
         self.stats = SimStats()
         self.timing_records: list[TimingRecord] = []
 
-        # Front-end state.
+        # Front-end state (mirrored from the cycle loop's locals at the end
+        # of a run; see _run_cycles).
         self._fetch_index = 0
         self._fetch_resume_cycle = 0
-        self._waiting_branch: InFlightInst | None = None
+        self._waiting_branch = _NO_BRANCH
         self._last_fetch_block = -1
 
         # preg -> sequence number of the instruction producing it (for the
@@ -181,8 +240,8 @@ class Pipeline:
         counter, which is credited in bulk, so all statistics are identical
         to the cycle-by-cycle loop's.
         """
-        # The loop allocates hundreds of thousands of short-lived,
-        # acyclic objects; generational GC only burns time re-scanning
+        # The loop allocates short-lived, acyclic objects (rename results,
+        # wakeup buckets); generational GC only burns time re-scanning
         # them.  Reference counting reclaims everything, so pause GC for
         # the duration (restoring the caller's setting afterwards).
         gc_was_enabled = gc.isenabled()
@@ -202,80 +261,1232 @@ class Pipeline:
         )
 
     def _run_cycles(self) -> None:
-        """The cycle loop proper (see :meth:`run` for the event-driven model)."""
+        """The cycle loop proper (see :meth:`run` for the event-driven model).
+
+        All phases — commit, wakeup/select, execute, dispatch — are inlined
+        into this one function so every array, counter and piece of
+        front-end state is a local variable for the whole run.  Two
+        structural fast paths are chosen up front:
+
+        * ``inline_iq`` — issue-queue bookkeeping (operand counting,
+          waiter/wakeup registration, wakeup drain, single-class select) is
+          inlined when the queue is the stock :class:`IssueQueue`; a
+          substituted queue (the equivalence tests' object-model reference)
+          gets the ``add()``/``select()`` method calls instead, and the
+          rare multi-class select falls back to the method with the local
+          counters synced around the call.
+        * ``baseline_fast`` — conventional renaming (map table + free list)
+          is inlined when the renamer is the stock ``BaselineRenamer``; the
+          slot's ``rename`` entry stays None and commit releases the
+          previous mapping directly.  Any other renamer (RENO) goes through
+          the ``rename_next()`` interface unchanged.
+
+        Neither fast path changes any modelled behaviour — they remove
+        Python call and object overhead only, which the scheduler
+        equivalence and rename invariant property tests check.  Frequently
+        bumped statistics are accumulated in locals and folded into
+        ``self.stats`` once at the end of the run.
+        """
         cycle = 0
-        total = len(self.trace)
+        committed = 0
+        fetch_index = 0
+        fetch_resume = self._fetch_resume_cycle
+        waiting_branch = self._waiting_branch
+        last_fetch_block = self._last_fetch_block
+        total = self._trace_length
         # The cycle loop dominates wall-clock time; bind everything it
         # touches once instead of re-resolving attributes every cycle.
         stats = self.stats
         max_cycles = self.config.max_cycles
-        commit = self._commit
-        dispatch = self._dispatch
         issue_queue = self.issue_queue
         select = issue_queue.select
         load_ready = self._load_can_issue
-        execute = self._execute
         wakeup_heap = issue_queue._wakeup_heap    # list identity is stable
-        rob_entries = self.rob._entries           # deque identity is stable
-        completed = Stage.COMPLETED
-        while stats.committed < total:
+        iq_waiters = self._iq_waiters
+        iq_wakeups = issue_queue._wakeups
+        iq_ready = issue_queue._ready
+        iq_class = self.window.class_id
+        iq_capacity = issue_queue.capacity
+        iq_add = issue_queue.add
+        w_waiting = self.window.waiting_ops
+        inline_iq = type(issue_queue) is IssueQueue
+        iq_count = issue_queue._count
+        iq_ready_total = issue_queue._ready_total
+        limit_int = self.config.int_issue
+        limit_load = self.config.load_issue
+        limit_store = self.config.store_issue
+        limit_fp = self.config.fp_issue
+        total_issue = self.config.total_issue
+
+        renamer = self.renamer
+        baseline_fast = inline_iq and type(renamer) is BaselineRenamer
+        reno_mode = not baseline_fast
+        rename_next = renamer.rename_next
+        renamer_begin = renamer.begin_group
+        renamer_end = renamer.end_group
+        renamer_commit = renamer.commit
+        free_count = renamer.free_register_count
+        if baseline_fast:
+            bmap = renamer.map_table
+            bfree = renamer.free_list
+            bfree_popleft = bfree.popleft
+            bfree_append = bfree.append
+        else:
+            bmap = bfree = bfree_popleft = bfree_append = None
+        # Commit-side fast path for the stock RENO renamer: the refcount
+        # release is inlined against its arrays (same body as
+        # RenoRenamer.commit); other renamers go through commit().
+        reno_fast = False
+        rc_counts = rc_free_append = it_index = it_invalidate = None
+        reno_free = group_elim = None
+        rn_rc = rn_map = rn_stats = rn_zero = rn_try_elim = None
+        rn_insert_it = rn_it = rn_config = None
+        rn_elig = 0
+        rn_policy_full = False
+        fusion_extra = elim_keys = Mapping = None
+        if reno_mode:
+            from repro.core.fusion import fusion_extra_latency as fusion_extra
+            from repro.core.maptable import Mapping
+            from repro.core.renamer import _ELIM_STATS_KEYS as elim_keys
+            from repro.core.renamer import RenoRenamer
+
+            if type(renamer) is RenoRenamer:
+                reno_fast = True
+                rn_rc = renamer.refcounts
+                rc_counts = rn_rc.counts
+                reno_free = renamer._free_list
+                rc_free_append = reno_free.append
+                group_elim = renamer._group_eliminated_logicals
+                rn_map = renamer.map_table._entries
+                rn_stats = renamer.stats
+                rn_zero = renamer._zero_maps
+                rn_elig = renamer._elig_mask
+                rn_try_elim = renamer._try_eliminate
+                rn_insert_it = renamer._insert_it_entries
+                rn_config = renamer.config
+                rn_policy_full = renamer._policy_full
+                table = rn_it = renamer.integration_table
+                if table is not None:
+                    it_index = table._preg_index
+                    it_invalidate = table.invalidate_preg
+        df_mem = DF_LOAD | DF_STORE
+
+        mask = self._w_mask
+        w_dispatch = self._w_dispatch
+        w_issue = self._w_issue
+        w_complete = self._w_complete
+        w_latency = self._w_latency
+        w_value = self._w_value
+        w_eff = self._w_eff
+        w_dcache = self._w_dcache
+        w_replayed = self._w_replayed
+        w_mispred = self._w_mispred
+        w_rename = self._w_rename
+        w_decoded = self._w_decoded
+        w_dest = self._w_dest
+        w_prev = self.window.prev_dest
+        w_elim = self.window.elim_info
+        w_fextra = self._w_fextra
+        w_nsrc = self.window.nsrc
+        w_s0p = self.window.src0_preg
+        w_s0d = self.window.src0_disp
+        w_s1p = self.window.src1_preg
+        w_s1d = self.window.src1_disp
+
+        prf_values = self._prf_values
+        prf_ready = self._prf_ready
+        sched_latency = self._sched_latency
+        front_end_depth = self._front_end_depth
+        trace = self.trace
+        trace_ops = self._trace_ops
+        commit_width = self._commit_width
+        retire_dcache_ports = self._retire_dcache_ports
+        rename_width = self._rename_width
+        taken_branch_limit = self._taken_branch_limit
+        fetch_block_bytes = self._fetch_block_bytes
+        rob_capacity = self._rob_capacity
+        num_pregs = self.config.num_physical_regs
+        collect_timing = self.collect_timing
+        preg_writer = self._preg_writer
+        producers_map = self._producers
+        timing_append = self.timing_records.append
+        record_producers = self._record_producers
+        reexecute_load = self._reexecute_load
+        check_value = self._check_value
+
+        caches = self.caches
+        caches_access = caches._access
+        l1i_cache = caches.l1i
+        l1d_cache = caches.l1d
+        l1d_latency = self.config.l1d.latency
+        violation_penalty = self.config.memory_violation_penalty
+        branch_unit = self.branch_unit
+        branch_process = branch_unit.process
+        branch_predict_update = branch_unit.direction.predict_and_update
+        branch_check_target = branch_unit._check_target
+        memory_read = self.memory.read
+        memory_write = self.memory.write
+        mem_pages = self.memory._pages
+        sq_check = self.store_queue.check_load
+        sq_entries = self.store_queue.entries
+        sq_by_seq = self.store_queue._by_seq
+        sq_capacity = self.store_queue.capacity
+        sq_pop = self.store_queue.pop_committed
+        sq_len = len(sq_entries)
+        lq_entries = self.load_queue.entries
+        lq_capacity = self.load_queue.capacity
+        lq_add = lq_entries.add
+        lq_discard = lq_entries.discard
+        lq_len = len(lq_entries)
+
+        # The dominant ALU opcodes and branch conditions are evaluated
+        # inline (identical to the corresponding alu_eval / branch_taken
+        # branches); everything else takes the call.
+        op_addi = Opcode.ADDI
+        op_add = Opcode.ADD
+        op_andi = Opcode.ANDI
+        op_srli = Opcode.SRLI
+        op_subi = Opcode.SUBI
+        op_sub = Opcode.SUB
+        op_mov = Opcode.MOV
+        op_bgt = Opcode.BGT
+        op_bne = Opcode.BNE
+        op_beq = Opcode.BEQ
+        sign_limit = 1 << 63
+        # Fetch blocks are power-of-two sized (the same assumption
+        # Cache.block_shift makes), so the block id is a shift.
+        fb_shift = fetch_block_bytes.bit_length() - 1
+
+        # Stats accumulated in locals, folded into self.stats after the run.
+        alloc_total = 0
+        issued_total = 0
+        fetched_total = 0
+        fetch_stalls = 0
+        pregs_alloc_total = 0
+        fused_total = 0
+        fusion_penalty_total = 0
+        store_forwards = 0
+        elim_moves = elim_folds = elim_cse = elim_ra = 0
+
+        empty_selection: list[int] = []
+        while committed < total:
             if cycle >= max_cycles:
+                self._flush_loop_stats(
+                    stats, cycle, committed, issued_total, fetched_total,
+                    fetch_stalls, pregs_alloc_total, fused_total,
+                    fusion_penalty_total, store_forwards, elim_moves,
+                    elim_folds, elim_cse, elim_ra)
                 raise RuntimeError(
                     f"simulation exceeded {max_cycles} cycles "
-                    f"({stats.committed}/{total} instructions retired)"
+                    f"({committed}/{total} instructions retired)"
                 )
-            # Commit, guarded: skip the call when the head cannot possibly
-            # commit (empty ROB or completion still in the future; a WAITING
-            # head carries complete_cycle == -1 and is rejected inside).
-            if rob_entries and rob_entries[0].complete_cycle < cycle:
-                commit(cycle)
-            # Issue (inlined): operand readiness is guaranteed by the wakeup
-            # model; the callback covers load memory-ordering conditions and
-            # select only applies it to load-class entries.  Skip the call
-            # outright when nothing is ready and no wakeup is due.
-            if issue_queue._ready_total or (wakeup_heap and wakeup_heap[0] <= cycle):
+
+            # ---------------- Commit ----------------
+            # Guarded: enter only when the head slot holds a completed
+            # instruction whose completion is in the past.  An empty ROB or
+            # a still-waiting head both leave complete_cycle at NO_COMPLETE,
+            # so one comparison covers every "cannot commit" case.
+            slot = committed & mask
+            if w_complete[slot] < cycle:
+                budget = commit_width
+                dcache_ports = retire_dcache_ports
+                while True:
+                    op = w_decoded[slot]
+                    flags = op[0]
+                    elim = w_elim[slot]
+                    if flags & DF_STORE:
+                        if not dcache_ports:
+                            break
+                        # Inlined store commit: write memory + d-cache
+                        # through the retire port, drop the SQ entry.
+                        address = w_eff[slot]
+                        size = op[3]
+                        offset = address & 4095
+                        if offset + size <= 4096:
+                            # Inlined Memory.write fast path (single page;
+                            # the store value was masked at execute).
+                            page_number = address >> 12
+                            page = mem_pages.get(page_number)
+                            if page is None:
+                                page = bytearray(4096)
+                                mem_pages[page_number] = page
+                            page[offset:offset + size] = \
+                                w_value[slot].to_bytes(size, "little")
+                        else:
+                            memory_write(address, size, w_value[slot])
+                        caches_access(l1d_cache, address, cycle, True)
+                        sq_pop(committed)
+                        sq_len -= 1
+                        dcache_ports -= 1
+                    elif elim & _ELIM_REEXEC:
+                        if not dcache_ports:
+                            break
+                        reexecute_load(committed, op, cycle)
+                        dcache_ports -= 1
+                    if op[4] >= 0:
+                        dyn_result = trace[committed].result
+                        if dyn_result is not None:
+                            # Inlined fast paths of _check_value:
+                            # non-eliminated results compare directly,
+                            # eliminated ones against the shared register;
+                            # the method re-derives the value and raises
+                            # with full context on a mismatch.
+                            if elim:
+                                rename = w_rename[slot]
+                                if ((prf_values[rename.dest_preg]
+                                        + rename.dest_disp)
+                                        & MASK64) != dyn_result:
+                                    check_value(committed, slot)
+                            elif w_value[slot] != dyn_result:
+                                check_value(committed, slot)
+                    if flags & DF_LOAD and not elim:
+                        lq_discard(committed)
+                        lq_len -= 1
+                    # Renamer hand-back.  The fast modes release the
+                    # previous mapping straight from the flattened arrays;
+                    # other renamers get the commit() interface call.
+                    if baseline_fast:
+                        prev = w_prev[slot]
+                        if prev >= 0:
+                            bfree_append(prev)
+                    elif reno_fast:
+                        # Inlined RenoRenamer.commit (refcount release).
+                        prev = w_prev[slot]
+                        if prev >= 0:
+                            count = rc_counts[prev]
+                            if count == 1:
+                                rc_counts[prev] = 0
+                                rc_free_append(prev)
+                                if it_index is not None and prev in it_index:
+                                    it_invalidate(prev)
+                            elif count > 1:
+                                rc_counts[prev] = count - 1
+                            else:
+                                renamer_commit(w_rename[slot])  # raises underflow
+                    else:
+                        renamer_commit(w_rename[slot])
+                    if elim:
+                        kind = elim & 15
+                        if kind == 1:
+                            elim_moves += 1
+                        elif kind == 2:
+                            elim_folds += 1
+                        elif kind == 3:
+                            elim_cse += 1
+                        elif kind == 4:
+                            elim_ra += 1
+                    if collect_timing:
+                        self._w_retire[slot] = cycle
+                        timing_append(TimingRecord(
+                            seq=committed,
+                            opcode=op[6].value,
+                            fetch_cycle=w_dispatch[slot],  # fetch == dispatch
+                            dispatch_cycle=w_dispatch[slot],
+                            issue_cycle=w_issue[slot],
+                            complete_cycle=w_complete[slot],
+                            retire_cycle=cycle,
+                            is_load=bool(flags & DF_LOAD),
+                            is_store=bool(flags & DF_STORE),
+                            is_branch=bool(flags & DF_CONTROL),
+                            mispredicted=w_mispred[slot],
+                            eliminated=bool(elim),
+                            dcache_latency=w_dcache[slot],
+                            latency=w_latency[slot],
+                            source_producers=producers_map.pop(committed, ()),
+                        ))
+                    # Retirement: release the slot (the NO_COMPLETE reset is
+                    # what the commit guard and slot-reuse contract rely on).
+                    w_complete[slot] = NO_COMPLETE
+                    committed += 1
+                    budget -= 1
+                    if not budget or committed >= fetch_index:
+                        break
+                    slot = committed & mask
+                    if w_complete[slot] >= cycle:
+                        break
+
+            # ---------------- Wakeup + select ----------------
+            # Operand readiness is guaranteed by the wakeup model; the
+            # memory-ordering callback gates load-class candidates only.
+            selected = empty_selection
+            if inline_iq:
+                if wakeup_heap and wakeup_heap[0] <= cycle:
+                    # Inlined IssueQueue._drain_wakeups.
+                    while wakeup_heap and wakeup_heap[0] <= cycle:
+                        for wseq in iq_wakeups.pop(heappop(wakeup_heap)):
+                            wslot = wseq & mask
+                            pending = w_waiting[wslot] - 1
+                            w_waiting[wslot] = pending
+                            if not pending:
+                                iq_ready_total += 1
+                                bucket = iq_ready[iq_class[wslot]]
+                                if bucket and wseq < bucket[-1]:
+                                    insort(bucket, wseq)
+                                else:
+                                    bucket.append(wseq)
+                if iq_ready_total:
+                    # Inlined IssueQueue.select, single-class fast path: when
+                    # exactly one class has ready entries (the overwhelmingly
+                    # common case) walk that list oldest-first in place.  The
+                    # int+load pair (the common two-class case) gets its own
+                    # merge; anything else falls back to the method.
+                    r_int = iq_ready[0]
+                    r_load = iq_ready[1]
+                    r_store = iq_ready[2]
+                    entries = gate = None
+                    limit = 0
+                    handled = False
+                    if r_int:
+                        if not (r_load or r_store or iq_ready[3]):
+                            entries = r_int
+                            limit = limit_int
+                            single = 0
+                        elif (r_load and limit_int and limit_load
+                                and not (r_store or iq_ready[3])):
+                            # With no in-flight store, the memory-ordering
+                            # gate is identically true and can be skipped.
+                            gate_on = bool(sq_entries)
+                            # Two-class merge by sequence number, identical
+                            # to the general cursor algorithm restricted to
+                            # the int and load classes.
+                            handled = True
+                            i_idx = l_idx = 0
+                            i_cnt = len(r_int)
+                            l_cnt = len(r_load)
+                            i_lim = limit_int
+                            l_lim = limit_load
+                            remaining = total_issue
+                            l_kept = None
+                            selected = []
+                            while remaining:
+                                if i_idx < i_cnt and i_lim:
+                                    take_load = (l_idx < l_cnt and l_lim
+                                                 and r_load[l_idx] < r_int[i_idx])
+                                elif l_idx < l_cnt and l_lim:
+                                    take_load = True
+                                else:
+                                    break
+                                # The earliest-issue-is-next-cycle veto the
+                                # select method applies is provably never
+                                # taken here: select runs before dispatch
+                                # within a cycle and wakeups are scheduled
+                                # strictly past the dispatch cycle, so every
+                                # ready entry was dispatched in an earlier
+                                # cycle.
+                                if take_load:
+                                    sseq = r_load[l_idx]
+                                    l_idx += 1
+                                    if gate_on and not load_ready(sseq, cycle):
+                                        if l_kept is None:
+                                            l_kept = [sseq]
+                                        else:
+                                            l_kept.append(sseq)
+                                    else:
+                                        selected.append(sseq)
+                                        l_lim -= 1
+                                        remaining -= 1
+                                else:
+                                    # Int entries have no gate (and the
+                                    # dispatch veto is dead here), so every
+                                    # visited one is selected.
+                                    selected.append(r_int[i_idx])
+                                    i_idx += 1
+                                    i_lim -= 1
+                                    remaining -= 1
+                            if i_idx:
+                                if i_idx == i_cnt:
+                                    r_int.clear()
+                                else:
+                                    del r_int[:i_idx]
+                            if l_idx:
+                                if l_kept is None:
+                                    if l_idx == l_cnt:
+                                        r_load.clear()
+                                    else:
+                                        del r_load[:l_idx]
+                                else:
+                                    l_kept.extend(r_load[l_idx:])
+                                    iq_ready[1] = l_kept
+                            if selected:
+                                iq_count -= len(selected)
+                                iq_ready_total -= len(selected)
+                    elif r_load:
+                        if not (r_store or iq_ready[3]):
+                            entries = r_load
+                            limit = limit_load
+                            # The memory-ordering gate is identically true
+                            # with no in-flight store; skip the calls then.
+                            gate = load_ready if sq_entries else None
+                            single = 1
+                    elif r_store:
+                        if not iq_ready[3]:
+                            entries = r_store
+                            limit = limit_store
+                            single = 2
+                    else:
+                        entries = iq_ready[3]
+                        limit = limit_fp
+                        single = 3
+                    if entries is not None:
+                        if limit:
+                            # (The select method's dispatched-this-cycle
+                            # veto is provably never taken on this inline
+                            # path — see the two-class merge note.)
+                            remaining = total_issue
+                            kept = None
+                            index = 0
+                            count = len(entries)
+                            selected = []
+                            if gate is None:
+                                width = limit if limit < remaining else remaining
+                                if width >= count:
+                                    # Everything ready issues: take the
+                                    # whole list without a per-entry walk.
+                                    selected = entries[:]
+                                    index = count
+                                else:
+                                    selected = entries[:width]
+                                    index = width
+                                limit -= index
+                            else:
+                                while index < count and limit and remaining:
+                                    sseq = entries[index]
+                                    index += 1
+                                    if not gate(sseq, cycle):
+                                        if kept is None:
+                                            kept = [sseq]
+                                        else:
+                                            kept.append(sseq)
+                                        continue
+                                    selected.append(sseq)
+                                    limit -= 1
+                                    remaining -= 1
+                            if index:
+                                if kept is None:
+                                    if index == count:
+                                        entries.clear()
+                                    else:
+                                        del entries[:index]
+                                else:
+                                    kept.extend(entries[index:])
+                                    iq_ready[single] = kept
+                            if selected:
+                                iq_count -= len(selected)
+                                iq_ready_total -= len(selected)
+                    elif not handled:
+                        # Multi-class competition (rare): use the method with
+                        # the local counters synced around the call.
+                        issue_queue._count = iq_count
+                        issue_queue._ready_total = iq_ready_total
+                        selected = select(cycle, load_ready)
+                        iq_count = issue_queue._count
+                        iq_ready_total = issue_queue._ready_total
+            elif issue_queue._ready_total or (wakeup_heap and wakeup_heap[0] <= cycle):
                 selected = select(cycle, load_ready)
-                if selected:
-                    for inst in selected:
-                        execute(inst, cycle)
-                    stats.issued += len(selected)
-            dispatch(cycle)
+
+            # ---------------- Execute ----------------
+            if selected:
+                issued_total += len(selected)
+                for seq in selected:
+                    slot = seq & mask
+                    op = w_decoded[slot]
+                    # Operand materialisation straight off the flattened
+                    # source arrays, with the fused-operand addition folded
+                    # into the same pass.  Conventional renaming never has
+                    # displacements, so that mode skips the disp reads.
+                    ns = w_nsrc[slot]
+                    value0 = value1 = 0
+                    fextra = 0
+                    if reno_mode:
+                        fused = False
+                        if ns:
+                            value0 = prf_values[w_s0p[slot]]
+                            disp = w_s0d[slot]
+                            if disp:
+                                value0 = (value0 + disp) & MASK64
+                                fused = True
+                            if ns > 1:
+                                value1 = prf_values[w_s1p[slot]]
+                                disp = w_s1d[slot]
+                                if disp:
+                                    value1 = (value1 + disp) & MASK64
+                                    fused = True
+                        fextra = w_fextra[slot]
+                        if fused:
+                            fused_total += 1
+                            fusion_penalty_total += fextra
+                    elif ns:
+                        value0 = prf_values[w_s0p[slot]]
+                        if ns > 1:
+                            value1 = prf_values[w_s1p[slot]]
+                    if collect_timing:
+                        w_issue[slot] = cycle     # only timing records read it
+                    class_id = op[1]
+                    flags = op[0]
+                    if class_id == CLASS_LOAD:
+                        # Inlined load execution.
+                        dyn = trace[seq]
+                        address = (value0 + op[5]) & MASK64
+                        if address != dyn.eff_addr:
+                            raise CommitMismatchError(
+                                f"load #{seq} computed address {address:#x}, "
+                                f"architectural address {dyn.eff_addr:#x}"
+                            )
+                        w_eff[slot] = address
+                        mem_bytes = op[3]
+                        raw = None
+                        if sq_entries:
+                            check = sq_check(seq, address, mem_bytes)
+                            if check.action == "forward":
+                                raw = check.value
+                                dcache_latency = l1d_latency
+                                store_forwards += 1
+                        if raw is None:
+                            # Inlined Memory.read fast path (single page).
+                            offset = address & 4095
+                            if offset + mem_bytes <= 4096:
+                                page = mem_pages.get(address >> 12)
+                                raw = (0 if page is None else int.from_bytes(
+                                    page[offset:offset + mem_bytes], "little"))
+                            else:
+                                raw = memory_read(address, mem_bytes)
+                            access = caches_access(l1d_cache, address, cycle, False)
+                            dcache_latency = access.latency
+                        value = (sign_extend(raw, 8 * mem_bytes)
+                                 if flags & DF_MEM_SIGNED else raw)
+                        if value != dyn.result:
+                            # A store the model believed non-conflicting
+                            # actually overlapped (should be prevented by the
+                            # violation check); fall back to the
+                            # architectural value, account it as a replay.
+                            stats.memory_order_violations += 1
+                            stats.load_replays += 1
+                            value = dyn.result
+                            dcache_latency += violation_penalty
+                        if w_replayed[slot]:
+                            dcache_latency += violation_penalty
+                        w_value[slot] = value
+                        w_dcache[slot] = dcache_latency
+                        total_latency = op[2] + fextra + dcache_latency
+                        w_latency[slot] = total_latency
+                        w_complete[slot] = cycle + total_latency
+                        dest_preg = w_dest[slot]
+                        if dest_preg >= 0:
+                            ready = cycle + (total_latency
+                                             if total_latency > sched_latency
+                                             else sched_latency)
+                            # Inlined PRF write + IssueQueue.wakeup.
+                            prf_values[dest_preg] = value
+                            prf_ready[dest_preg] = ready
+                            if dest_preg in iq_waiters:
+                                waiters = iq_waiters.pop(dest_preg)
+                                bucket = iq_wakeups.get(ready)
+                                if bucket is None:
+                                    iq_wakeups[ready] = waiters
+                                    heappush(wakeup_heap, ready)
+                                else:
+                                    bucket.extend(waiters)
+                        continue          # loads are never branches
+                    if class_id == CLASS_STORE:
+                        # Inlined store execution.
+                        dyn = trace[seq]
+                        address = (value0 + op[5]) & MASK64
+                        if address != dyn.eff_addr:
+                            raise CommitMismatchError(
+                                f"store #{seq} computed address {address:#x}, "
+                                f"architectural address {dyn.eff_addr:#x}"
+                            )
+                        value = value1 & op[8]    # data masked to mem_bytes
+                        w_eff[slot] = address
+                        w_value[slot] = value
+                        complete = cycle + op[2] + fextra
+                        w_complete[slot] = complete
+                        entry = sq_by_seq[seq]
+                        entry.addr = address
+                        entry.value = value
+                        entry.executed = True
+                        entry.complete_cycle = complete
+                        continue          # stores are never branches
+                    latency = op[2] + fextra
+                    complete = cycle + latency
+                    w_complete[slot] = complete
+                    if flags & DF_COND_BRANCH:
+                        opc = op[6]
+                        if opc is op_bgt:
+                            computed_taken = 0 < value0 < sign_limit
+                        elif opc is op_bne:
+                            computed_taken = value0 != 0
+                        elif opc is op_beq:
+                            computed_taken = value0 == 0
+                        else:
+                            computed_taken = branch_taken(opc, value0)
+                        if computed_taken != trace[seq].taken:
+                            raise CommitMismatchError(
+                                f"branch #{seq} computed direction "
+                                f"{computed_taken}, architectural "
+                                f"direction {trace[seq].taken}"
+                            )
+                    elif op[4] >= 0:              # has a destination register
+                        if flags & DF_CALL:
+                            value = (trace[seq].pc + 4) & MASK64
+                        else:
+                            opc = op[6]
+                            if opc is op_addi:
+                                value = (value0 + op[5]) & MASK64
+                            elif opc is op_add:
+                                value = (value0 + value1) & MASK64
+                            elif opc is op_andi:
+                                value = value0 & (op[5] & MASK64)
+                            elif opc is op_srli:
+                                value = value0 >> (op[5] & 63)
+                            elif opc is op_subi:
+                                value = (value0 - op[5]) & MASK64
+                            elif opc is op_sub:
+                                value = (value0 - value1) & MASK64
+                            elif opc is op_mov:
+                                value = value0
+                            else:
+                                value = alu_eval(opc, value0, value1, op[5])
+                        w_value[slot] = value
+                        dest_preg = w_dest[slot]
+                        if dest_preg >= 0:
+                            ready = cycle + (latency if latency > sched_latency
+                                             else sched_latency)
+                            # Inlined PRF write + IssueQueue.wakeup.
+                            prf_values[dest_preg] = value
+                            prf_ready[dest_preg] = ready
+                            if dest_preg in iq_waiters:
+                                waiters = iq_waiters.pop(dest_preg)
+                                bucket = iq_wakeups.get(ready)
+                                if bucket is None:
+                                    iq_wakeups[ready] = waiters
+                                    heappush(wakeup_heap, ready)
+                                else:
+                                    bucket.extend(waiters)
+                    if w_mispred[slot] and waiting_branch == seq:
+                        fetch_resume = complete + front_end_depth
+                        waiting_branch = _NO_BRANCH
+
+            # ---------------- Fetch + rename + dispatch ----------------
+            if fetch_index < total:
+                if cycle < fetch_resume:
+                    fetch_stalls += 1
+                else:
+                    rob_room = rob_capacity - (fetch_index - committed)
+                    iq_room = iq_capacity - (iq_count if inline_iq
+                                             else issue_queue._count)
+                    sq_room = sq_capacity - sq_len
+                    lq_room = lq_capacity - lq_len
+                    taken_branches = 0
+                    dispatched = 0
+                    pregs_allocated = 0
+                    if reno_fast:
+                        # Inlined RenoRenamer.begin_group.
+                        if group_elim:
+                            group_elim.clear()
+                    elif not baseline_fast:
+                        renamer_begin()
+                    while dispatched < rename_width and fetch_index < total:
+                        op = trace_ops[fetch_index]
+                        flags = op[0]
+                        dyn = trace[fetch_index]
+
+                        # Structural stalls (checked conservatively before
+                        # renaming; the room counters mirror the containers'
+                        # free space).
+                        if not rob_room:
+                            stats.rob_stall_cycles += 1
+                            break
+                        if not iq_room:
+                            stats.iq_stall_cycles += 1
+                            break
+                        if flags & DF_STORE:
+                            if not sq_room:
+                                stats.lsq_stall_cycles += 1
+                                break
+                        elif flags & DF_LOAD and not lq_room:
+                            stats.lsq_stall_cycles += 1
+                            break
+
+                        # Instruction cache: one access per new block.
+                        block = dyn.pc >> fb_shift
+                        if block != last_fetch_block:
+                            access = caches_access(l1i_cache, dyn.pc, cycle, False)
+                            last_fetch_block = block
+                            if not access.l1_hit:
+                                fetch_resume = cycle + access.latency
+                                break
+
+                        # Taken-branch fetch limit.
+                        is_taken_control = flags & DF_CONTROL and dyn.taken is True
+                        if is_taken_control and taken_branches >= taken_branch_limit:
+                            break
+
+                        seq = fetch_index     # trace seq == dispatch order
+                        slot = seq & mask
+                        p0 = p1 = -1
+                        if baseline_fast:
+                            # Conventional renaming, inlined: map sources,
+                            # allocate a fresh destination register (stall
+                            # when the free list is empty).  Identical to
+                            # BaselineRenamer.rename_next, minus the
+                            # RenameResult/SourceOperand objects.
+                            dest_logical = op[4]
+                            if dest_logical >= 0 and not bfree:
+                                stats.rename_stall_cycles += 1
+                                break
+                            srcs = op[9]
+                            ns = len(srcs)
+                            if ns:
+                                # Displacements are always zero here and the
+                                # execute path never reads them in this mode.
+                                p0 = bmap[srcs[0]]
+                                w_s0p[slot] = p0
+                                if ns > 1:
+                                    p1 = bmap[srcs[1]]
+                                    w_s1p[slot] = p1
+                            if collect_timing:
+                                if ns == 0:
+                                    producers_map[seq] = ()
+                                elif ns == 1:
+                                    producers_map[seq] = (preg_writer.get(p0, -1),)
+                                else:
+                                    producers_map[seq] = (
+                                        preg_writer.get(p0, -1),
+                                        preg_writer.get(p1, -1),
+                                    )
+                                w_issue[slot] = -1
+                                w_dcache[slot] = 0
+                                w_mispred[slot] = False
+                                w_latency[slot] = op[2]
+                            if dest_logical >= 0:
+                                new_preg = bfree_popleft()
+                                alloc_total += 1
+                                w_prev[slot] = bmap[dest_logical]
+                                bmap[dest_logical] = new_preg
+                                prf_ready[new_preg] = NOT_READY
+                                w_dest[slot] = new_preg
+                                if collect_timing:
+                                    preg_writer[new_preg] = seq
+                                pregs_allocated += 1
+                            else:
+                                w_dest[slot] = -1
+                                w_prev[slot] = -1
+                            w_rename[slot] = None
+                            eliminated = False
+                            sources = None
+                        elif reno_fast:
+                            # Inlined RenoRenamer.rename_next, kept in
+                            # lockstep with the method (both are exercised
+                            # by the rename-invariant and scheduler
+                            # equivalence property tests).
+                            srcs = op[9]
+                            sources = [rn_map[logical] for logical in srcs]
+                            dest_logical = op[4]
+                            elimination = None
+                            if dest_logical >= 0:
+                                if flags & rn_elig:
+                                    elimination = rn_try_elim(
+                                        dyn, op, sources, dest_logical)
+                                if elimination is None and not reno_free:
+                                    stats.rename_stall_cycles += 1
+                                    break
+                            result = RenameResult.__new__(RenameResult)
+                            result.sources = sources
+                            result.dest_preg = None
+                            result.dest_disp = 0
+                            result.prev_dest_preg = None
+                            result.allocated = False
+                            result.eliminated = False
+                            result.elim_kind = None
+                            result.needs_reexecution = False
+                            result.fusion_extra_latency = 0
+                            if elimination is not None:
+                                kind, shared_preg, out_disp, needs_reexec = \
+                                    elimination
+                                # Inlined refcount share.
+                                count = rc_counts[shared_preg]
+                                if count <= 0:
+                                    rn_rc.share(shared_preg)   # raises
+                                else:
+                                    count += 1
+                                    rc_counts[shared_preg] = count
+                                    rn_rc.total_shares += 1
+                                    if count > rn_rc.max_observed_count:
+                                        rn_rc.max_observed_count = count
+                                previous = rn_map[dest_logical]
+                                rn_map[dest_logical] = (
+                                    rn_zero[shared_preg] if out_disp == 0
+                                    else Mapping(shared_preg, out_disp))
+                                prev_preg = previous.preg
+                                result.dest_preg = shared_preg
+                                result.dest_disp = out_disp
+                                result.prev_dest_preg = prev_preg
+                                result.eliminated = True
+                                result.elim_kind = kind
+                                result.needs_reexecution = needs_reexec
+                                group_elim.add(dest_logical)
+                                rn_stats[elim_keys[kind]] += 1
+                                eliminated = True
+                                w_prev[slot] = prev_preg
+                                w_elim[slot] = (_ELIM_IDS[kind]
+                                                | (_ELIM_REEXEC if needs_reexec
+                                                   else 0))
+                                w_dest[slot] = -1
+                            else:
+                                if dest_logical >= 0:
+                                    # Inlined refcount allocate.
+                                    new_preg = reno_free.popleft()
+                                    if rc_counts[new_preg] != 0:
+                                        reno_free.appendleft(new_preg)
+                                        rn_rc.allocate()       # raises
+                                    rc_counts[new_preg] = 1
+                                    rn_rc.total_allocations += 1
+                                    previous = rn_map[dest_logical]
+                                    rn_map[dest_logical] = rn_zero[new_preg]
+                                    prev_preg = previous.preg
+                                    result.dest_preg = new_preg
+                                    result.prev_dest_preg = prev_preg
+                                    result.allocated = True
+                                    prf_ready[new_preg] = NOT_READY
+                                    w_dest[slot] = new_preg
+                                    w_prev[slot] = prev_preg
+                                    if collect_timing:
+                                        preg_writer[new_preg] = seq
+                                    pregs_allocated += 1
+                                else:
+                                    w_dest[slot] = -1
+                                    w_prev[slot] = -1
+                                w_elim[slot] = 0
+                                eliminated = False
+                                for mapping in sources:
+                                    if mapping.disp:
+                                        result.fusion_extra_latency = \
+                                            fusion_extra(
+                                                op[6],
+                                                [m.disp for m in sources],
+                                                rn_config)
+                                        break
+                                if rn_it is not None and (flags & df_mem
+                                                          or rn_policy_full):
+                                    rn_insert_it(dyn, op, sources, result)
+                            w_rename[slot] = result
+                            if collect_timing:
+                                record_producers(seq, result)
+                                w_issue[slot] = -1
+                                w_dcache[slot] = 0
+                                w_mispred[slot] = False
+                                w_latency[slot] = op[2]
+                        else:
+                            # Pluggable renaming: one interface call per
+                            # instruction.
+                            result = rename_next(dyn, op)
+                            if result is None:
+                                stats.rename_stall_cycles += 1
+                                break
+                            w_rename[slot] = result
+                            # Flatten the commit-relevant fields so the
+                            # commit loop stays object-free (see elim_info).
+                            prev = result.prev_dest_preg
+                            w_prev[slot] = -1 if prev is None else prev
+                            if result.eliminated:
+                                w_elim[slot] = (
+                                    _ELIM_IDS.get(result.elim_kind, 8)
+                                    | (_ELIM_REEXEC if result.needs_reexecution
+                                       else 0))
+                            else:
+                                w_elim[slot] = 0
+                            if collect_timing:
+                                record_producers(seq, result)
+                                w_issue[slot] = -1
+                                w_dcache[slot] = 0
+                                w_mispred[slot] = False
+                                w_latency[slot] = op[2]
+                            if result.allocated:
+                                dest_preg = result.dest_preg
+                                prf_ready[dest_preg] = NOT_READY
+                                w_dest[slot] = dest_preg
+                                if collect_timing:
+                                    preg_writer[dest_preg] = seq
+                                pregs_allocated += 1
+                            else:
+                                w_dest[slot] = -1
+                            eliminated = result.eliminated
+                            sources = result.sources
+                        w_dispatch[slot] = cycle
+                        w_decoded[slot] = op
+
+                        if is_taken_control:
+                            taken_branches += 1
+
+                        # Branch prediction.  Conditional branches (the
+                        # common control class) are handled inline: direction
+                        # predict+train, then the BTB check only on correct
+                        # taken predictions — identical to BranchUnit.process.
+                        stop_after = False
+                        if flags & DF_CONTROL:
+                            if flags & DF_COND_BRANCH:
+                                branch_unit.conditional_branches += 1
+                                predicted_taken = branch_predict_update(
+                                    dyn.pc, is_taken_control)
+                                if predicted_taken != is_taken_control:
+                                    branch_unit.mispredictions += 1
+                                    w_mispred[slot] = True
+                                    waiting_branch = seq
+                                    fetch_resume = _STALLED
+                                    stop_after = True
+                                elif is_taken_control:
+                                    outcome = branch_check_target(dyn)
+                                    if outcome.mispredicted:
+                                        # Target unknown at fetch but
+                                        # computable at decode: a short
+                                        # front-end bubble, not a full
+                                        # misprediction.
+                                        fetch_resume = cycle + 2
+                                        stop_after = True
+                            else:
+                                outcome = branch_process(dyn)
+                                if outcome.mispredicted:
+                                    if outcome.reason == "btb":
+                                        fetch_resume = cycle + 2
+                                    else:
+                                        w_mispred[slot] = True
+                                        waiting_branch = seq
+                                        fetch_resume = _STALLED
+                                    stop_after = True
+
+                        # Insertion: initialise the slot and, unless the
+                        # instruction was collapsed away, enter the IQ/LSQ.
+                        # Capacity was already checked above.
+                        rob_room -= 1
+                        if eliminated or flags & DF_NO_EXECUTE:
+                            # Collapsed out of the execution core (or a
+                            # NOP/HALT): no issue-queue entry, no execution —
+                            # immediately complete for retirement purposes.
+                            w_complete[slot] = cycle
+                        else:
+                            class_id = op[1]
+                            if baseline_fast:
+                                w_nsrc[slot] = ns
+                                # Inlined IssueQueue.add over the local
+                                # operand pregs (each source registers its
+                                # own wakeup, duplicates included).
+                                iq_class[slot] = class_id
+                                pending = 0
+                                if ns:
+                                    ready_at = prf_ready[p0]
+                                    if ready_at > cycle:
+                                        pending = 1
+                                        if ready_at == NOT_READY:
+                                            bucket = iq_waiters.get(p0)
+                                            if bucket is None:
+                                                iq_waiters[p0] = [seq]
+                                            else:
+                                                bucket.append(seq)
+                                        else:
+                                            bucket = iq_wakeups.get(ready_at)
+                                            if bucket is None:
+                                                iq_wakeups[ready_at] = [seq]
+                                                heappush(wakeup_heap, ready_at)
+                                            else:
+                                                bucket.append(seq)
+                                    if ns > 1:
+                                        ready_at = prf_ready[p1]
+                                        if ready_at > cycle:
+                                            pending += 1
+                                            if ready_at == NOT_READY:
+                                                bucket = iq_waiters.get(p1)
+                                                if bucket is None:
+                                                    iq_waiters[p1] = [seq]
+                                                else:
+                                                    bucket.append(seq)
+                                            else:
+                                                bucket = iq_wakeups.get(ready_at)
+                                                if bucket is None:
+                                                    iq_wakeups[ready_at] = [seq]
+                                                    heappush(wakeup_heap, ready_at)
+                                                else:
+                                                    bucket.append(seq)
+                                if pending:
+                                    w_waiting[slot] = pending
+                                else:
+                                    iq_ready_total += 1
+                                    ready = iq_ready[class_id]
+                                    if ready and seq < ready[-1]:
+                                        insort(ready, seq)
+                                    else:
+                                        ready.append(seq)
+                                iq_count += 1
+                            else:
+                                w_fextra[slot] = result.fusion_extra_latency
+                                ns = len(sources)
+                                if ns:
+                                    source = sources[0]
+                                    w_s0p[slot] = source.preg
+                                    w_s0d[slot] = source.disp
+                                    if ns > 1:
+                                        source = sources[1]
+                                        w_s1p[slot] = source.preg
+                                        w_s1d[slot] = source.disp
+                                w_nsrc[slot] = ns
+                                if inline_iq:
+                                    # Inlined IssueQueue.add over the rename
+                                    # result's source operands.
+                                    iq_class[slot] = class_id
+                                    pending = 0
+                                    for source in sources:
+                                        preg = source.preg
+                                        ready_at = prf_ready[preg]
+                                        if ready_at <= cycle:
+                                            continue
+                                        pending += 1
+                                        if ready_at == NOT_READY:
+                                            bucket = iq_waiters.get(preg)
+                                            if bucket is None:
+                                                iq_waiters[preg] = [seq]
+                                            else:
+                                                bucket.append(seq)
+                                        else:
+                                            bucket = iq_wakeups.get(ready_at)
+                                            if bucket is None:
+                                                iq_wakeups[ready_at] = [seq]
+                                                heappush(wakeup_heap, ready_at)
+                                            else:
+                                                bucket.append(seq)
+                                    if pending:
+                                        w_waiting[slot] = pending
+                                    else:
+                                        iq_ready_total += 1
+                                        ready = iq_ready[class_id]
+                                        if ready and seq < ready[-1]:
+                                            insort(ready, seq)
+                                        else:
+                                            ready.append(seq)
+                                    iq_count += 1
+                                else:
+                                    # Substituted queue (reference model):
+                                    # go through the interface.
+                                    iq_add(seq, cycle, sources, class_id)
+                                    iq_count = issue_queue._count
+                            if class_id == CLASS_STORE:
+                                entry = StoreQueueEntry(
+                                    seq, dyn.pc, op[3], dyn.eff_addr)
+                                sq_entries.append(entry)
+                                sq_by_seq[seq] = entry
+                                sq_room -= 1
+                                sq_len += 1
+                            elif class_id == CLASS_LOAD:
+                                lq_add(seq)
+                                lq_room -= 1
+                                lq_len += 1
+                                w_replayed[slot] = False
+                            w_complete[slot] = NO_COMPLETE
+                            iq_room -= 1
+                        fetch_index += 1
+                        dispatched += 1
+                        if stop_after:
+                            break
+                    if not (baseline_fast or reno_fast):
+                        renamer_end()     # RenoRenamer.end_group is a no-op
+                    if dispatched:
+                        fetched_total += dispatched
+                    if pregs_allocated:
+                        pregs_alloc_total += pregs_allocated
+                        # The peak can only move right after allocations
+                        # (commit-side frees can only lower occupancy), so
+                        # allocation-free cycles skip the check.
+                        if baseline_fast:
+                            in_use = num_pregs - len(bfree)
+                        elif reno_fast:
+                            in_use = num_pregs - len(reno_free)
+                        else:
+                            in_use = num_pregs - free_count()
+                        if in_use > stats.max_pregs_in_use:
+                            stats.max_pregs_in_use = in_use
             cycle += 1
 
-            # Event-driven fast-forward: find the earliest cycle at which any
-            # phase can act again and jump there.
-            if stats.committed >= total:
+            # ---------------- Event-driven fast-forward ----------------
+            # Find the earliest cycle at which any phase can act again and
+            # jump there.
+            if committed >= total:
                 continue                      # simulation just finished
-            if issue_queue._ready_total:
+            if iq_ready_total if inline_iq else issue_queue._ready_total:
                 continue                      # an issue may happen next cycle
             idle = wakeup_heap[0] if wakeup_heap else NOT_READY
             if idle <= cycle:
                 continue
             target = idle
-            fetching = self._fetch_index < total
+            fetching = fetch_index < total
             if fetching:
-                resume = self._fetch_resume_cycle
-                if resume <= cycle:
+                if fetch_resume <= cycle:
                     continue                  # front end is active next cycle
-                if resume < target:
-                    target = resume
-            if rob_entries:
-                head = rob_entries[0]
-                if head.stage == completed:
-                    head_ready = head.complete_cycle + 1
-                    if head_ready < target:
-                        target = head_ready
-                # A WAITING head cannot commit until it issues, and no issue
-                # can happen before `idle` — already covered.
+                if fetch_resume < target:
+                    target = fetch_resume
+            head_ready = w_complete[committed & mask] + 1
+            if head_ready < target:
+                target = head_ready
+            # A waiting or absent head carries NO_COMPLETE (beyond every
+            # target candidate): it cannot commit until it issues, and no
+            # issue can happen before `idle` — already covered.
             if target <= cycle:
                 continue
             if target > max_cycles:
                 target = max_cycles           # let the runaway guard fire
             if fetching:
-                # Exactly what the skipped _dispatch calls would have counted.
-                stats.fetch_stall_cycles += target - cycle
+                # Exactly what the skipped dispatch phases would have counted.
+                fetch_stalls += target - cycle
             cycle = target
-        self.stats.cycles = cycle
+
+        # Mirror the loop's local state back onto the objects for
+        # introspection (tests, debugging, the ROB/IQ counters).
+        self._flush_loop_stats(
+            stats, cycle, committed, issued_total, fetched_total,
+            fetch_stalls, pregs_alloc_total, fused_total,
+            fusion_penalty_total, store_forwards, elim_moves, elim_folds,
+            elim_cse, elim_ra)
+        self._fetch_index = fetch_index
+        self._fetch_resume_cycle = fetch_resume
+        self._waiting_branch = waiting_branch
+        self._last_fetch_block = last_fetch_block
+        self.rob.head_seq = committed
+        self.rob.tail_seq = fetch_index
+        if inline_iq:
+            issue_queue._count = iq_count
+            issue_queue._ready_total = iq_ready_total
+        if baseline_fast:
+            renamer.allocations += alloc_total
+
+    @staticmethod
+    def _flush_loop_stats(
+        stats: SimStats,
+        cycle: int,
+        committed: int,
+        issued_total: int,
+        fetched_total: int,
+        fetch_stalls: int,
+        pregs_alloc_total: int,
+        fused_total: int,
+        fusion_penalty_total: int,
+        store_forwards: int,
+        elim_moves: int,
+        elim_folds: int,
+        elim_cse: int,
+        elim_ra: int,
+    ) -> None:
+        """Fold the cycle loop's locally accumulated counters into ``stats``."""
+        stats.cycles = cycle
+        stats.committed = committed
+        stats.issued += issued_total
+        stats.fetched += fetched_total
+        stats.fetch_stall_cycles += fetch_stalls
+        stats.pregs_allocated += pregs_alloc_total
+        stats.fused_operations += fused_total
+        stats.fusion_penalty_cycles += fusion_penalty_total
+        stats.store_forwards += store_forwards
+        stats.eliminated_moves += elim_moves
+        stats.eliminated_folds += elim_folds
+        stats.eliminated_cse += elim_cse
+        stats.eliminated_ra += elim_ra
 
     def _merge_component_stats(self) -> None:
         stats = self.stats
@@ -301,442 +1512,77 @@ class Pipeline:
         return values
 
     # ------------------------------------------------------------------
-    # Commit
+    # Rare-path helpers (the common paths are inlined in _run_cycles)
     # ------------------------------------------------------------------
 
-    def _commit(self, cycle: int) -> None:
-        rob_entries = self.rob._entries       # deque identity is stable
-        if not rob_entries:
-            return
-        head = rob_entries[0]
-        # Fast path: the head is not committable this cycle (the common case
-        # on every in-flight-bound cycle), so skip the budget bookkeeping.
-        # Between phases an in-flight stage is only ever WAITING or
-        # COMPLETED (execution completes within the issue phase).
-        if head.complete_cycle >= cycle or head.stage == Stage.WAITING:
-            return
-        budget = self._commit_width
-        dcache_ports = self._retire_dcache_ports
-        stats = self.stats
-        renamer_commit = self.renamer.commit
-        collect_timing = self.collect_timing
-        pop_head = rob_entries.popleft
-        lq_discard = self.load_queue.entries.discard
-        committed = 0
-        while budget > 0:
-            if not rob_entries:
-                break
-            head = rob_entries[0]
-            if head.stage == Stage.WAITING:
-                break
-            if head.complete_cycle >= cycle:
-                break
-            dyn = head.dyn
-            spec = dyn.instruction.spec
-            rename = head.rename
-            if spec.is_store:
-                if dcache_ports == 0:
-                    break
-                self._commit_store(head, cycle)
-                dcache_ports -= 1
-            elif rename.eliminated and rename.needs_reexecution:
-                if dcache_ports == 0:
-                    break
-                self._reexecute_load(head, cycle)
-                dcache_ports -= 1
-            if dyn.result is not None and dyn.instruction.dest_register is not None:
-                # Inlined fast path of _check_value: non-eliminated results
-                # compare directly; the method re-derives the value and
-                # raises with full context on a mismatch (or for eliminated
-                # instructions, whose value lives in a shared register).
-                if rename.eliminated or head.value != dyn.result:
-                    self._check_value(head)
-            # Retirement, inlined: this runs once per committed instruction.
-            head.retire_cycle = cycle
-            head.stage = Stage.RETIRED
-            pop_head()
-            if spec.is_load:
-                lq_discard(dyn.seq)
-            renamer_commit(rename)
-            committed += 1
-            if rename.eliminated:
-                kind = rename.elim_kind
-                if kind == "move":
-                    stats.eliminated_moves += 1
-                elif kind == "cf":
-                    stats.eliminated_folds += 1
-                elif kind == "cse":
-                    stats.eliminated_cse += 1
-                elif kind == "ra":
-                    stats.eliminated_ra += 1
-            if collect_timing:
-                producers = self._producers.pop(head.seq, ())
-                self.timing_records.append(make_timing_record(head, producers))
-            budget -= 1
-        stats.committed += committed
-
-    def _commit_store(self, inst: InFlightInst, cycle: int) -> None:
-        size = inst.dyn.instruction.spec.mem_bytes
-        self.memory.write(inst.eff_addr, size, inst.value)
-        self.caches.access_data_write(inst.eff_addr, cycle)
-        self.store_queue.pop_committed(inst.seq)
-
-    def _reexecute_load(self, inst: InFlightInst, cycle: int) -> None:
+    def _reexecute_load(self, seq: int, op: tuple, cycle: int) -> None:
         """Re-execute an integration-eliminated load through the retire port."""
-        dyn = inst.dyn
-        spec = dyn.instruction.spec
-        raw = self.memory.read(dyn.eff_addr, spec.mem_bytes)
-        value = sign_extend(raw, 8 * spec.mem_bytes) if spec.mem_signed else raw
-        shared = mask64(self.prf.read(inst.rename.dest_preg) + inst.rename.dest_disp)
+        dyn = self.trace[seq]
+        rename = self._w_rename[seq & self._w_mask]
+        raw = self.memory.read(dyn.eff_addr, op[3])
+        value = sign_extend(raw, 8 * op[3]) if op[0] & DF_MEM_SIGNED else raw
+        shared = mask64(self.prf.read(rename.dest_preg) + rename.dest_disp)
         if value != shared:
             self.stats.integration_value_mismatches += 1
         self.stats.reexecuted_loads += 1
         self.caches.access_data_read(dyn.eff_addr, cycle)
 
-    def _check_value(self, inst: InFlightInst) -> None:
-        dyn = inst.dyn
+    def _check_value(self, seq: int, slot: int) -> None:
+        dyn = self.trace[seq]
         if dyn.instruction.dest_register is None or dyn.result is None:
             return
-        if inst.eliminated:
-            produced = mask64(self.prf.read(inst.rename.dest_preg) + inst.rename.dest_disp)
+        rename = self._w_rename[slot]
+        if rename is not None and rename.eliminated:
+            produced = mask64(self.prf.read(rename.dest_preg) + rename.dest_disp)
         else:
-            produced = inst.value
+            produced = self._w_value[slot]
         if produced != dyn.result:
+            eliminated = rename is not None and rename.eliminated
+            kind = rename.elim_kind if rename is not None else None
             raise CommitMismatchError(
-                f"instruction #{dyn.seq} {dyn.instruction} produced {produced:#x}, "
+                f"instruction #{seq} {dyn.instruction} produced {produced:#x}, "
                 f"architectural result is {dyn.result:#x} "
-                f"(eliminated={inst.eliminated}, kind={inst.rename.elim_kind})"
+                f"(eliminated={eliminated}, kind={kind})"
             )
 
-    # ------------------------------------------------------------------
-    # Issue / execute
-    # ------------------------------------------------------------------
-
-    def _issue(self, cycle: int) -> None:
-        """One select round (the cycle loop inlines this; kept for tests)."""
-        selected = self.issue_queue.select(cycle, self._load_can_issue)
-        for inst in selected:
-            self._execute(inst, cycle)
-        self.stats.issued += len(selected)
-
-    def _load_can_issue(self, inst: InFlightInst, cycle: int) -> bool:
-        dyn = inst.dyn
+    def _load_can_issue(self, seq: int, cycle: int) -> bool:
+        entries = self.store_queue.entries
+        if not entries:
+            # No older store can conflict and the disambiguation walk would
+            # find nothing: the load may issue.
+            return True
+        dyn = self.trace[seq]
         # Store-set predicted dependence: wait until every older in-flight
         # store belonging to the load's store set has executed.
-        load_set = self.store_sets.set_for(dyn.pc)
+        ssit = self.store_sets._ssit
+        ss_mask = self.store_sets.entries - 1
+        load_set = ssit[(dyn.pc >> 2) & ss_mask]
         if load_set is not None:
-            for entry in self.store_queue.entries:
-                if (entry.seq < dyn.seq and not entry.executed
-                        and self.store_sets.set_for(entry.pc) == load_set):
+            for entry in entries:
+                if (entry.seq < seq and not entry.executed
+                        and ssit[(entry.pc >> 2) & ss_mask] == load_set):
                     return False
-        spec = dyn.instruction.spec
-        check = self.store_queue.check_load(dyn.seq, dyn.eff_addr, spec.mem_bytes)
-        if check.action == "violation":
+        check = self.store_queue.check_load(
+            seq, dyn.eff_addr, self._decoded[dyn.index][3])
+        action = check.action
+        if action == "memory" or action == "forward":
+            return True
+        if action == "violation":
             # The load would consume stale data.  Model the squash: hold the
             # load until the conflicting store executes, charge the penalty
             # once, and train the store-set predictor.
-            if dyn.seq not in self._violated_loads:
-                self._violated_loads.add(dyn.seq)
+            if seq not in self._violated_loads:
+                self._violated_loads.add(seq)
                 self.stats.memory_order_violations += 1
                 self.stats.load_replays += 1
-                inst.replayed = True
+                self._w_replayed[seq & self._w_mask] = True
                 self.store_sets.train_violation(dyn.pc, check.store.pc)
-            return False
-        if check.action == "wait_store":
-            return False
-        return True
+        return False
 
-    def _execute(self, inst: InFlightInst, cycle: int) -> None:
-        dyn = inst.dyn
-        rename = inst.rename
-        spec = dyn.instruction.spec
-        stats = self.stats
-        # Inlined operand materialisation (operand_values) on the raw value
-        # array, unrolled for the 0/1/2-source cases: the fused-operand
-        # addition is folded into the same pass.
-        values = self._prf_values
-        sources = rename.sources
-        fused = False
-        if not sources:
-            operands = []
-        elif len(sources) == 1:
-            source = sources[0]
-            value = values[source.preg]
-            if source.disp:
-                value = (value + source.disp) & MASK64
-                fused = True
-            operands = [value]
-        else:
-            first, second = sources
-            value = values[first.preg]
-            if first.disp:
-                value = (value + first.disp) & MASK64
-                fused = True
-            value2 = values[second.preg]
-            if second.disp:
-                value2 = (value2 + second.disp) & MASK64
-                fused = True
-            operands = [value, value2]
-        inst.issue_cycle = cycle
-        if fused:
-            stats.fused_operations += 1
-            stats.fusion_penalty_cycles += rename.fusion_extra_latency
-
-        latency = spec.latency + rename.fusion_extra_latency
-        op_class = spec.op_class
-
-        if op_class is OpClass.LOAD:
-            self._execute_load(inst, operands, cycle, latency)
-        elif op_class is OpClass.STORE:
-            self._execute_store(inst, operands, cycle, latency)
-        else:
-            inst.complete_cycle = cycle + latency
-            if spec.is_cond_branch:
-                computed_taken = branch_taken(dyn.instruction.opcode, operands[0])
-                if computed_taken != dyn.taken:
-                    raise CommitMismatchError(
-                        f"branch #{dyn.seq} computed direction {computed_taken}, "
-                        f"architectural direction {dyn.taken}"
-                    )
-            elif dyn.instruction.dest_register is not None:
-                # Inlined compute_alu_value (one call per ALU instruction).
-                if op_class is OpClass.CALL:
-                    value = (dyn.pc + 4) & MASK64
-                else:
-                    value = alu_eval(dyn.instruction.opcode,
-                                     operands[0] if operands else 0,
-                                     operands[1] if len(operands) > 1 else 0,
-                                     dyn.instruction.imm)
-                inst.value = value
-                if rename.allocated:
-                    sched_latency = self._sched_latency
-                    ready = cycle + (latency if latency > sched_latency else sched_latency)
-                    dest_preg = rename.dest_preg
-                    # Inlined PhysicalRegisterFile.write + scheduler wakeup.
-                    values[dest_preg] = value
-                    self._prf_ready[dest_preg] = ready
-                    if dest_preg in self._iq_waiters:
-                        self._iq_wakeup(dest_preg, ready)
-        inst.stage = Stage.COMPLETED
-        if inst.mispredicted_branch and self._waiting_branch is inst:
-            self._fetch_resume_cycle = inst.complete_cycle + self._front_end_depth
-            self._waiting_branch = None
-
-    def _execute_load(self, inst: InFlightInst, operands: list[int], cycle: int, latency: int) -> None:
-        dyn = inst.dyn
-        spec = dyn.instruction.spec
-        address = effective_address(dyn, operands)
-        if address != dyn.eff_addr:
-            raise CommitMismatchError(
-                f"load #{dyn.seq} computed address {address:#x}, "
-                f"architectural address {dyn.eff_addr:#x}"
-            )
-        inst.eff_addr = address
-        check = self.store_queue.check_load(dyn.seq, address, spec.mem_bytes)
-        if check.action == "forward":
-            raw = check.value
-            dcache_latency = self.config.l1d.latency
-            self.stats.store_forwards += 1
-        else:
-            raw = self.memory.read(address, spec.mem_bytes)
-            access = self.caches.access_data_read(address, cycle)
-            dcache_latency = access.latency
-        value = sign_extend(raw, 8 * spec.mem_bytes) if spec.mem_signed else raw
-        if value != dyn.result:
-            # A store the model believed non-conflicting actually overlapped
-            # (should be prevented by the violation check); fall back to the
-            # architectural value and account for it as a replay.
-            self.stats.memory_order_violations += 1
-            self.stats.load_replays += 1
-            value = dyn.result
-            dcache_latency += self.config.memory_violation_penalty
-        if inst.replayed:
-            dcache_latency += self.config.memory_violation_penalty
-        inst.value = value
-        inst.dcache_latency = dcache_latency
-        total_latency = latency + dcache_latency
-        inst.latency = total_latency
-        inst.complete_cycle = cycle + total_latency
-        if inst.rename.allocated:
-            sched_latency = self._sched_latency
-            ready = cycle + (total_latency if total_latency > sched_latency else sched_latency)
-            dest_preg = inst.rename.dest_preg
-            # Inlined PhysicalRegisterFile.write + scheduler wakeup.
-            self._prf_values[dest_preg] = value
-            self._prf_ready[dest_preg] = ready
-            if dest_preg in self._iq_waiters:
-                self._iq_wakeup(dest_preg, ready)
-
-    def _execute_store(self, inst: InFlightInst, operands: list[int], cycle: int, latency: int) -> None:
-        dyn = inst.dyn
-        address = effective_address(dyn, operands)
-        if address != dyn.eff_addr:
-            raise CommitMismatchError(
-                f"store #{dyn.seq} computed address {address:#x}, "
-                f"architectural address {dyn.eff_addr:#x}"
-            )
-        value = store_value(dyn, operands)
-        inst.eff_addr = address
-        inst.value = value
-        inst.complete_cycle = cycle + latency
-        entry = self.store_queue.find(dyn.seq)
-        entry.addr = address
-        entry.value = value
-        entry.executed = True
-        entry.complete_cycle = inst.complete_cycle
-
-    # ------------------------------------------------------------------
-    # Fetch + rename + dispatch
-    # ------------------------------------------------------------------
-
-    def _dispatch(self, cycle: int) -> None:
-        trace = self.trace
-        trace_length = len(trace)
-        fetch_index = self._fetch_index
-        if fetch_index >= trace_length:
-            return
-        stats = self.stats
-        if cycle < self._fetch_resume_cycle:
-            stats.fetch_stall_cycles += 1
-            return
-
-        rename_width = self._rename_width
-        taken_branch_limit = self._taken_branch_limit
-        fetch_block_bytes = self._fetch_block_bytes
-        renamer = self.renamer
-        # Capacity checks run per candidate instruction; compare container
-        # lengths directly instead of paying a property call for each.
-        rob_entries = self.rob._entries
-        issue_queue = self.issue_queue
-        sq_entries = self.store_queue.entries
-        lq_entries = self.load_queue.entries
-        rob_room = self.rob.capacity - len(rob_entries)
-        iq_room = issue_queue.capacity - issue_queue._count
-        sq_room = self.store_queue.capacity - len(sq_entries)
-        lq_room = self.load_queue.capacity - len(lq_entries)
-        prf_ready = self._prf_ready
-        preg_writer = self._preg_writer
-        collect_timing = self.collect_timing
-        iq_add = issue_queue.add
-
-        last_fetch_block = self._last_fetch_block
-        taken_branches = 0
-        dispatched = 0
-        pregs_allocated = 0
-        renamer.begin_group()
-        while dispatched < rename_width and fetch_index < trace_length:
-            dyn = trace[fetch_index]
-            instruction = dyn.instruction
-            spec = instruction.spec
-
-            # Structural stalls (checked conservatively before renaming;
-            # the room counters mirror the containers' free space).
-            if not rob_room:
-                stats.rob_stall_cycles += 1
-                break
-            if not iq_room:
-                stats.iq_stall_cycles += 1
-                break
-            if spec.is_store:
-                if not sq_room:
-                    stats.lsq_stall_cycles += 1
-                    break
-            elif spec.is_load and not lq_room:
-                stats.lsq_stall_cycles += 1
-                break
-
-            # Instruction cache: one access per new block.
-            block = dyn.pc // fetch_block_bytes
-            if block != last_fetch_block:
-                access = self.caches.access_instruction(dyn.pc, cycle)
-                last_fetch_block = block
-                self._last_fetch_block = block
-                if not access.l1_hit:
-                    self._fetch_resume_cycle = cycle + access.latency
-                    break
-
-            # Taken-branch fetch limit.
-            is_taken_control = spec.is_control and dyn.taken is True
-            if is_taken_control and taken_branches >= taken_branch_limit:
-                break
-
-            # Rename (may stall on physical registers).
-            result = renamer.rename_next(dyn)
-            if result is None:
-                stats.rename_stall_cycles += 1
-                break
-
-            inst = InFlightInst(dyn, result, cycle)
-            inst.latency = spec.latency
-            if collect_timing:
-                self._record_producers(inst)
-            if result.allocated:
-                prf_ready[result.dest_preg] = NOT_READY   # inlined mark_pending
-                if collect_timing:
-                    # The producer map only feeds timing records.
-                    preg_writer[result.dest_preg] = dyn.seq
-                pregs_allocated += 1
-
-            if is_taken_control:
-                taken_branches += 1
-
-            # Branch prediction.
-            stop_after = False
-            if spec.is_control:
-                outcome = self.branch_unit.process(dyn)
-                if outcome.mispredicted and outcome.reason == "btb":
-                    # Target unknown at fetch but computable at decode: a
-                    # short front-end bubble, not a full misprediction.
-                    self._fetch_resume_cycle = cycle + 2
-                    stop_after = True
-                elif outcome.mispredicted:
-                    inst.mispredicted_branch = True
-                    self._waiting_branch = inst
-                    self._fetch_resume_cycle = _STALLED
-                    stop_after = True
-
-            # Insertion (inlined): place the instruction into the ROB and,
-            # unless it was collapsed away, the IQ/LSQ.  Capacity was already
-            # checked by the structural-stall logic above.
-            rob_entries.append(inst)
-            rob_room -= 1
-            if result.eliminated or spec.op_class in _NO_EXECUTE_CLASSES:
-                # Collapsed out of the execution core (or a NOP/HALT): no
-                # issue-queue entry, no execution — immediately complete for
-                # retirement purposes.
-                inst.complete_cycle = cycle
-                inst.stage = _COMPLETED
-            else:
-                if spec.is_store:
-                    sq_entries.append(StoreQueueEntry(
-                        dyn.seq, dyn.pc, spec.mem_bytes, dyn.eff_addr))
-                    sq_room -= 1
-                elif spec.is_load:
-                    lq_entries.add(dyn.seq)
-                    lq_room -= 1
-                inst.stage = _WAITING
-                iq_add(inst, cycle, prf_ready)
-                iq_room -= 1
-            fetch_index += 1
-            dispatched += 1
-            if stop_after:
-                break
-        self._fetch_index = fetch_index
-        stats.fetched += dispatched
-        stats.pregs_allocated += pregs_allocated
-        renamer.end_group()
-
-        in_use = self.config.num_physical_regs - self.renamer.free_register_count()
-        if in_use > self.stats.max_pregs_in_use:
-            self.stats.max_pregs_in_use = in_use
-
-    def _record_producers(self, inst: InFlightInst) -> None:
-        if not self.collect_timing:
-            return
+    def _record_producers(self, seq: int, result) -> None:
         producers = tuple(
-            self._preg_writer.get(source.preg, -1) for source in inst.rename.sources
+            self._preg_writer.get(source.preg, -1) for source in result.sources
         )
-        if inst.eliminated and inst.rename.dest_preg is not None:
-            producers = producers + (self._preg_writer.get(inst.rename.dest_preg, -1),)
-        self._producers[inst.seq] = producers
-
+        if result.eliminated and result.dest_preg is not None:
+            producers = producers + (self._preg_writer.get(result.dest_preg, -1),)
+        self._producers[seq] = producers

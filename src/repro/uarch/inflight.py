@@ -1,85 +1,189 @@
-"""In-flight instruction state and per-instruction timing records."""
+"""In-flight instruction state: the structure-of-arrays window.
+
+The pipeline used to materialise one ``InFlightInst`` dataclass per dynamic
+instruction and chase its attributes from every phase.  The in-flight window
+is now a **structure of arrays**: one preallocated parallel array per field,
+indexed by ROB slot, so the hot loops (wakeup, select, execute, commit) read
+and write plain list cells instead of allocating and walking object graphs.
+
+Slot discipline (the invariants the pipeline and scheduler rely on):
+
+* Every dynamic instruction occupies exactly one ROB entry, entries are
+  allocated in program order and retire in program order, so the slot of
+  sequence number ``seq`` is simply ``seq & mask`` (arrays are sized to the
+  next power of two above the ROB capacity).  Occupancy never exceeds the
+  ROB capacity, so two live instructions can never share a slot.
+* Lifecycle is encoded in ``complete_cycle`` alone: :data:`NO_COMPLETE`
+  (a sentinel beyond any simulated cycle) means the slot is empty **or**
+  its instruction has not finished executing; a real cycle number means the
+  instruction completed then.  The commit guard ``complete_cycle[slot] <
+  cycle`` therefore covers "ROB empty", "head still waiting" and "head not
+  yet due" in one comparison.
+* A slot is *owned* from dispatch to retirement.  Dispatch initialises the
+  fields the instruction's class needs; retirement resets ``complete_cycle``
+  to :data:`NO_COMPLETE` and leaves the rest stale.  Stale fields are never
+  read: each field is either (re)written at dispatch for every instruction
+  that later reads it, or only read on paths gated by flags that imply it
+  was written (e.g. ``value`` is only compared at commit for instructions
+  with a destination, all of which wrote it at execute).  The cosmetic
+  timing fields (``issue_cycle``, ``retire_cycle``, ``dcache_latency``,
+  ``mispredicted``, ``latency``) are additionally reset at dispatch when
+  timing records are collected.
+* This model has no pipeline flush (wrong-path instructions are never
+  injected; a misprediction only stalls the front end), so slot reclamation
+  happens exclusively through in-order retirement — a flush would be a
+  head/tail slot-range reset of ``complete_cycle``, not an object-graph
+  teardown.
+
+``TimingRecord`` (the per-retired-instruction record consumed by the
+critical-path model) is unchanged; the pipeline builds it from the arrays at
+commit when timing collection is on.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.functional.trace import DynamicInstruction
-from repro.uarch.rename import RenameResult
+#: ``complete_cycle`` sentinel: the slot is empty, or its instruction has
+#: not completed execution yet.  Beyond any reachable cycle count.
+NO_COMPLETE = 1 << 60
 
 
-class Stage:
-    """In-flight instruction lifecycle states."""
+class InFlightWindow:
+    """Preallocated parallel arrays for every in-flight instruction field.
 
-    RENAMED = "renamed"
-    WAITING = "waiting"      # sitting in the issue queue
-    ISSUED = "issued"
-    COMPLETED = "completed"
-    RETIRED = "retired"
-
-
-@dataclass(eq=False, slots=True)
-class InFlightInst:
-    """One instruction travelling down the pipeline.
-
-    Combines the architectural trace record (what the instruction does), the
-    rename result (which physical registers it touches), and the evolving
-    timing state.
-
-    Equality is identity (``eq=False``): each in-flight instance is unique,
-    and field-wise comparison would make list membership operations in the
-    pipeline's hot structures quadratically expensive.
+    Arrays are plain Python lists sized to the next power of two above the
+    ROB capacity; the slot of sequence number ``seq`` is ``seq & mask``.
+    All fields are documented on ``__init__``; the slot-reuse rules are in
+    the module docstring.
     """
 
-    dyn: DynamicInstruction
-    rename: RenameResult
-    # Fetch/rename/dispatch all happen in the same front-end cycle in this
-    # model, so one field records it.
-    dispatch_cycle: int = 0
-    issue_cycle: int = -1
-    complete_cycle: int = -1
-    retire_cycle: int = -1
-    stage: str = Stage.RENAMED
-    # Execution details.
-    latency: int = 1
-    value: int | None = None
-    eff_addr: int | None = None
-    dcache_latency: int = 0
-    replayed: bool = False
-    mispredicted_branch: bool = False
-    # Issue-port class, cached by IssueQueue.add so wakeup/select never
-    # re-derives it from the opcode spec.
-    port_class: str = ""
-    # Outstanding-operand count, owned by the IssueQueue: the number of
-    # renamed source operands not yet available.  Set once at dispatch by
-    # IssueQueue.add and decremented only by the wakeup queue (one decrement
-    # per registered source, at that source's ready cycle); the instruction
-    # may appear in a ready list iff this count is zero.
-    waiting_ops: int = 0
-    # Copied from ``dyn.seq`` at construction: the wakeup/select structures
-    # sort by it constantly, so it must be a plain attribute, not a property.
-    seq: int = field(init=False, default=0)
+    __slots__ = (
+        "capacity",
+        "size",
+        "mask",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "retire_cycle",
+        "latency",
+        "value",
+        "eff_addr",
+        "dcache_latency",
+        "replayed",
+        "mispredicted",
+        "class_id",
+        "waiting_ops",
+        "rename",
+        "decoded",
+        "dest_preg",
+        "prev_dest",
+        "elim_info",
+        "fusion_extra",
+        "nsrc",
+        "src0_preg",
+        "src0_disp",
+        "src1_preg",
+        "src1_disp",
+    )
 
-    def __post_init__(self) -> None:
-        self.seq = self.dyn.seq
+    def __init__(self, capacity: int):
+        """Allocate the window for a ROB of ``capacity`` entries.
 
-    @property
-    def is_load(self) -> bool:
-        """True for loads (delegates to the opcode spec)."""
-        return self.dyn.instruction.is_load
+        Per-slot fields:
 
-    @property
-    def is_store(self) -> bool:
-        """True for stores (delegates to the opcode spec)."""
-        return self.dyn.instruction.is_store
+        * ``dispatch_cycle`` / ``issue_cycle`` / ``complete_cycle`` /
+          ``retire_cycle`` — the timing milestones (fetch == dispatch in
+          this front-end model); ``complete_cycle`` doubles as the slot
+          lifecycle marker (see :data:`NO_COMPLETE`).
+        * ``latency`` — execution latency charged (loads fold the d-cache
+          latency in at execute).
+        * ``value`` / ``eff_addr`` / ``dcache_latency`` / ``replayed`` /
+          ``mispredicted`` — execution results and memory/branch details.
+        * ``class_id`` — issue-port class id (set at issue-queue insertion).
+        * ``waiting_ops`` — outstanding-operand count, owned by the issue
+          queue's wakeup machinery.
+        * ``rename`` — the instruction's ``RenameResult`` (commit needs the
+          elimination details and the renamer hand-back); stays None on the
+          pipeline's inlined conventional-renaming path.
+        * ``decoded`` — the static instruction's decoded-op tuple
+          (:func:`repro.isa.instruction.decode_op`).
+        * ``dest_preg`` — allocated destination physical register or ``-1``
+          (flattened from the rename result so execute never touches it).
+        * ``prev_dest`` — the previously mapped destination register freed
+          at commit, or ``-1``; lets the pipeline's fast commit paths skip
+          the rename-result object entirely.
+        * ``elim_info`` — elimination summary for fast commit: 0 when not
+          eliminated, else the kind id (1 move / 2 cf / 3 cse / 4 ra) plus
+          bit 4 set when the eliminated load must re-execute at retire.
+        * ``fusion_extra`` — extra execute latency charged for fused
+          operands (RENO_CF).
+        * ``nsrc`` / ``src0_preg`` / ``src0_disp`` / ``src1_preg`` /
+          ``src1_disp`` — flattened renamed source operands.
+        """
+        if capacity < 1:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        size = 1
+        while size < capacity:
+            size <<= 1
+        self.capacity = capacity
+        self.size = size
+        self.mask = size - 1
+        self.dispatch_cycle = [0] * size
+        self.issue_cycle = [-1] * size
+        self.complete_cycle = [NO_COMPLETE] * size
+        self.retire_cycle = [-1] * size
+        self.latency = [1] * size
+        self.value = [None] * size
+        self.eff_addr = [0] * size
+        self.dcache_latency = [0] * size
+        self.replayed = [False] * size
+        self.mispredicted = [False] * size
+        self.class_id = [0] * size
+        self.waiting_ops = [0] * size
+        self.rename = [None] * size
+        self.decoded = [None] * size
+        self.dest_preg = [-1] * size
+        self.prev_dest = [-1] * size
+        self.elim_info = [0] * size
+        self.fusion_extra = [0] * size
+        self.nsrc = [0] * size
+        self.src0_preg = [0] * size
+        self.src0_disp = [0] * size
+        self.src1_preg = [0] * size
+        self.src1_disp = [0] * size
 
-    @property
-    def eliminated(self) -> bool:
-        """True if RENO collapsed this instruction at rename."""
-        return self.rename.eliminated
+    def slot(self, seq: int) -> int:
+        """The slot owned by sequence number ``seq`` while it is in flight."""
+        return seq & self.mask
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<InFlight #{self.seq} {self.dyn.instruction} {self.stage}>"
+    def reset_slot(self, slot: int) -> None:
+        """Full cosmetic reset of one slot (tests / debugging only).
+
+        The pipeline itself only resets ``complete_cycle`` at retirement and
+        selectively re-initialises fields at dispatch (see the module
+        docstring); this helper restores a slot to its freshly allocated
+        appearance for unit tests that inspect the arrays directly.
+        """
+        self.dispatch_cycle[slot] = 0
+        self.issue_cycle[slot] = -1
+        self.complete_cycle[slot] = NO_COMPLETE
+        self.retire_cycle[slot] = -1
+        self.latency[slot] = 1
+        self.value[slot] = None
+        self.eff_addr[slot] = 0
+        self.dcache_latency[slot] = 0
+        self.replayed[slot] = False
+        self.mispredicted[slot] = False
+        self.class_id[slot] = 0
+        self.waiting_ops[slot] = 0
+        self.rename[slot] = None
+        self.decoded[slot] = None
+        self.dest_preg[slot] = -1
+        self.prev_dest[slot] = -1
+        self.elim_info[slot] = 0
+        self.fusion_extra[slot] = 0
+        self.nsrc[slot] = 0
 
 
 @dataclass(slots=True)
@@ -101,25 +205,3 @@ class TimingRecord:
     dcache_latency: int
     latency: int
     source_producers: tuple[int, ...] = field(default_factory=tuple)
-
-
-def make_timing_record(inst: InFlightInst, producers: tuple[int, ...]) -> TimingRecord:
-    """Build a :class:`TimingRecord` for a retired instruction."""
-    dyn = inst.dyn
-    return TimingRecord(
-        seq=dyn.seq,
-        opcode=dyn.instruction.opcode.value,
-        fetch_cycle=inst.dispatch_cycle,      # fetch == dispatch cycle here
-        dispatch_cycle=inst.dispatch_cycle,
-        issue_cycle=inst.issue_cycle,
-        complete_cycle=inst.complete_cycle,
-        retire_cycle=inst.retire_cycle,
-        is_load=inst.is_load,
-        is_store=inst.is_store,
-        is_branch=dyn.instruction.is_control,
-        mispredicted=inst.mispredicted_branch,
-        eliminated=inst.eliminated,
-        dcache_latency=inst.dcache_latency,
-        latency=inst.latency,
-        source_producers=producers,
-    )

@@ -43,12 +43,23 @@ class LoadCheck:
     value: int | None = None
 
 
+#: Shared read-only result for the common "no conflicting store" case, so
+#: the per-load disambiguation path allocates nothing when the queue has no
+#: overlap (never mutate it).
+_MEMORY_CHECK = LoadCheck("memory")
+
+
 class StoreQueue:
-    """In-order store queue (program order) with forwarding search."""
+    """In-order store queue (program order) with forwarding search.
+
+    ``entries`` stays in program order for the youngest-first disambiguation
+    walk; a seq-keyed index makes the execute-time :meth:`find` O(1).
+    """
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self.entries: list[StoreQueueEntry] = []
+        self._by_seq: dict[int, StoreQueueEntry] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -63,20 +74,19 @@ class StoreQueue:
         if len(self.entries) >= self.capacity:
             raise RuntimeError("store queue overflow (dispatch should have stalled)")
         self.entries.append(entry)
+        self._by_seq[entry.seq] = entry
 
     def find(self, seq: int) -> StoreQueueEntry | None:
         """The entry for store ``seq`` (None if absent)."""
-        for entry in self.entries:
-            if entry.seq == seq:
-                return entry
-        return None
+        return self._by_seq.get(seq)
 
     def pop_committed(self, seq: int) -> StoreQueueEntry:
         """Remove the (oldest) entry for ``seq`` at commit."""
-        for index, entry in enumerate(self.entries):
-            if entry.seq == seq:
-                return self.entries.pop(index)
-        raise KeyError(f"store {seq} not in the store queue")
+        entry = self._by_seq.pop(seq, None)
+        if entry is None:
+            raise KeyError(f"store {seq} not in the store queue")
+        self.entries.remove(entry)
+        return entry
 
     def has_unexecuted_older(self, seq: int) -> bool:
         """True if any store older than ``seq`` has not executed yet."""
@@ -99,22 +109,26 @@ class StoreQueue:
         # The queue is kept in program order (appends happen at dispatch),
         # so a reverse walk visits older stores youngest-first without the
         # sort the previous implementation paid on every load.
+        end = addr + size
         for entry in reversed(self.entries):
             if entry.seq >= seq:
                 continue
             if not entry.executed:
-                if ranges_overlap(entry.trace_addr, entry.size, addr, size):
+                trace_addr = entry.trace_addr
+                if trace_addr < end and addr < trace_addr + entry.size:
                     return LoadCheck("violation", store=entry)
                 continue
-            if entry.addr is None or not ranges_overlap(entry.addr, entry.size, addr, size):
+            entry_addr = entry.addr
+            if entry_addr is None or not (entry_addr < end
+                                          and addr < entry_addr + entry.size):
                 continue
-            if range_covers(entry.addr, entry.size, addr, size):
-                offset = addr - entry.addr
+            if entry_addr <= addr and entry_addr + entry.size >= end:
+                offset = addr - entry_addr
                 mask = (1 << (8 * size)) - 1
                 value = (entry.value >> (8 * offset)) & mask
                 return LoadCheck("forward", store=entry, value=value)
             return LoadCheck("wait_store", store=entry)
-        return LoadCheck("memory")
+        return _MEMORY_CHECK
 
 
 class LoadQueue:

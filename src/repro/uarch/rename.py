@@ -86,8 +86,13 @@ class Renamer:
     def begin_group(self) -> None:
         """Start renaming a new same-cycle group."""
 
-    def rename_next(self, dyn: DynamicInstruction) -> RenameResult | None:
+    def rename_next(self, dyn: DynamicInstruction, op: tuple | None = None) -> RenameResult | None:
         """Rename the next instruction of the current group.
+
+        ``op`` is the instruction's decoded-op tuple
+        (:func:`repro.isa.instruction.decode_op`); the pipeline passes it so
+        implementations can skip ``Instruction`` attribute lookups, and
+        implementations must derive it themselves when omitted.
 
         Returns None (with no side effects) when no physical register is
         available for the instruction's destination; the pipeline then stalls
@@ -140,8 +145,14 @@ class BaselineRenamer(Renamer):
         """Registers left on the free list."""
         return len(self.free_list)
 
-    def rename_next(self, dyn: DynamicInstruction) -> RenameResult | None:
-        """Map sources, allocate a fresh destination register (None = stall)."""
+    def rename_next(self, dyn: DynamicInstruction, op: tuple | None = None) -> RenameResult | None:
+        """Map sources, allocate a fresh destination register (None = stall).
+
+        The pipeline normally inlines this logic over the in-flight window
+        arrays (see ``Pipeline._run_cycles``); this method serves unit tests
+        and the scheduler-equivalence reference path.  ``op`` is accepted for
+        interface compatibility and unused.
+        """
         instruction = dyn.instruction
         dest = instruction.dest_register
         if dest is not None and not self.free_list:

@@ -121,5 +121,6 @@ def list_workloads(suite: str | None = None) -> list[Workload]:
 
 def _ensure_suites_loaded() -> None:
     # Imported lazily to avoid circular imports (the suite modules import the
-    # ``register`` decorator from this module).
-    from repro.workloads import mediabench, microbench, specint  # noqa: F401
+    # ``register`` decorator from this module).  ``builder`` registers the
+    # footprint-scaling kernel alongside its helpers.
+    from repro.workloads import builder, mediabench, microbench, specint  # noqa: F401

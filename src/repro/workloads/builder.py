@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.isa.assembler import Assembler
 from repro.isa.registers import RegisterNames as R
+from repro.workloads.base import register
 
 #: Multiplier/increment of the 31-bit linear congruential generator used for
 #: all synthetic "input data".  Small enough to build with ``li``.
@@ -91,6 +92,73 @@ def scaled(base: int, scale: int, minimum: int = 1) -> int:
     return max(minimum, base * scale)
 
 
+def scaled_footprint(base_elements: int, scale: int, maximum: int = 1 << 20) -> int:
+    """Scale a data-structure *size* (elements), clamped from both sides.
+
+    Most kernels scale by iterating longer over the same data, which leaves
+    caches and branch predictors warm no matter the scale.  Kernels that
+    grow with this helper instead touch ``base_elements * scale`` elements,
+    so large scales stress capacity (cache misses, BTB pressure) rather
+    than just wall-clock.  The upper clamp keeps pathological scales from
+    materialising unbounded data segments.
+    """
+    return max(1, min(maximum, base_elements * scale))
+
+
+@register(
+    "footprint_walk",
+    suite="micro",
+    description="pointer-chase whose data footprint (not lap count) grows "
+                "with scale; stresses caches/branch predictors at scale > 4",
+    paper_name="footprint-walk",
+)
+def build_footprint_walk(scale: int = 1):
+    """A pointer-chasing kernel whose data footprint grows with ``scale``.
+
+    Builds a permutation cycle of :func:`scaled_footprint` 8-byte nodes and
+    chases it for a fixed number of laps, accumulating a value-dependent
+    branchy checksum.  Because the *structure size* (not the lap count)
+    scales, ``scale >= 8`` overflows the L1 d-cache and dilutes the branch
+    history — the behaviour regime the fixed-footprint kernels never enter.
+    """
+    asm = Assembler(f"footprint_walk_x{scale}")
+    # 512 nodes (4 KB) at scale 1; the 32 KB L1 d-cache overflows past
+    # scale 8, which is exactly the regime the scale sweep wants to probe.
+    elements = scaled_footprint(512, scale)
+    # Node i holds the byte offset of the next node in a full permutation
+    # cycle, tagged in bit 2 with deterministic noise for the branchy sum
+    # (offsets are 8-aligned, so low bits are free).
+    order = permutation(7 * scale + 13, elements)
+    successor = [0] * elements
+    for position in range(elements):
+        successor[order[position]] = order[(position + 1) % elements]
+    noise = lcg_sequence(scale + 5, elements, 2)
+    asm.word_array("nodes", [8 * successor[i] | (noise[i] << 2)
+                             for i in range(elements)])
+
+    base, ptr, node, acc, laps, steps, scratch = 8, 9, 10, 11, 12, 13, 14
+    asm.la(base, "nodes")
+    asm.li(acc, 0)
+    emit_counted_loop_header(asm, laps, 4, "lap")
+    asm.li(ptr, 0)
+    emit_counted_loop_header(asm, steps, elements, "step")
+    asm.add(scratch, base, ptr)
+    asm.ld(node, 0, scratch)              # next-pointer (plus noise tag)
+    asm.andi(scratch, node, 4)            # extract the noise tag...
+    asm.sub(ptr, node, scratch)           # ...and strip it: pure byte offset
+    # Data-dependent branch: poorly predictable once the footprint (and
+    # therefore the tag stream) outgrows the predictor's history.
+    asm.beq(scratch, "even")
+    asm.add(acc, acc, node)
+    asm.label("even")
+    asm.addi(acc, acc, 1)
+    emit_counted_loop_footer(asm, steps, "step")
+    emit_counted_loop_footer(asm, laps, "lap")
+    asm.st(acc, 0, base)
+    asm.halt()
+    return asm.assemble()
+
+
 __all__ = [
     "LCG_MULTIPLIER",
     "LCG_INCREMENT",
@@ -103,5 +171,7 @@ __all__ = [
     "emit_counted_loop_footer",
     "emit_argument_moves",
     "scaled",
+    "scaled_footprint",
+    "build_footprint_walk",
     "R",
 ]

@@ -3,15 +3,20 @@
 import pytest
 
 from repro.functional.trace import DynamicInstruction
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import (
+    CLASS_INT,
+    CLASS_LOAD,
+    CLASS_STORE,
+    Instruction,
+    decode_op,
+)
 from repro.isa.opcodes import Opcode
 from repro.uarch.config import MachineConfig
-from repro.uarch.inflight import InFlightInst
 from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry, ranges_overlap
 from repro.uarch.regfile import PhysicalRegisterFile
-from repro.uarch.rename import BaselineRenamer, RenameResult, SourceOperand
+from repro.uarch.rename import BaselineRenamer, SourceOperand
 from repro.uarch.rob import ReorderBuffer
-from repro.uarch.scheduler import INT_CLASS, LOAD_CLASS, IssueQueue, issue_class
+from repro.uarch.scheduler import IssueQueue
 from repro.uarch.storesets import StoreSets
 
 
@@ -20,8 +25,15 @@ def dyn(opcode=Opcode.ADD, seq=0, rd=1, rs1=2, rs2=3, imm=0, pc=0x1000):
     return DynamicInstruction(seq=seq, index=0, pc=pc, instruction=instr)
 
 
-def inflight(opcode=Opcode.ADD, seq=0, dispatch=0):
-    return InFlightInst(dyn=dyn(opcode, seq), rename=RenameResult(), dispatch_cycle=dispatch)
+def class_of(opcode) -> int:
+    """Issue-port class id of an opcode, via the decoded-op cache."""
+    return decode_op(Instruction(opcode, rd=1, rs1=2, rs2=3))[1]
+
+
+def add_inst(queue, seq, class_id=CLASS_INT, dispatch=0, sources=()):
+    """Insert one instruction into a standalone issue queue's window."""
+    queue.window.dispatch_cycle[seq & queue.window.mask] = dispatch
+    queue.add(seq, dispatch, sources, class_id)
 
 
 # ---------------------------------------------------------------------------
@@ -131,15 +143,24 @@ def test_load_queue_capacity():
 
 def test_rob_order_and_capacity():
     rob = ReorderBuffer(2)
-    first, second = inflight(seq=0), inflight(seq=1)
-    rob.add(first)
-    rob.add(second)
+    rob.add(0)
+    rob.add(1)
     assert rob.full
     with pytest.raises(RuntimeError):
-        rob.add(inflight(seq=2))
-    assert rob.head() is first
-    assert rob.pop_head() is first
-    assert rob.head() is second
+        rob.add(2)
+    assert rob.head() == 0
+    assert rob.pop_head() == 0
+    assert rob.head() == 1
+    assert rob.free_entries == 1
+
+
+def test_rob_rejects_out_of_order_append():
+    rob = ReorderBuffer(4)
+    rob.add(0)
+    with pytest.raises(ValueError):
+        rob.add(2)          # slots are allocated strictly in program order
+    with pytest.raises(IndexError):
+        ReorderBuffer(4).pop_head()
 
 
 # ---------------------------------------------------------------------------
@@ -148,34 +169,34 @@ def test_rob_order_and_capacity():
 
 
 def test_issue_class_mapping():
-    assert issue_class(inflight(Opcode.ADD)) == INT_CLASS
-    assert issue_class(inflight(Opcode.LD)) == LOAD_CLASS
-    assert issue_class(inflight(Opcode.ST)) == "store"
-    assert issue_class(inflight(Opcode.BNE)) == INT_CLASS
+    assert class_of(Opcode.ADD) == CLASS_INT
+    assert class_of(Opcode.LD) == CLASS_LOAD
+    assert class_of(Opcode.ST) == CLASS_STORE
+    assert class_of(Opcode.BNE) == CLASS_INT
 
 
 def test_issue_queue_respects_class_and_total_limits():
     config = MachineConfig.default_4wide()       # 3 int, 1 load, total 4
     queue = IssueQueue(config)
     for seq in range(6):
-        queue.add(inflight(Opcode.ADD, seq=seq, dispatch=0))
+        add_inst(queue, seq, CLASS_INT)
     for seq in range(6, 9):
-        queue.add(inflight(Opcode.LD, seq=seq, dispatch=0))
-    selected = queue.select(cycle=5, ready_fn=lambda inst, cycle: True)
+        add_inst(queue, seq, CLASS_LOAD)
+    selected = queue.select(cycle=5, ready_fn=lambda seq, cycle: True)
     assert len(selected) == 4
-    int_selected = [i for i in selected if issue_class(i) == INT_CLASS]
-    load_selected = [i for i in selected if issue_class(i) == LOAD_CLASS]
+    int_selected = [s for s in selected if s < 6]
+    load_selected = [s for s in selected if s >= 6]
     assert len(int_selected) == 3
     assert len(load_selected) == 1
     # Oldest-first selection.
-    assert [i.seq for i in int_selected] == [0, 1, 2]
+    assert int_selected == [0, 1, 2]
 
 
 def test_issue_queue_skips_instructions_dispatched_this_cycle():
     queue = IssueQueue(MachineConfig.default_4wide())
-    queue.add(inflight(Opcode.ADD, seq=0, dispatch=5))
-    assert queue.select(cycle=5, ready_fn=lambda inst, cycle: True) == []
-    assert len(queue.select(cycle=6, ready_fn=lambda inst, cycle: True)) == 1
+    add_inst(queue, 0, CLASS_INT, dispatch=5)
+    assert queue.select(cycle=5, ready_fn=lambda seq, cycle: True) == []
+    assert len(queue.select(cycle=6, ready_fn=lambda seq, cycle: True)) == 1
 
 
 def test_issue_queue_ready_fn_gates_loads_only():
@@ -183,46 +204,42 @@ def test_issue_queue_ready_fn_gates_loads_only():
     # applies to load-class instructions; other classes issue once their
     # operands are available.
     queue = IssueQueue(MachineConfig.default_4wide())
-    queue.add(inflight(Opcode.ADD, seq=0, dispatch=0))
-    queue.add(inflight(Opcode.LD, seq=1, dispatch=0))
-    selected = queue.select(cycle=3, ready_fn=lambda inst, cycle: False)
-    assert [i.seq for i in selected] == [0]
+    add_inst(queue, 0, CLASS_INT)
+    add_inst(queue, 1, CLASS_LOAD)
+    selected = queue.select(cycle=3, ready_fn=lambda seq, cycle: False)
+    assert selected == [0]
     assert len(queue) == 1
     # The rejected load stays in its ready list and issues once the veto lifts.
-    selected = queue.select(cycle=4, ready_fn=lambda inst, cycle: True)
-    assert [i.seq for i in selected] == [1]
+    selected = queue.select(cycle=4, ready_fn=lambda seq, cycle: True)
+    assert selected == [1]
     assert len(queue) == 0
 
 
 def test_issue_queue_event_driven_wakeup():
     # An instruction with a pending operand becomes selectable only at the
     # producer's announced ready cycle (via the cycle-indexed wakeup queue).
-    queue = IssueQueue(MachineConfig.default_4wide())
     prf = PhysicalRegisterFile(64, [0] * 32)
-    consumer = inflight(Opcode.ADD, seq=0, dispatch=0)
-    consumer.rename.sources = [SourceOperand(40)]
+    queue = IssueQueue(MachineConfig.default_4wide(), ready_cycles=prf.ready_cycle)
     prf.mark_pending(40)
-    queue.add(consumer, 0, prf.ready_cycle)
-    assert consumer.waiting_ops == 1
+    add_inst(queue, 0, CLASS_INT, sources=[SourceOperand(40)])
+    assert queue.window.waiting_ops[0] == 1
     assert queue.select(cycle=1) == []
     # Producer writes p40, visible at cycle 5.
     prf.write(40, 123, 5)
     queue.wakeup(40, 5)
     assert queue.select(cycle=4) == []
-    assert queue.select(cycle=5) == [consumer]
-    assert consumer.waiting_ops == 0
+    assert queue.select(cycle=5) == [0]
+    assert queue.window.waiting_ops[0] == 0
 
 
 def test_issue_queue_idle_until():
-    queue = IssueQueue(MachineConfig.default_4wide())
     prf = PhysicalRegisterFile(64, [0] * 32)
+    queue = IssueQueue(MachineConfig.default_4wide(), ready_cycles=prf.ready_cycle)
     assert queue.idle_until() is not None        # empty queue: idle forever
-    consumer = inflight(Opcode.ADD, seq=0, dispatch=0)
-    consumer.rename.sources = [SourceOperand(40)]
     prf.write(40, 7, 9)                          # ready in the future
-    queue.add(consumer, 0, prf.ready_cycle)
+    add_inst(queue, 0, CLASS_INT, sources=[SourceOperand(40)])
     assert queue.idle_until() == 9               # next wakeup cycle
-    assert queue.select(cycle=9) == [consumer]
+    assert queue.select(cycle=9) == [0]
     assert len(queue) == 0
 
 

@@ -1,12 +1,14 @@
-"""Property-based equivalence tests for the event-driven scheduler.
+"""Property-based equivalence tests: SoA core vs the object-model scheduler.
 
-The issue queue used to select instructions with a full per-cycle scan of the
-window, re-checking every resident instruction's operands against the
-physical register file.  That algorithm survives here as
-:func:`reference_select` / :class:`ReferenceIssueQueue` — the reference model
-— and seeded random programs (straight-line and branchy, with loads, stores
-and every elimination idiom) are run through both schedulers under several
-machine and RENO configurations, asserting:
+The issue queue used to select instructions with a full per-cycle scan of an
+object-based window, re-checking every resident instruction's operands
+against the physical register file.  That algorithm survives here as
+:func:`reference_select` / :class:`ReferenceIssueQueue` — an **object-model**
+reference (one ``_RefInst`` record per resident instruction, full rescan
+every cycle, wakeup events ignored) that drives the exact same
+structure-of-arrays pipeline.  Seeded random programs (straight-line and
+branchy, with loads, stores and every elimination idiom) are run through
+both schedulers under several machine and RENO configurations, asserting:
 
 * identical per-cycle issue sets (every instruction issues on the same cycle
   with both schedulers), and
@@ -24,9 +26,10 @@ import pytest
 from repro.core import RenoConfig, RenoRenamer
 from repro.functional.simulator import FunctionalSimulator
 from repro.isa.assembler import Assembler
+from repro.isa.instruction import CLASS_LOAD
 from repro.uarch.config import MachineConfig
 from repro.uarch.core import Pipeline
-from repro.uarch.scheduler import LOAD_CLASS, IssueQueue, issue_class
+from repro.uarch.scheduler import IssueQueue
 
 #: Registers the generator may use (avoids sp/gp/zero and the base pointer).
 USABLE_REGS = list(range(0, 24))
@@ -48,23 +51,31 @@ MACHINES = {
 
 
 # ---------------------------------------------------------------------------
-# Reference scheduler: the pre-rewrite per-cycle full scan
+# Reference scheduler: the pre-rewrite per-cycle full scan over objects
 # ---------------------------------------------------------------------------
 
 
+class _RefInst:
+    """One resident instruction in the object-model reference window."""
+
+    __slots__ = ("seq", "sources", "class_id", "dispatch_cycle")
+
+    def __init__(self, seq, sources, class_id, dispatch_cycle):
+        self.seq = seq
+        self.sources = list(sources)
+        self.class_id = class_id
+        self.dispatch_cycle = dispatch_cycle
+
+
 def reference_select(entries, config, ready_cycles, cycle, ready_fn):
-    """The original full-scan wakeup/select algorithm.
+    """The original full-scan wakeup/select algorithm over object records.
 
     Walks the whole window oldest-first every cycle, re-checking each
     instruction's operand readiness against the register file, subject to
     per-class and total issue limits.  Returns (selected, kept_entries).
     """
-    limits = {
-        "int": config.int_issue,
-        "load": config.load_issue,
-        "store": config.store_issue,
-        "fp": config.fp_issue,
-    }
+    limits = [config.int_issue, config.load_issue,
+              config.store_issue, config.fp_issue]
     remaining_total = config.total_issue
     selected = []
     kept = []
@@ -74,16 +85,16 @@ def reference_select(entries, config, ready_cycles, cycle, ready_fn):
         inst = entries[index]
         index += 1
         operands_ready = all(
-            ready_cycles[source.preg] <= cycle for source in inst.rename.sources
+            ready_cycles[source.preg] <= cycle for source in inst.sources
         )
-        if (limits[inst.port_class] == 0
+        if (limits[inst.class_id] == 0
                 or inst.dispatch_cycle >= cycle      # earliest issue is next cycle
                 or not operands_ready
-                or (inst.port_class == LOAD_CLASS
-                    and ready_fn is not None and not ready_fn(inst, cycle))):
+                or (inst.class_id == CLASS_LOAD
+                    and ready_fn is not None and not ready_fn(inst.seq, cycle))):
             kept.append(inst)
             continue
-        limits[inst.port_class] -= 1
+        limits[inst.class_id] -= 1
         remaining_total -= 1
         selected.append(inst)
     kept.extend(entries[index:])
@@ -91,25 +102,25 @@ def reference_select(entries, config, ready_cycles, cycle, ready_fn):
 
 
 class ReferenceIssueQueue(IssueQueue):
-    """Drop-in IssueQueue implementing the old full-scan model.
+    """Drop-in IssueQueue implementing the old full-scan object model.
 
-    Keeps a plain sorted window list and re-derives readiness from the
-    register file every cycle; wakeup events are ignored.  ``_ready_total``
-    mirrors the entry count so the pipeline's fast paths (select guard and
-    idle fast-forward) treat every occupied cycle as potentially selectable,
-    forcing the cycle-by-cycle behaviour of the original loop.
+    Keeps a plain window list of ``_RefInst`` records and re-derives
+    readiness from the register file every cycle; wakeup events are ignored.
+    ``_ready_total`` mirrors the entry count so the pipeline's fast paths
+    (select guard and idle fast-forward) treat every occupied cycle as
+    potentially selectable, forcing the cycle-by-cycle behaviour of the
+    original loop.
     """
 
-    def __init__(self, config, prf):
-        super().__init__(config)
+    def __init__(self, config, window, prf):
+        super().__init__(config, window, prf.ready_cycle)
         self._ref_prf = prf
         self.entries = []
 
-    def add(self, inst, cycle=0, ready_cycles=None):
+    def add(self, seq, cycle=0, sources=None, class_id=0):
         if len(self.entries) >= self.capacity:
             raise RuntimeError("issue queue overflow (dispatch should have stalled)")
-        inst.port_class = issue_class(inst)
-        self.entries.append(inst)        # dispatch order == seq order
+        self.entries.append(_RefInst(seq, sources or (), class_id, cycle))
         self._count = len(self.entries)
         self._ready_total = self._count  # force select every occupied cycle
 
@@ -122,7 +133,7 @@ class ReferenceIssueQueue(IssueQueue):
         self.entries = kept
         self._count = len(kept)
         self._ready_total = self._count
-        return selected
+        return [inst.seq for inst in selected]
 
 
 # ---------------------------------------------------------------------------
@@ -170,7 +181,7 @@ def run_pipeline(program, trace, machine, reno, reference: bool):
     renamer = RenoRenamer(machine.num_physical_regs, reno) if reno is not None else None
     pipeline = Pipeline(program, trace, machine, renamer=renamer, collect_timing=True)
     if reference:
-        queue = ReferenceIssueQueue(machine, pipeline.prf)
+        queue = ReferenceIssueQueue(machine, pipeline.window, pipeline.prf)
         pipeline.issue_queue = queue
         # Rebind the producer-side aliases captured at construction time.
         pipeline._iq_waiters = queue._waiters

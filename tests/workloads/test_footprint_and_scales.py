@@ -1,0 +1,112 @@
+"""Tests for the footprint-scaling workload and multi-scale sweeps.
+
+Covers the :func:`~repro.workloads.builder.scaled_footprint` helper, the
+``footprint_walk`` kernel's defining property (its *data footprint* grows
+with scale, so large scales stress the caches rather than just running
+longer), arbitrary-scale ``run_scale_sweep`` grids, and the CLI's
+``--scale 1,2,4`` list form.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.simulator import simulate
+from repro.functional.simulator import FunctionalSimulator
+from repro.harness import run_scale_sweep
+from repro.workloads.base import get_workload
+from repro.workloads.builder import build_footprint_walk, scaled_footprint
+
+
+def test_scaled_footprint_clamps_both_sides():
+    assert scaled_footprint(64, 1) == 64
+    assert scaled_footprint(64, 8) == 512
+    assert scaled_footprint(64, 0) == 1
+    assert scaled_footprint(64, 10**9, maximum=4096) == 4096
+
+
+def test_footprint_walk_is_registered():
+    workload = get_workload("footprint_walk")
+    assert workload.suite == "micro"
+    assert workload.build(1).instructions
+
+
+def test_footprint_walk_grows_data_not_just_iterations():
+    small = build_footprint_walk(1)
+    large = build_footprint_walk(8)
+    # The data segment grows with scale (8-byte nodes).
+    assert len(large.initial_memory) >= 8 * len(small.initial_memory) - 64
+    # The dynamic instruction count grows roughly linearly, like other
+    # kernels, so the *ratio* of footprint to work rises with scale.
+    small_run = FunctionalSimulator(small).run()
+    large_run = FunctionalSimulator(large).run()
+    assert small_run.halted and large_run.halted
+    ratio = large_run.dynamic_count / small_run.dynamic_count
+    assert 4 < ratio < 16
+
+
+def test_footprint_walk_stresses_the_dcache_at_scale():
+    """At scale 16 the pointer chase outgrows the L1 d-cache: the miss
+    *rate* must rise clearly above the tiny-footprint configuration."""
+    def miss_rate(scale):
+        program = build_footprint_walk(scale)
+        outcome = simulate(program)
+        stats = outcome.timing.stats
+        return stats.dcache_misses / max(1, stats.dcache_accesses)
+
+    assert miss_rate(16) > miss_rate(1) + 0.05
+
+
+def test_run_scale_sweep_accepts_arbitrary_scales(tmp_path):
+    report = run_scale_sweep(
+        "micro", workloads=["footprint_walk"], scales=(1, 3), jobs=1,
+        cache=tmp_path)
+    scales_seen = {key[1] for key in report.data if key[0] == "footprint_walk"}
+    assert scales_seen == {1, 3}
+    small = report.data[("footprint_walk", 1)]["instructions"]
+    large = report.data[("footprint_walk", 3)]["instructions"]
+    assert large > small
+
+
+def test_cli_scale_list_runs_the_scale_sweep(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    code = cli_main([
+        "run", "scale_sweep", "--suite", "micro",
+        "--workloads", "footprint_walk", "--scale", "1,2",
+        "--jobs", "1", "--no-cache", "--quiet", "--json", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    scales = {json.dumps(key) for key, _ in payload["data"]}
+    assert any('"1"' in key or ", 1]" in key for key in scales)
+    assert any('"2"' in key or ", 2]" in key for key in scales)
+
+
+def test_cli_single_scale_runs_the_scale_sweep(tmp_path):
+    """A one-element --scale must work for scale_sweep (routed through
+    scales=), and duplicate scales are dropped instead of duplicating rows."""
+    out = tmp_path / "single.json"
+    code = cli_main([
+        "run", "scale_sweep", "--suite", "micro",
+        "--workloads", "footprint_walk", "--scale", "2,2",
+        "--jobs", "1", "--no-cache", "--quiet", "--json", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    keys = [key for key, _ in payload["data"]]
+    assert len(keys) == len(set(map(str, keys)))   # no duplicated rows
+
+
+def test_cli_scale_list_rejected_for_grid_experiments(capsys):
+    code = cli_main([
+        "run", "fig8", "--suite", "micro", "--workloads", "micro_addi_chain",
+        "--scale", "1,2", "--no-cache", "--quiet",
+    ])
+    assert code == 2
+    assert "scale_sweep" in capsys.readouterr().err
+
+
+def test_cli_rejects_malformed_scales(capsys):
+    assert cli_main(["run", "fig8", "--scale", "two", "--no-cache"]) == 2
+    assert cli_main(["run", "fig8", "--scale", "0", "--no-cache"]) == 2
