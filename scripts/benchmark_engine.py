@@ -90,10 +90,10 @@ class CycleLoopProbe:
         original = uarch_core.Pipeline.run
         self._original = original
 
-        def timed(pipeline_self):
+        def timed(pipeline_self, max_cycles=None):
             start = time.perf_counter()
             try:
-                result = original(pipeline_self)
+                result = original(pipeline_self, max_cycles)
             finally:
                 probe.seconds += time.perf_counter() - start
             probe.instructions += result.stats.committed
@@ -105,6 +105,50 @@ class CycleLoopProbe:
     def __exit__(self, *exc):
         uarch_core.Pipeline.run = self._original
         return False
+
+
+#: Bump when :func:`calibrate` changes its workload — calibration ratios
+#: are only comparable within one version.
+CALIBRATION_VERSION = 1
+
+#: Iterations of the calibration micro-loop (fixed, deterministic work;
+#: ~0.1 s on the reference container, long enough to be noise-stable).
+CALIBRATION_ITERATIONS = 600_000
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Best-of-N seconds for a fixed pure-Python micro-loop.
+
+    The loop's operation mix mirrors the simulator's cycle loop — list
+    subscripts, small-int arithmetic, dict probes, data-dependent branches
+    — so its wall-clock tracks how fast *this* runner executes exactly the
+    kind of bytecode the cycle loop is made of.  The perf-smoke gate
+    normalises the committed-baseline instructions/s by the ratio of the
+    baseline's calibration to the local one, which turns "is this machine
+    slower?" into a measured quantity instead of slack in the threshold.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        values = list(range(256))
+        ready = [0] * 256
+        buckets: dict[int, int] = {}
+        acc = 0
+        start = time.perf_counter()
+        for index in range(CALIBRATION_ITERATIONS):
+            slot = index & 255
+            value = values[slot] + acc
+            if value & 4:
+                acc = (acc + value) & 0xFFFFFFFF
+            else:
+                acc = (acc ^ value) & 0xFFFFFFFF
+            ready[slot] = acc
+            bucket = buckets.get(slot)
+            if bucket is None:
+                buckets[slot] = acc
+            elif slot & 15 == 0:
+                del buckets[slot]
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def run_sweep(workloads, scale, jobs, cache):
@@ -283,11 +327,17 @@ def main(argv=None) -> int:
     }
     bench_engine_json.write_text(json.dumps(engine_payload, indent=2) + "\n")
 
+    calibration_s = calibrate(args.repeats)
     cycle_payload = {
         "schema": "repro-bench-cycle-loop/1",
         "workloads": list(args.workloads),
         "repeats": args.repeats,
         "python": platform.python_version(),
+        "calibration": {
+            "version": CALIBRATION_VERSION,
+            "iterations": CALIBRATION_ITERATIONS,
+            "seconds": round(calibration_s, 5),
+        },
         "fig8_sweep_s": round(fig8_s, 4),
         "fig8_sweep_auto_s": round(fig8_auto_s, 4),
         "cycle_loop_s": round(cycle_loop_s, 4),

@@ -20,7 +20,7 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PACKAGES = ["src/repro/uarch", "src/repro/harness"]
+DEFAULT_PACKAGES = ["src/repro/uarch", "src/repro/harness", "src/repro/api"]
 DEFAULT_THRESHOLD = 90.0
 
 

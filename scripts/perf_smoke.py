@@ -3,17 +3,25 @@
 Re-measures the fig8 in-sim cycle-loop probe (the same measurement
 ``scripts/benchmark_engine.py`` records into
 ``benchmarks/results/BENCH_cycle_loop.json``) and fails when the measured
-**committed-instructions-per-second** figure drops below ``baseline /
-threshold``.  Normalising by simulated instructions makes the gate
-meaningful on machines other than the one that produced the committed
-baseline; the generous default threshold (1.5×) absorbs ordinary
-machine-speed differences while still catching order-of-magnitude
-regressions (an accidental de-inlining, a per-instruction object creep).
+**committed-instructions-per-second** figure drops below the committed
+baseline's, after normalising for runner speed.
+
+Normalisation: alongside the cycle-loop probe the baseline records a
+**calibration micro-loop** (:func:`benchmark_engine.calibrate` — a fixed
+pure-Python loop with the cycle loop's operation mix).  The gate re-runs
+the same micro-loop on the current runner and scales the baseline's
+instructions/s by ``baseline_calibration_s / local_calibration_s``: a
+machine that runs the calibration 2× slower is *expected* to run the cycle
+loop 2× slower, and only a slowdown beyond that ratio counts as a
+regression.  This lets the threshold be tight (default 1.25×) without
+false-failing on slower runners.  Baselines without a matching calibration
+record (older commits, or a calibration-version bump) fall back to the
+unnormalised comparison with the historical 1.5× threshold.
 
 Environment overrides:
 
 * ``REPRO_PERF_SMOKE_FACTOR`` — slowdown factor that fails the gate
-  (default 1.5).
+  (default 1.25 calibrated, 1.5 uncalibrated).
 * ``REPRO_PERF_SMOKE_SKIP=1`` — skip entirely (emergency hatch for
   known-slow environments).
 
@@ -34,6 +42,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_cycle_loop.json"
 
+#: Default gate when the baseline carries a matching calibration record.
+CALIBRATED_FACTOR = 1.25
+
+#: Fallback gate for uncalibrated baselines (the historical threshold).
+UNCALIBRATED_FACTOR = 1.5
+
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "scripts"))
 
@@ -45,38 +59,64 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N probe repetitions (default 3)")
     parser.add_argument("--factor", type=float, default=None,
-                        help="slowdown factor that fails the gate "
-                             "(default $REPRO_PERF_SMOKE_FACTOR or 1.5)")
+                        help="slowdown factor that fails the gate (default "
+                             "$REPRO_PERF_SMOKE_FACTOR, else 1.25 when the "
+                             "baseline is calibrated, 1.5 otherwise)")
     args = parser.parse_args(argv)
 
     if os.environ.get("REPRO_PERF_SMOKE_SKIP") == "1":
         print("perf smoke: skipped (REPRO_PERF_SMOKE_SKIP=1)")
         return 0
 
-    factor = args.factor
-    if factor is None:
-        try:
-            factor = float(os.environ.get("REPRO_PERF_SMOKE_FACTOR", "1.5"))
-        except ValueError:
-            factor = 1.5
-
     baseline = json.loads(args.baseline.read_text())
     baseline_ips = baseline["instructions_per_second"]
     workloads = baseline["workloads"]
 
-    from benchmark_engine import time_fig8  # noqa: E402  (sibling script)
+    from benchmark_engine import (  # noqa: E402  (sibling script)
+        CALIBRATION_VERSION,
+        calibrate,
+        time_fig8,
+    )
+
+    # Calibration: re-run the micro-loop here and scale the baseline's
+    # expectation by the measured runner-speed ratio.
+    recorded = baseline.get("calibration") or {}
+    calibrated = recorded.get("version") == CALIBRATION_VERSION \
+        and recorded.get("seconds", 0) > 0
+    expected_ips = baseline_ips
+    if calibrated:
+        local_calibration_s = calibrate(args.repeats)
+        speed_ratio = recorded["seconds"] / local_calibration_s
+        expected_ips = baseline_ips * speed_ratio
+        print(f"perf smoke: calibration {local_calibration_s:.4f}s local vs "
+              f"{recorded['seconds']:.4f}s baseline "
+              f"(runner speed x{speed_ratio:.2f})")
+    else:
+        print("perf smoke: baseline has no matching calibration record; "
+              "using the unnormalised comparison")
+
+    factor = args.factor
+    if factor is None:
+        try:
+            factor = float(os.environ.get("REPRO_PERF_SMOKE_FACTOR", "") or
+                           (CALIBRATED_FACTOR if calibrated
+                            else UNCALIBRATED_FACTOR))
+        except ValueError:
+            factor = UNCALIBRATED_FACTOR
 
     _, loop_s, instructions = time_fig8(workloads, jobs=1, repeats=args.repeats)
     measured_ips = instructions / loop_s
-    floor = baseline_ips / factor
+    floor = expected_ips / factor
 
     print(f"perf smoke: cycle loop {loop_s:.3f}s for {instructions} instructions")
     print(f"perf smoke: measured {measured_ips:,.0f} instr/s, "
-          f"baseline {baseline_ips:,.0f} instr/s, floor {floor:,.0f} "
+          f"expected {expected_ips:,.0f} instr/s "
+          f"(committed baseline {baseline_ips:,.0f}), floor {floor:,.0f} "
           f"(factor {factor:.2f}x)")
     if measured_ips < floor:
         print(f"perf smoke: FAIL — cycle loop is more than {factor:.2f}x "
-              f"slower than the committed baseline", file=sys.stderr)
+              f"slower than the calibrated baseline expectation",
+              file=sys.stderr)
         return 1
     print("perf smoke: ok")
     return 0

@@ -11,8 +11,11 @@ The package is organised as:
 * :mod:`repro.analysis` — critical-path analysis and reporting,
 * :mod:`repro.harness` — experiment definitions that regenerate the paper's
   figures (declarative sweep specs, a registry, pluggable executors),
+* :mod:`repro.api` — the stable public surface: the ``Session``/``Job``
+  facade, the versioned wire schema, the ``repro serve`` HTTP service and
+  checkpointable incremental simulation,
 * :mod:`repro.cli` — the unified ``python -m repro`` command line
-  (``run`` / ``list`` / ``cache``).
+  (``run`` / ``list`` / ``cache`` / ``serve`` / ``submit`` / ``status``).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

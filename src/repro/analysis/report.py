@@ -7,8 +7,34 @@ through JSON via :func:`encode_data_key` / :func:`decode_data_key`.
 
 from __future__ import annotations
 
+#: Version of the serialised ``ExperimentReport`` layout (the ``--json``
+#: artifact format and the ``repro serve`` wire payloads).  History:
+#:
+#: * **1** — headers/rows/data/experiment/spec plus this field.  Artifacts
+#:   written before versioning existed deserialise as version 1.
+#:
+#: Bump on any incompatible change to the serialised shape; readers refuse
+#: artifacts from a *newer* schema instead of misreading them.
+REPORT_SCHEMA_VERSION = 1
+
 #: JSON tag marking an encoded tuple data key (see :func:`encode_data_key`).
 _TUPLE_TAG = "__tuple__"
+
+
+def check_schema_version(found: int, kind: str = "report") -> int:
+    """Validate a deserialised ``schema_version`` (raises on newer-than-us).
+
+    Older versions are accepted — readers stay backwards compatible — but a
+    payload from a future schema fails loudly rather than being misread.
+    """
+    if not isinstance(found, int) or found < 1:
+        raise ValueError(f"malformed {kind} schema_version: {found!r}")
+    if found > REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{kind} uses schema_version {found}, newer than the supported "
+            f"{REPORT_SCHEMA_VERSION}; upgrade this package to read it"
+        )
+    return found
 
 
 def encode_data_key(key):

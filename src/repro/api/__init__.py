@@ -1,0 +1,63 @@
+"""``repro.api`` — the stable public API of the reproduction.
+
+This package is the supported integration surface; everything else is
+library internals that may change between versions.  It has four pieces:
+
+* :class:`~repro.api.session.Session` / :class:`~repro.api.session.Job` —
+  the submission facade: ``submit(request) -> Job`` with progress
+  streaming, cancellation, and content-addressed request coalescing
+  (:mod:`repro.api.session`).
+* The versioned wire schema — :class:`~repro.api.schema.ExperimentRequest`,
+  :class:`~repro.api.schema.JobStatus`, :class:`~repro.api.schema.JobState`
+  (:mod:`repro.api.schema`).
+* The HTTP front-end behind ``python -m repro serve``
+  (:mod:`repro.api.service`).
+* Incremental simulation — time-sliced, checkpointable pipeline runs
+  (:mod:`repro.api.checkpoint`, re-exporting
+  :class:`~repro.uarch.snapshot.PipelineSnapshot`).
+
+Quick start::
+
+    from repro.api import ExperimentRequest, Session
+
+    with Session(jobs="auto") as session:
+        job = session.submit(ExperimentRequest("fig8", suite="micro"))
+        report = job.result()
+"""
+
+from repro.api.checkpoint import resume_sliced, run_sliced
+from repro.api.schema import (
+    WIRE_SCHEMA_VERSION,
+    ExperimentRequest,
+    JobState,
+    JobStatus,
+    SchemaError,
+)
+from repro.api.service import make_server, serve
+from repro.api.session import (
+    Job,
+    JobCancelled,
+    JobFailed,
+    Session,
+    default_session,
+)
+from repro.uarch.snapshot import PipelineSnapshot, SnapshotError
+
+__all__ = [
+    "WIRE_SCHEMA_VERSION",
+    "ExperimentRequest",
+    "JobState",
+    "JobStatus",
+    "SchemaError",
+    "Session",
+    "Job",
+    "JobCancelled",
+    "JobFailed",
+    "default_session",
+    "serve",
+    "make_server",
+    "run_sliced",
+    "resume_sliced",
+    "PipelineSnapshot",
+    "SnapshotError",
+]

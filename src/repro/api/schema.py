@@ -1,0 +1,211 @@
+"""Versioned wire schema of the ``repro.api`` surface.
+
+Everything that crosses the API boundary — a submitted experiment request,
+a job status, a finished report — has a plain-dict form with an explicit
+``schema_version``, so clients and servers from different versions of this
+package fail loudly instead of misreading each other:
+
+* :class:`ExperimentRequest` — what ``POST /experiments`` accepts and what
+  :meth:`repro.api.session.Session.submit` consumes.  Its :meth:`digest` is
+  the content address used for request coalescing.
+* :class:`JobStatus` — what ``GET /jobs/<id>`` returns: lifecycle state,
+  per-cell progress, and (on success) the serialised
+  :class:`~repro.harness.experiments.ExperimentReport`.
+* :class:`JobState` — the job lifecycle constants.
+
+The report payload itself is versioned separately by
+:data:`~repro.analysis.report.REPORT_SCHEMA_VERSION` (stamped inside
+``ExperimentReport.to_dict``); :data:`WIRE_SCHEMA_VERSION` covers the
+request/response envelopes defined here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+#: Version of the request/response envelopes in this module.  History:
+#:
+#: * **1** — initial ``repro serve`` schema (requests, job status).
+#:
+#: Bump on any incompatible envelope change; see
+#: :func:`repro.analysis.report.check_schema_version` for the read policy.
+WIRE_SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A wire payload is malformed or from an unsupported schema version."""
+
+
+def _check_wire_version(payload: dict, kind: str) -> None:
+    version = payload.get("schema_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise SchemaError(f"malformed {kind} schema_version: {version!r}")
+    if version > WIRE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"{kind} uses wire schema {version}, newer than the supported "
+            f"{WIRE_SCHEMA_VERSION}; upgrade this package to read it"
+        )
+
+
+class JobState:
+    """Lifecycle states of a submitted job (plain string constants).
+
+    ``PENDING → RUNNING → (SUCCEEDED | FAILED | CANCELLED)``; the three
+    right-hand states are terminal.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States a job can never leave.
+    TERMINAL = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+
+@dataclass
+class ExperimentRequest:
+    """One experiment submission: which registered experiment, on what grid.
+
+    Attributes:
+        experiment: Registry name (``"fig8"``, ``"scale_sweep"``, ...).
+        suite: Workload suite, or None for the experiment's default.
+        workloads: Explicit workload subset, or None for the full suite.
+        scale: Workload scale factor (``scale_sweep`` ignores it and reads
+            ``params["scales"]`` instead).
+        params: Extra experiment parameters (e.g. ``register_sizes`` for
+            ``fig11_regs``); values must be JSON-serialisable on the wire.
+    """
+
+    experiment: str
+    suite: str | None = None
+    workloads: list[str] | None = None
+    scale: int = 1
+    params: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise :class:`SchemaError` on a structurally invalid request."""
+        if not self.experiment or not isinstance(self.experiment, str):
+            raise SchemaError(f"experiment must be a non-empty string, "
+                              f"got {self.experiment!r}")
+        if self.suite is not None and not isinstance(self.suite, str):
+            raise SchemaError(f"suite must be a string or null, got {self.suite!r}")
+        if self.workloads is not None:
+            if (not isinstance(self.workloads, (list, tuple))
+                    or not all(isinstance(name, str) for name in self.workloads)):
+                raise SchemaError(f"workloads must be a list of names, "
+                                  f"got {self.workloads!r}")
+        if not isinstance(self.scale, int) or self.scale < 1:
+            raise SchemaError(f"scale must be an integer >= 1, got {self.scale!r}")
+        if not isinstance(self.params, dict):
+            raise SchemaError(f"params must be an object, got {self.params!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``POST /experiments`` body)."""
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "suite": self.suite,
+            "workloads": list(self.workloads) if self.workloads is not None else None,
+            "scale": self.scale,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentRequest":
+        """Inverse of :meth:`to_dict`; validates shape and schema version."""
+        if not isinstance(payload, dict):
+            raise SchemaError(f"request body must be a JSON object, got "
+                              f"{type(payload).__name__}")
+        _check_wire_version(payload, "request")
+        params = payload.get("params")
+        request = cls(
+            experiment=payload.get("experiment", ""),
+            suite=payload.get("suite"),
+            workloads=payload.get("workloads"),
+            scale=payload.get("scale", 1),
+            params={} if params is None else params,
+        )
+        request.validate()
+        return request
+
+    def digest(self) -> str:
+        """Content address of this request (the coalescing key).
+
+        Canonical JSON over every request field: two requests digest alike
+        exactly when they describe the same experiment run.  Tuples are
+        serialised as JSON arrays, so in-process callers passing tuples and
+        wire callers sending lists coalesce together.
+        """
+        try:
+            material = json.dumps(self.to_dict(), sort_keys=True)
+        except (TypeError, ValueError) as error:
+            raise SchemaError(
+                f"request is not content-addressable (non-JSON params?): {error}"
+            ) from error
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class JobStatus:
+    """A point-in-time view of one job (the ``GET /jobs/<id>`` payload).
+
+    Attributes:
+        job_id: Server-assigned identifier.
+        state: One of the :class:`JobState` constants.
+        experiment: The requested experiment's registry name.
+        request: The originating request in dict form.
+        cells_done: Grid cells whose outcomes are available so far.
+        cells_total: Total grid cells, or None when the experiment's shape
+            is not a single grid (custom runners like ``scale_sweep``).
+        cells_cached: How many completed cells were outcome-cache hits.
+        error: Failure message (``state == "failed"`` only).
+        report: Serialised report (``state == "succeeded"`` only).
+    """
+
+    job_id: str
+    state: str
+    experiment: str
+    request: dict = field(default_factory=dict)
+    cells_done: int = 0
+    cells_total: int | None = None
+    cells_cached: int = 0
+    error: str | None = None
+    report: dict | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``GET /jobs/<id>`` body)."""
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "state": self.state,
+            "experiment": self.experiment,
+            "request": self.request,
+            "cells_done": self.cells_done,
+            "cells_total": self.cells_total,
+            "cells_cached": self.cells_cached,
+            "error": self.error,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobStatus":
+        """Inverse of :meth:`to_dict`; validates the schema version."""
+        if not isinstance(payload, dict):
+            raise SchemaError(f"status body must be a JSON object, got "
+                              f"{type(payload).__name__}")
+        _check_wire_version(payload, "job status")
+        return cls(
+            job_id=payload.get("job_id", ""),
+            state=payload.get("state", JobState.PENDING),
+            experiment=payload.get("experiment", ""),
+            request=payload.get("request") or {},
+            cells_done=payload.get("cells_done", 0),
+            cells_total=payload.get("cells_total"),
+            cells_cached=payload.get("cells_cached", 0),
+            error=payload.get("error"),
+            report=payload.get("report"),
+        )

@@ -1,0 +1,231 @@
+"""``python -m repro serve``: JSON-over-HTTP front-end for a Session.
+
+A deliberately dependency-free service (stdlib ``http.server`` only) that
+maps the :class:`~repro.api.session.Session` facade onto five endpoints:
+
+========  =======================  ==========================================
+method    path                     behaviour
+========  =======================  ==========================================
+GET       ``/healthz``             liveness probe (``{"ok": true}``)
+GET       ``/experiments``         the experiment registry (names + titles)
+POST      ``/experiments``         submit an ``ExperimentRequest`` body →
+                                   202 with ``job_id`` (identical concurrent
+                                   requests coalesce onto one job)
+GET       ``/jobs/<id>``           job status incl. per-cell progress and,
+                                   when finished, the serialised report;
+                                   ``?wait=<seconds>`` long-polls
+POST      ``/jobs/<id>/cancel``    cooperative cancellation
+========  =======================  ==========================================
+
+Requests are handled on one thread each (``ThreadingHTTPServer``), the
+CPU-heavy work lives on the session's workers, and identical concurrent
+submissions execute once: in-flight requests via the session's
+content-addressed coalescing, repeats via the on-disk outcome cache.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api.schema import WIRE_SCHEMA_VERSION, ExperimentRequest, SchemaError
+from repro.api.session import Session
+
+#: Default bind address of ``python -m repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Default TCP port of ``python -m repro serve``.
+DEFAULT_PORT = 8765
+
+#: Upper bound on ``?wait=`` long-poll durations (seconds).
+MAX_WAIT_S = 60.0
+
+
+class ReproServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`Session`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, session: Session):
+        """Bind to ``address`` and serve ``session``."""
+        self.session = session
+        super().__init__(address, ReproRequestHandler)
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Routes the endpoint table in the module docstring (one per request)."""
+
+    server: ReproServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Suppress the default per-request stderr chatter."""
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._reply(code, {"schema_version": WIRE_SCHEMA_VERSION,
+                           "error": message})
+
+    def _read_json(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        try:
+            return json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, f"malformed JSON body: {error}")
+            return None
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """GET router: ``/healthz``, ``/experiments``, ``/jobs/<id>``."""
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._reply(200, {"schema_version": WIRE_SCHEMA_VERSION, "ok": True})
+            return
+        if path == "/experiments":
+            from repro.harness.spec import list_experiments
+
+            self._reply(200, {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "experiments": [
+                    {"name": entry.name, "title": entry.title,
+                     "description": entry.description,
+                     "default_suite": entry.default_suite}
+                    for entry in list_experiments()
+                ],
+            })
+            return
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            job = self.server.session.job(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            wait = _parse_wait(query)
+            if wait:
+                job.wait(wait)
+            self._reply(200, job.status().to_dict())
+            return
+        self._error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """POST router: ``/experiments`` (submit), ``/jobs/<id>/cancel``."""
+        path = self.path.partition("?")[0]
+        if path == "/experiments":
+            payload = self._read_json()
+            if payload is None:
+                return
+            try:
+                request = ExperimentRequest.from_dict(payload)
+                job = self.server.session.submit(request)
+            except SchemaError as error:
+                self._error(400, str(error))
+            except KeyError as error:
+                self._error(404, str(error.args[0]))
+            else:
+                self._reply(202, {
+                    "schema_version": WIRE_SCHEMA_VERSION,
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "coalesced": job.submissions > 1,
+                })
+            return
+        if path.startswith("/jobs/") and path.endswith("/cancel"):
+            job_id = path[len("/jobs/"):-len("/cancel")]
+            job = self.server.session.job(job_id)
+            if job is None:
+                self._error(404, f"unknown job {job_id!r}")
+                return
+            accepted = job.cancel()
+            self._reply(200, {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "job_id": job.job_id,
+                "cancelled": accepted,
+                "state": job.state,
+            })
+            return
+        self._error(404, f"unknown path {path!r}")
+
+
+def _parse_wait(query: str) -> float:
+    """Extract a clamped ``wait=<seconds>`` long-poll duration (0 = none)."""
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key == "wait":
+            try:
+                return max(0.0, min(MAX_WAIT_S, float(value)))
+            except ValueError:
+                return 0.0
+    return 0.0
+
+
+def make_server(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    session: Session | None = None,
+) -> ReproServer:
+    """Create (but do not start) a :class:`ReproServer`.
+
+    ``port=0`` binds an ephemeral free port — the chosen one is in
+    ``server.server_address``.  Tests drive the returned server from a
+    thread via ``serve_forever()``/``shutdown()``.
+    """
+    return ReproServer((host, port), session or Session())
+
+
+def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+          session: Session | None = None) -> int:
+    """Run the service until SIGINT/SIGTERM (the ``repro serve`` body).
+
+    Prints one ``listening on http://host:port`` line (flushed, so process
+    supervisors and CI scripts can wait for readiness), then serves
+    forever; both signals trigger a clean shutdown that drains in-flight
+    HTTP handlers and closes the session.
+    """
+    server = make_server(host, port, session)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}",
+          flush=True)
+
+    def _request_stop(signum, frame):
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except ValueError:            # non-main thread (tests)
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+        server.session.close(wait=False)
+    print("repro serve: shut down cleanly", flush=True)
+    return 0

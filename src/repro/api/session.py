@@ -1,0 +1,485 @@
+"""The ``Session``/``Job`` facade: the supported programmatic API surface.
+
+A :class:`Session` owns the three pieces of engine state every caller used
+to wire up by hand — an execution backend, an outcome cache, and the
+cross-run cost model — and exposes one submission surface in front of the
+experiment registry:
+
+* :meth:`Session.submit` returns a :class:`Job` immediately; the experiment
+  runs on a background worker with per-cell progress streaming
+  (:meth:`Job.status`) and cooperative cancellation (:meth:`Job.cancel`).
+* :meth:`Session.run` is the synchronous form: same plumbing, same
+  deterministic results, executed in the calling thread.
+* Identical concurrent submissions are **coalesced**: requests are
+  content-addressed (:meth:`~repro.api.schema.ExperimentRequest.digest`),
+  an in-flight digest match returns the existing job, and *completed*
+  repeats recompute through the content-addressed outcome cache — so an
+  experiment grid executes once no matter how many clients ask for it.
+
+The legacy entry points (``run_experiment``, the ``figure*`` wrappers, the
+``python -m repro run`` CLI) are thin clients of this facade; ``python -m
+repro serve`` (:mod:`repro.api.service`) maps it onto HTTP.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.schema import ExperimentRequest, JobState, JobStatus
+from repro.harness.cache import SimulationCache, resolve_cache
+from repro.harness.executors import (
+    CostModel,
+    ExecutionCancelled,
+    Executor,
+    resolve_executor,
+)
+from repro.harness.spec import Experiment, get_experiment
+
+
+class JobCancelled(RuntimeError):
+    """Raised by :meth:`Job.result` when the job was cancelled."""
+
+
+class JobFailed(RuntimeError):
+    """Raised by :meth:`Job.result` when the job's experiment raised.
+
+    The original exception is chained as ``__cause__``.
+    """
+
+
+class Job:
+    """A submitted experiment: status, progress, result, cancellation.
+
+    Jobs are created by :meth:`Session.submit`; the session runs them on a
+    worker thread and streams per-cell completion into the job's counters.
+    All methods are thread-safe.
+    """
+
+    def __init__(self, job_id: str, request: ExperimentRequest,
+                 cells_total: int | None):
+        """Create a pending job (called by the session only)."""
+        self.job_id = job_id
+        self.request = request
+        self.cells_total = cells_total
+        #: How many times this job was returned by submit() (> 1 ⇒ later
+        #: identical requests were coalesced onto it).
+        self.submissions = 1
+        self._lock = threading.Lock()
+        self._state = JobState.PENDING
+        self._cancel_event = threading.Event()
+        self._done_event = threading.Event()
+        self._report = None
+        self._report_dict: dict | None = None
+        self._error: BaseException | None = None
+        self._cells_done = 0
+        self._cells_cached = 0
+        self._progress_watchers: list = []
+
+    # ------------------------------------------------------------------
+    # Engine-facing hooks (driven by the session's worker thread)
+    # ------------------------------------------------------------------
+
+    def _on_cell(self, grid_key, cached: bool) -> None:
+        """Per-cell progress callback threaded into the executors."""
+        with self._lock:
+            self._cells_done += 1
+            if cached:
+                self._cells_cached += 1
+            watchers = list(self._progress_watchers)
+        for watcher in watchers:
+            # Watchers are isolated: one client's broken callback must not
+            # abort the grid and fail the job for every coalesced
+            # subscriber.
+            try:
+                watcher(self, grid_key, cached)
+            except Exception:         # noqa: BLE001 - observer boundary
+                pass
+
+    def _mark_running(self) -> None:
+        with self._lock:
+            if self._state == JobState.PENDING:
+                self._state = JobState.RUNNING
+
+    def _finish(self, report) -> None:
+        # Serialise once, outside the lock: the report is immutable from
+        # here on and status() may be polled by many watchers.
+        report_dict = report.to_dict()
+        with self._lock:
+            self._report = report
+            self._report_dict = report_dict
+            self._state = JobState.SUCCEEDED
+        self._done_event.set()
+
+    def _finish_cancelled(self) -> None:
+        with self._lock:
+            self._state = JobState.CANCELLED
+        self._done_event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = error
+            self._state = JobState.FAILED
+        self._done_event.set()
+
+    # ------------------------------------------------------------------
+    # Client-facing surface
+    # ------------------------------------------------------------------
+
+    def add_progress_watcher(self, watcher) -> None:
+        """Register ``watcher(job, grid_key, cached)``, fired per cell."""
+        with self._lock:
+            self._progress_watchers.append(watcher)
+
+    @property
+    def state(self) -> str:
+        """Current :class:`~repro.api.schema.JobState` constant."""
+        with self._lock:
+            return self._state
+
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self._done_event.is_set()
+
+    def cancelled(self) -> bool:
+        """Whether the job ended (or will end) cancelled."""
+        return self._cancel_event.is_set() or self.state == JobState.CANCELLED
+
+    def status(self) -> JobStatus:
+        """A consistent point-in-time :class:`~repro.api.schema.JobStatus`."""
+        with self._lock:
+            return JobStatus(
+                job_id=self.job_id,
+                state=self._state,
+                experiment=self.request.experiment,
+                request=self.request.to_dict(),
+                cells_done=self._cells_done,
+                cells_total=self.cells_total,
+                cells_cached=self._cells_cached,
+                error=(f"{type(self._error).__name__}: {self._error}"
+                       if self._error is not None else None),
+                report=self._report_dict,
+            )
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; returns False on timeout."""
+        return self._done_event.wait(timeout)
+
+    def result(self, timeout: float | None = None):
+        """The finished :class:`~repro.harness.experiments.ExperimentReport`.
+
+        Blocks until the job is terminal.  Raises :class:`TimeoutError` if
+        ``timeout`` elapses first, :class:`JobCancelled` for a cancelled
+        job, and :class:`JobFailed` (chaining the original exception) for a
+        failed one.
+        """
+        if not self._done_event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} still {self.state} after {timeout}s")
+        with self._lock:
+            if self._state == JobState.CANCELLED:
+                raise JobCancelled(f"job {self.job_id} was cancelled")
+            if self._state == JobState.FAILED:
+                raise JobFailed(
+                    f"job {self.job_id} failed: {self._error}") from self._error
+            return self._report
+
+    def cancel(self) -> bool:
+        """Request cooperative cancellation.
+
+        Returns True when the request may still take effect (the job was
+        not already terminal).  A running grid stops at the next cell
+        boundary; cells already computed stay in the outcome cache.
+        """
+        if self._done_event.is_set():
+            return False
+        self._cancel_event.set()
+        return True
+
+
+class Session:
+    """The stable facade over the experiment engine (see module docstring).
+
+    Args:
+        jobs: Default execution backend selector for this session's runs —
+            an int, ``"auto"``, or None (read ``$REPRO_JOBS``; unset means
+            auto), exactly as :func:`repro.harness.runner.run_matrix` takes.
+        cache: Default outcome cache, in any form
+            :func:`repro.harness.cache.resolve_cache` accepts.  The session
+            resolves it lazily per run, so ``None`` keeps tracking the
+            ``$REPRO_CACHE_DIR`` environment like the library defaults do.
+        executor: Explicit default :class:`~repro.harness.executors.Executor`
+            (overrides ``jobs``).
+        workers: Worker threads for asynchronously submitted jobs.  Grids
+            are CPU-bound, so a small number only orders queued jobs; the
+            process-pool executors below provide the real parallelism.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | str | None = None,
+        cache: SimulationCache | bool | str | None = None,
+        executor: Executor | None = None,
+        workers: int = 2,
+    ):
+        self._jobs_arg = jobs
+        self._cache_arg = cache
+        self._executor_arg = executor
+        self._workers = max(1, workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._jobs_by_id: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._next_job_number = 1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Owned engine state
+    # ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> SimulationCache | None:
+        """The session's outcome cache (resolved from the constructor arg)."""
+        return resolve_cache(self._cache_arg)
+
+    @property
+    def executor(self) -> Executor:
+        """The session's execution backend (resolved per access)."""
+        return resolve_executor(self._jobs_arg, self._executor_arg)
+
+    @property
+    def cost_model(self) -> CostModel | None:
+        """The cross-run cost model next to the cache (None without a cache)."""
+        cache = self.cache
+        return CostModel(cache.root) if cache is not None else None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: ExperimentRequest | dict,
+               on_progress=None) -> Job:
+        """Queue an experiment run and return its :class:`Job` immediately.
+
+        Args:
+            request: An :class:`~repro.api.schema.ExperimentRequest` (or its
+                dict form).  The experiment name is validated against the
+                registry before the job is created.
+            on_progress: Optional ``watcher(job, grid_key, cached)`` fired
+                per completed cell.
+
+        Returns:
+            The job — possibly a *pre-existing* one: an identical request
+            already in flight is coalesced onto the running job
+            (``job.submissions`` counts the merged submissions) instead of
+            executing the grid twice.
+        """
+        request = self._coerce(request)
+        entry = get_experiment(request.experiment)   # raises on unknown names
+        digest = request.digest()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            existing = self._inflight.get(digest)
+            if existing is not None and not existing.done():
+                existing.submissions += 1
+                if on_progress is not None:
+                    existing.add_progress_watcher(on_progress)
+                return existing
+            job_id = f"job-{self._next_job_number:04d}"
+            self._next_job_number += 1
+            job = Job(job_id, request, self._estimate_cells(entry, request))
+            self._jobs_by_id[job_id] = job
+            self._inflight[digest] = job
+            pool = self._ensure_pool()
+        if on_progress is not None:
+            job.add_progress_watcher(on_progress)
+        pool.submit(self._run_job, job, digest)
+        return job
+
+    def run(self, request: ExperimentRequest | dict):
+        """Run a request synchronously in the calling thread.
+
+        Same validation, defaults, cache and determinism as
+        :meth:`submit`; returns the finished report directly.  If an
+        identical request is already in flight on a worker, its result is
+        reused instead of recomputing — but another client cancelling (or
+        crashing) that job never poisons this caller: on a cancelled or
+        failed coalesced job the request simply executes here.
+        """
+        request = self._coerce(request)
+        digest = request.digest()
+        with self._lock:
+            existing = self._inflight.get(digest)
+        if existing is not None:
+            try:
+                return existing.result()
+            except (JobCancelled, JobFailed):
+                pass                  # fall through to a direct run
+        return self._execute(request)
+
+    def job(self, job_id: str) -> Job | None:
+        """Look up a job by id (None when unknown)."""
+        with self._lock:
+            return self._jobs_by_id.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """Every job this session created, in submission order."""
+        with self._lock:
+            return list(self._jobs_by_id.values())
+
+    # ------------------------------------------------------------------
+    # Thin-client passthrough (run_experiment / figure* / CLI)
+    # ------------------------------------------------------------------
+
+    def run_experiment(
+        self,
+        name: str,
+        *,
+        suite: str | None = None,
+        workloads: list | None = None,
+        scale: int = 1,
+        jobs: int | str | None = None,
+        cache: SimulationCache | bool | str | None = None,
+        executor: Executor | None = None,
+        progress=None,
+        cancel=None,
+        **params,
+    ):
+        """Run a registered experiment with the session's defaults applied.
+
+        This is the compatibility surface behind
+        :func:`repro.harness.spec.run_experiment` and the ``figure*``
+        wrappers: every argument keeps its historical meaning, the session
+        only supplies its own ``jobs``/``cache``/``executor`` defaults when
+        the caller left them unset.  Unlike :meth:`run` it accepts ad-hoc
+        :class:`~repro.workloads.base.Workload` *objects* and arbitrary
+        Python params, which cannot cross the wire.
+        """
+        if jobs is None and executor is None:
+            jobs, executor = self._jobs_arg, self._executor_arg
+        if cache is None:
+            cache = self._cache_arg
+        return get_experiment(name).run(
+            suite=suite, workloads=workloads, scale=scale, jobs=jobs,
+            cache=cache, executor=executor, progress=progress, cancel=cancel,
+            **params,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Cancel nothing, stop accepting work, and join the worker pool."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "Session":
+        """Context-manager entry (returns the session)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: :meth:`close` the session."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(request) -> ExperimentRequest:
+        if isinstance(request, dict):
+            return ExperimentRequest.from_dict(request)
+        if isinstance(request, ExperimentRequest):
+            request.validate()
+            return request
+        raise TypeError(
+            f"submit() takes an ExperimentRequest or its dict form, "
+            f"got {type(request).__name__}")
+
+    @staticmethod
+    def _estimate_cells(entry: Experiment, request: ExperimentRequest) -> int | None:
+        """Grid size for progress totals (None for custom-runner shapes)."""
+        if entry.build_spec is None:
+            return None
+        try:
+            spec = entry.build_spec(
+                request.suite or entry.default_suite,
+                list(request.workloads) if request.workloads is not None else None,
+                request.scale,
+                **request.params,
+            )
+            return spec.grid_size
+        except Exception:
+            return None               # progress simply reports no total
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-session")
+        return self._pool
+
+    def _execute(self, request: ExperimentRequest,
+                 progress=None, cancel=None):
+        """Run one coerced request through the engine with session defaults."""
+        return self.run_experiment(
+            request.experiment,
+            suite=request.suite,
+            workloads=list(request.workloads) if request.workloads is not None else None,
+            scale=request.scale,
+            progress=progress,
+            cancel=cancel,
+            **request.params,
+        )
+
+    def _run_job(self, job: Job, digest: str) -> None:
+        """Worker-thread body for one submitted job."""
+        try:
+            if job._cancel_event.is_set():
+                job._finish_cancelled()
+                return
+            job._mark_running()
+            try:
+                report = self._execute(
+                    job.request,
+                    progress=job._on_cell,
+                    cancel=job._cancel_event.is_set,
+                )
+            except ExecutionCancelled:
+                job._finish_cancelled()
+            except BaseException as error:      # noqa: BLE001 - job boundary
+                job._fail(error)
+            else:
+                job._finish(report)
+        finally:
+            with self._lock:
+                if self._inflight.get(digest) is job:
+                    del self._inflight[digest]
+
+
+# ---------------------------------------------------------------------------
+# The process-default session
+# ---------------------------------------------------------------------------
+
+_default_session: Session | None = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The lazily created process-wide session the thin clients use.
+
+    Constructed with all-default arguments, so ``run_experiment`` and the
+    ``figure*`` wrappers behave exactly as they did before the facade
+    existed: backend from ``jobs=``/``$REPRO_JOBS``, cache from
+    ``$REPRO_CACHE_DIR``.
+    """
+    global _default_session
+    with _default_session_lock:
+        if _default_session is None or _default_session._closed:
+            _default_session = Session()
+        return _default_session

@@ -1,18 +1,26 @@
 """Unified command-line interface: ``python -m repro``.
 
-Three subcommands cover the whole harness without writing Python:
+Six subcommands cover the whole harness without writing Python:
 
 * ``python -m repro list`` — every registered experiment (registry-driven),
   plus ``--workloads`` for the workload suites.
 * ``python -m repro run fig8 [--suite S] [--workloads W ...] [--scale N]
   [--jobs auto|N] [--cache | --no-cache | --cache-dir DIR] [--json PATH]``
-  — build the experiment's spec, run the grid through the engine, print the
-  report table and optionally write the JSON artifact
+  — run an experiment through the :class:`repro.api.session.Session`
+  facade, print the report table and optionally write the JSON artifact
   (:meth:`~repro.harness.experiments.ExperimentReport.to_json`, exact
   round-trip via ``from_json``).
 * ``python -m repro cache [--clear]`` — inspect or wipe the outcome cache
   (absorbs the older ``python -m repro.harness.cache`` entry point, which
   still works).
+* ``python -m repro serve [--host H] [--port P] [--jobs auto|N]
+  [--workers N] [cache flags]`` — run the JSON-over-HTTP service
+  (:mod:`repro.api.service`) until SIGINT/SIGTERM.
+* ``python -m repro submit fig8 [grid flags] [--server URL] [--wait]
+  [--json PATH]`` — POST a request to a running server; ``--wait``
+  long-polls until the job finishes and prints the report.
+* ``python -m repro status JOB_ID [--server URL] [--wait S] [--json PATH]``
+  — fetch one job's status/report from a running server.
 
 Caching follows the library defaults: enabled when ``$REPRO_CACHE_DIR`` is
 set, unless forced with ``--cache`` / ``--no-cache`` / ``--cache-dir``.
@@ -21,37 +29,49 @@ set, unless forced with ``--cache`` / ``--no-cache`` / ``--cache-dir``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run, list and cache the paper's experiments.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run = sub.add_parser(
-        "run", help="run a registered experiment and print / save its report")
-    run.add_argument("experiment", help="registry name (see `python -m repro list`)")
-    run.add_argument("--suite", default=None,
-                     help="workload suite (default: the experiment's own)")
-    run.add_argument("--workloads", nargs="+", metavar="NAME",
-                     help="explicit workload subset (default: the full suite)")
-    run.add_argument("--scale", default="1", metavar="N|N,N,...",
-                     help="workload scale factor; scale_sweep also accepts a "
-                          "comma-separated list of scales (e.g. 1,2,4,8)")
-    run.add_argument("--jobs", default=None, metavar="N|auto",
-                     help="worker processes: an integer or 'auto' (adaptive; "
-                          "the default)")
-    cache_group = run.add_mutually_exclusive_group()
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared --cache / --no-cache / --cache-dir flag group."""
+    cache_group = parser.add_mutually_exclusive_group()
     cache_group.add_argument("--cache", action="store_true",
                              help="force the default-location outcome cache on")
     cache_group.add_argument("--no-cache", action="store_true",
                              help="force the outcome cache off")
     cache_group.add_argument("--cache-dir", metavar="DIR",
                              help="use an outcome cache rooted at DIR")
+
+
+def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared experiment-grid flags (suite / workloads / scale)."""
+    parser.add_argument("experiment",
+                        help="registry name (see `python -m repro list`)")
+    parser.add_argument("--suite", default=None,
+                        help="workload suite (default: the experiment's own)")
+    parser.add_argument("--workloads", nargs="+", metavar="NAME",
+                        help="explicit workload subset (default: the full suite)")
+    parser.add_argument("--scale", default="1", metavar="N|N,N,...",
+                        help="workload scale factor; scale_sweep also accepts a "
+                             "comma-separated list of scales (e.g. 1,2,4,8)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, list, serve and cache the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run a registered experiment and print / save its report")
+    _add_grid_flags(run)
+    run.add_argument("--jobs", default=None, metavar="N|auto",
+                     help="worker processes: an integer or 'auto' (adaptive; "
+                          "the default)")
+    _add_cache_flags(run)
     run.add_argument("--json", metavar="PATH", dest="json_path",
                      help="write the report as a JSON artifact to PATH "
                           "('-' for stdout)")
@@ -65,6 +85,40 @@ def _build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect or clear the outcome cache")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cache entry")
+
+    serve = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP experiment service")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 8765; 0 = any free port)")
+    serve.add_argument("--jobs", default=None, metavar="N|auto",
+                       help="worker processes per experiment grid")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs the session runs (default 2)")
+    _add_cache_flags(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an experiment to a running `repro serve`")
+    _add_grid_flags(submit)
+    submit.add_argument("--server", default=None, metavar="URL",
+                        help="service base URL (default http://127.0.0.1:8765)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print the report")
+    submit.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="with --wait: write the report JSON to PATH "
+                             "('-' for stdout)")
+
+    status = sub.add_parser(
+        "status", help="query a job on a running `repro serve`")
+    status.add_argument("job_id", help="job id returned by submit")
+    status.add_argument("--server", default=None, metavar="URL",
+                        help="service base URL (default http://127.0.0.1:8765)")
+    status.add_argument("--wait", type=float, default=0.0, metavar="S",
+                        help="long-poll up to S seconds for a terminal state")
+    status.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write the status payload as JSON to PATH "
+                             "('-' for stdout)")
 
     return parser
 
@@ -91,12 +145,31 @@ def _parse_scales(text: str) -> list[int]:
     return values
 
 
+def _resolve_scale_params(experiment: str, scales: list[int]) -> tuple[int, dict]:
+    """Map a parsed ``--scale`` list onto (scale, params) for one experiment.
+
+    ``scale_sweep`` takes the whole (deduplicated) list through
+    ``params["scales"]``; every other experiment takes exactly one scale —
+    a list raises ValueError with the usage message.  Shared by ``run``
+    (local) and ``submit`` (wire) so both validate identically.
+    """
+    if experiment == "scale_sweep":
+        # Scales are the sweep's own axis: route any --scale value (one
+        # integer or a list, duplicates dropped) through scales=.
+        return 1, {"scales": list(dict.fromkeys(scales))}
+    if len(scales) == 1:
+        return scales[0], {}
+    raise ValueError(f"only scale_sweep accepts a list of scales; "
+                     f"pass a single --scale to {experiment}")
+
+
 def _cmd_run(args) -> int:
     from repro.harness.spec import get_experiment
 
     try:
         entry = get_experiment(args.experiment)
-        scales = _parse_scales(args.scale)
+        scale, params = _resolve_scale_params(
+            entry.name, _parse_scales(args.scale))
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -104,23 +177,14 @@ def _cmd_run(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    params = {}
-    if entry.name == "scale_sweep":
-        # Scales are the sweep's own axis: route any --scale value (one
-        # integer or a list, duplicates dropped) through scales=.
-        scale = 1
-        params["scales"] = tuple(dict.fromkeys(scales))
-    elif len(scales) == 1:
-        scale = scales[0]
-    else:
-        print(f"error: only scale_sweep accepts a list of scales; "
-              f"pass a single --scale to {entry.name}", file=sys.stderr)
-        return 2
-
     try:
-        # jobs=None honors $REPRO_JOBS and otherwise defaults to "auto"
-        # (see repro.harness.executors.resolve_executor).
-        report = entry.run(
+        # The CLI is a thin client of the Session facade (the same surface
+        # `repro serve` exposes over HTTP); jobs=None honors $REPRO_JOBS and
+        # otherwise defaults to "auto".
+        from repro.api.session import default_session
+
+        report = default_session().run_experiment(
+            entry.name,
             suite=args.suite,
             workloads=args.workloads,
             scale=scale,
@@ -140,17 +204,7 @@ def _cmd_run(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    if not args.quiet:
-        print(report)
-    if args.json_path:
-        text = report.to_json()
-        if args.json_path == "-":
-            print(text)
-        else:
-            path = Path(args.json_path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(text + "\n")
-            print(f"wrote {path}", file=sys.stderr)
+    _emit_report(report, args.json_path, quiet=args.quiet)
     return 0
 
 
@@ -184,6 +238,152 @@ def _cmd_cache(args) -> int:
     return cache_main(["--clear"] if args.clear else [])
 
 
+def _cmd_serve(args) -> int:
+    from repro.api.service import DEFAULT_HOST, DEFAULT_PORT, serve
+    from repro.api.session import Session
+
+    session = Session(jobs=args.jobs, cache=_resolve_cache_arg(args),
+                      workers=max(1, args.workers))
+    return serve(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        session=session,
+    )
+
+
+def _server_url(args) -> str:
+    from repro.api.service import DEFAULT_HOST, DEFAULT_PORT
+
+    url = args.server or f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    return url.rstrip("/")
+
+
+def _http_json(url: str, payload: dict | None = None, timeout: float = 120.0) -> dict:
+    """One JSON request against a running service (POST when payload given)."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"},
+        method="POST" if payload is not None else "GET")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            detail = json.loads(error.read()).get("error", "")
+        except Exception:
+            detail = ""
+        raise SystemExit(f"error: server returned {error.code} for {url}"
+                         + (f": {detail}" if detail else ""))
+    except urllib.error.URLError as error:
+        raise SystemExit(f"error: cannot reach {url} ({error.reason}); "
+                         f"is `python -m repro serve` running?")
+
+
+def _write_artifact(text: str, json_path: str) -> None:
+    """Write a JSON artifact to PATH, or stdout for ``-``."""
+    if json_path == "-":
+        print(text)
+        return
+    path = Path(json_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _emit_report(report, json_path: str | None, quiet: bool) -> None:
+    """Print an ``ExperimentReport`` and/or write it as a JSON artifact."""
+    if not quiet:
+        print(report)
+    if json_path:
+        _write_artifact(report.to_json(), json_path)
+
+
+def _cmd_submit(args) -> int:
+    try:
+        scales = _parse_scales(args.scale)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        # Same client-side validation as `repro run` (shared helper): a
+        # clear usage error beats a server-side TypeError after the job ran.
+        scale, params = _resolve_scale_params(args.experiment, scales)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    base = _server_url(args)
+    body = {
+        "experiment": args.experiment,
+        "suite": args.suite,
+        "workloads": args.workloads,
+        "scale": scale,
+        "params": params,
+    }
+    submitted = _http_json(f"{base}/experiments", payload=body)
+    job_id = submitted.get("job_id", "")
+    coalesced = " (coalesced onto an identical in-flight job)" \
+        if submitted.get("coalesced") else ""
+    print(f"submitted {args.experiment}: job {job_id}"
+          f" [{submitted.get('state', '?')}]{coalesced}", file=sys.stderr)
+    if not args.wait:
+        print(job_id)
+        return 0
+
+    while True:
+        status = _http_json(f"{base}/jobs/{job_id}?wait=30")
+        state = status.get("state")
+        if state in ("succeeded", "failed", "cancelled"):
+            break
+        done, total = status.get("cells_done", 0), status.get("cells_total")
+        print(f"job {job_id}: {state}, {done}/{total if total is not None else '?'} "
+              f"cells", file=sys.stderr)
+    if state == "succeeded":
+        from repro.harness.experiments import ExperimentReport
+
+        _emit_report(ExperimentReport.from_dict(status["report"]),
+                     args.json_path, quiet=False)
+        return 0
+    print(f"error: job {job_id} {state}"
+          + (f": {status.get('error')}" if status.get("error") else ""),
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_status(args) -> int:
+    import time
+
+    base = _server_url(args)
+    # The server clamps one long-poll to 60s; loop until the caller's
+    # deadline so `--wait 300` really waits up to 300 seconds.
+    deadline = time.monotonic() + max(0.0, args.wait)
+    while True:
+        remaining = deadline - time.monotonic()
+        suffix = f"?wait={min(30.0, remaining):g}" if remaining > 0 else ""
+        status = _http_json(f"{base}/jobs/{args.job_id}{suffix}")
+        state = status.get("state")
+        if state in ("succeeded", "failed", "cancelled") \
+                or deadline - time.monotonic() <= 0:
+            break
+    done, total = status.get("cells_done", 0), status.get("cells_total")
+    print(f"job {status.get('job_id')}: {state}, "
+          f"{done}/{total if total is not None else '?'} cells "
+          f"({status.get('cells_cached', 0)} cached)", file=sys.stderr)
+    if args.json_path:
+        _write_artifact(json.dumps(status, indent=2), args.json_path)
+    elif state == "succeeded":
+        from repro.harness.experiments import ExperimentReport
+
+        _emit_report(ExperimentReport.from_dict(status["report"]),
+                     None, quiet=False)
+    elif status.get("error"):
+        print(f"error: {status['error']}", file=sys.stderr)
+    return 0 if state != "failed" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -191,6 +391,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "list":
         return _cmd_list(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     return _cmd_cache(args)
 
 

@@ -18,11 +18,14 @@ The harness is organised around three layers:
   examples in ``examples/`` build on these layers.
 """
 
-from repro.harness.cache import SimulationCache, outcome_key, program_digest
+from repro.harness.cache import SimulationCache, file_lock, outcome_key, program_digest
 from repro.harness.executors import (
     AutoExecutor,
+    CancelFn,
+    ExecutionCancelled,
     Executor,
     ProcessExecutor,
+    ProgressFn,
     SerialExecutor,
     execute_grid,
     resolve_executor,
@@ -65,9 +68,13 @@ __all__ = [
     "ZeroCycleError",
     "SimulationCache",
     "execute_grid",
+    "file_lock",
     "outcome_key",
     "program_digest",
     "Executor",
+    "ExecutionCancelled",
+    "ProgressFn",
+    "CancelFn",
     "SerialExecutor",
     "ProcessExecutor",
     "AutoExecutor",

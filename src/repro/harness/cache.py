@@ -31,10 +31,12 @@ it.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 import tempfile
+import time
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,7 +47,8 @@ from repro.isa.program import Program
 from repro.uarch.config import MachineConfig
 
 #: Bump whenever the pickled payload layout or the key material changes.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``SimResult`` gained the ``finished`` field (incremental runs).
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable overriding the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -58,6 +61,67 @@ def default_cache_root() -> Path:
     """The active cache root: ``$REPRO_CACHE_DIR`` or the home-dir default."""
     override = os.environ.get(CACHE_DIR_ENV)
     return Path(override) if override else DEFAULT_CACHE_DIR
+
+
+try:
+    import fcntl as _fcntl
+except ImportError:                   # pragma: no cover - non-POSIX platform
+    _fcntl = None
+
+
+@contextlib.contextmanager
+def file_lock(path: str | Path, timeout: float = 10.0):
+    """Cross-process mutual exclusion for updates of ``path``.
+
+    Guards read-modify-write updates of shared files (the cost model's
+    ``costs.json``) against concurrent Sessions sharing one
+    ``$REPRO_CACHE_DIR``.  The lock is an ``fcntl.flock`` on a sibling
+    ``<path>.lock`` file: kernel advisory locks are released automatically
+    when the holder exits (cleanly or not), so there is no stale-lock state
+    to detect or break — the classic ``O_EXCL``-file failure mode (two
+    waiters racing to break a dead holder's file and both "acquiring") is
+    structurally impossible.  The empty ``.lock`` file itself is left in
+    place; it carries no state.
+
+    If the lock cannot be acquired within ``timeout`` seconds — or the
+    platform has no ``fcntl`` — the caller proceeds *unlocked*, consistent
+    with the cache's best-effort degradation: a lost cost entry can cost
+    wall-clock time, never correctness.
+
+    Yields True when the lock was actually held, False on the degraded
+    path.
+    """
+    lock_path = Path(str(path) + ".lock")
+    if _fcntl is None:                # pragma: no cover - non-POSIX platform
+        yield False
+        return
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor = os.open(str(lock_path), os.O_CREAT | os.O_WRONLY)
+    except OSError:
+        # Unwritable directory: same degradation as a store failure.
+        yield False
+        return
+    deadline = time.monotonic() + timeout
+    locked = False
+    try:
+        while True:
+            try:
+                _fcntl.flock(descriptor, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
+                locked = True
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.01)
+        yield locked
+    finally:
+        if locked:
+            try:
+                _fcntl.flock(descriptor, _fcntl.LOCK_UN)
+            except OSError:
+                pass
+        os.close(descriptor)
 
 
 def program_digest(program: Program) -> str:

@@ -47,12 +47,18 @@ import tempfile
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.core.config import RenoConfig
 from repro.core.simulator import SimulationOutcome, simulate
 from repro.functional.simulator import FunctionalSimulator
-from repro.harness.cache import SimulationCache, outcome_key, program_digest, resolve_cache
+from repro.harness.cache import (
+    SimulationCache,
+    file_lock,
+    outcome_key,
+    program_digest,
+    resolve_cache,
+)
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload
 
@@ -65,6 +71,19 @@ GridKey = tuple[str, str, str]
 
 #: One executed workload block: grid-ordered (key, outcome) pairs.
 Block = list[tuple[GridKey, SimulationOutcome]]
+
+#: Per-cell completion callback: ``progress(grid_key, cached)`` is invoked
+#: once per grid cell as its outcome becomes available (``cached`` is True
+#: for cache hits).  In-process execution streams cell by cell; pool
+#: execution streams block by block as workers finish.
+ProgressFn = Callable[[GridKey, bool], None]
+
+#: Cooperative cancellation probe: return True to abort the grid.
+CancelFn = Callable[[], bool]
+
+
+class ExecutionCancelled(RuntimeError):
+    """A grid execution was aborted by its cancellation callback."""
 
 #: Estimated remaining serial seconds above which :class:`AutoExecutor`
 #: switches from the serial loop to a process pool.  Roughly an order of
@@ -112,7 +131,12 @@ def _slim(outcome: SimulationOutcome) -> SimulationOutcome:
 
 
 def run_workload_block(
-    task: WorkloadTask, *, slim: bool, cache: SimulationCache | None = None
+    task: WorkloadTask,
+    *,
+    slim: bool,
+    cache: SimulationCache | None = None,
+    progress: ProgressFn | None = None,
+    cancel: CancelFn | None = None,
 ) -> Block:
     """Run (or load from cache) every grid point of one workload.
 
@@ -123,6 +147,10 @@ def run_workload_block(
         cache: Cache instance to use; defaults to one rooted at
             ``task.cache_root`` (worker processes build their own so the
             task stays cheap to pickle).
+        progress: Optional per-cell completion callback (see
+            :data:`ProgressFn`).
+        cancel: Optional cancellation probe, checked before every computed
+            cell; raises :class:`ExecutionCancelled` when it returns True.
 
     Returns:
         ``[(grid_key, outcome), ...]`` in (machine, RENO) grid order.
@@ -130,6 +158,8 @@ def run_workload_block(
     workload = task.workload
     if cache is None and task.cache_root is not None:
         cache = SimulationCache(task.cache_root)
+    if cancel is not None and cancel():
+        raise ExecutionCancelled(f"cancelled before workload {workload.name}")
     program = workload.build(task.scale)
     digest = program_digest(program) if cache is not None else ""
 
@@ -156,7 +186,10 @@ def run_workload_block(
     renos = dict(task.renos)
     results: Block = []
     for grid_key, key, outcome in points:
+        cached = outcome is not None
         if outcome is None:
+            if cancel is not None and cancel():
+                raise ExecutionCancelled(f"cancelled in workload {workload.name}")
             _, machine_label, reno_label = grid_key
             outcome = simulate(
                 program,
@@ -171,6 +204,8 @@ def run_workload_block(
             if slim:
                 outcome = _slim(outcome)
         results.append((grid_key, outcome))
+        if progress is not None:
+            progress(grid_key, cached)
     return results
 
 
@@ -291,18 +326,25 @@ class CostModel:
                 if isinstance(value, (int, float))}
 
     def record(self, task: WorkloadTask, seconds_per_cell: float) -> None:
-        """Merge one measured cost into the store (atomic, best-effort)."""
-        costs = self.load()
-        costs[self.key(task)] = seconds_per_cell
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            descriptor, temp_name = tempfile.mkstemp(
-                dir=self.path.parent, suffix=".tmp")
-            with os.fdopen(descriptor, "w") as handle:
-                json.dump(costs, handle, indent=0, sort_keys=True)
-            os.replace(temp_name, self.path)
-        except OSError:
-            pass
+        """Merge one measured cost into the store (atomic, best-effort).
+
+        The read-modify-write cycle runs under a cross-process file lock
+        (:func:`repro.harness.cache.file_lock`) so parallel Sessions sharing
+        one cache directory never lose each other's entries; the write
+        itself is a temp-file + rename so readers never see a torn file.
+        """
+        with file_lock(self.path):
+            costs = self.load()
+            costs[self.key(task)] = seconds_per_cell
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                descriptor, temp_name = tempfile.mkstemp(
+                    dir=self.path.parent, suffix=".tmp")
+                with os.fdopen(descriptor, "w") as handle:
+                    json.dump(costs, handle, indent=0, sort_keys=True)
+                os.replace(temp_name, self.path)
+            except OSError:
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -317,10 +359,19 @@ class Executor(Protocol):
     Implementations must return one block per task, **in task order**, with
     each block's (machine, RENO) pairs in grid order — the deterministic
     ordering contract every consumer of :func:`execute_grid` relies on.
+
+    ``progress``/``cancel`` are optional keyword hooks (see
+    :data:`ProgressFn` / :data:`CancelFn`); :func:`execute_grid` only passes
+    them when the caller supplied one, so minimal implementations taking
+    just ``(tasks, cache)`` keep working for plain runs.
     """
 
     def execute(
-        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+        self,
+        tasks: list[WorkloadTask],
+        cache: SimulationCache | None,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> list[Block]:
         """Run every task and return their blocks in task order."""
         ...  # pragma: no cover - protocol definition
@@ -330,10 +381,44 @@ class SerialExecutor:
     """Run every task in-process (full, non-slim outcomes)."""
 
     def execute(
-        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+        self,
+        tasks: list[WorkloadTask],
+        cache: SimulationCache | None,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> list[Block]:
         """Run the tasks one after another in the current process."""
-        return [run_workload_block(task, slim=False, cache=cache) for task in tasks]
+        return [
+            run_workload_block(task, slim=False, cache=cache,
+                               progress=progress, cancel=cancel)
+            for task in tasks
+        ]
+
+
+def _emit_block_progress(block: Block, progress: ProgressFn | None) -> None:
+    """Fire the per-cell callback for a block computed elsewhere."""
+    if progress is None:
+        return
+    for grid_key, outcome in block:
+        progress(grid_key, outcome.cached)
+
+
+def _delegate(
+    executor: Executor,
+    tasks: list[WorkloadTask],
+    cache: SimulationCache | None,
+    progress: ProgressFn | None,
+    cancel: CancelFn | None,
+) -> list[Block]:
+    """Forward to another executor, passing the hooks only when set.
+
+    Keeps the historical two-argument ``execute(tasks, cache)`` call shape
+    for plain runs, so minimal/stubbed executors (tests, user subclasses)
+    that predate the hooks keep working.
+    """
+    if progress is None and cancel is None:
+        return executor.execute(tasks, cache)
+    return executor.execute(tasks, cache, progress=progress, cancel=cancel)
 
 
 class ProcessExecutor:
@@ -342,6 +427,10 @@ class ProcessExecutor:
     Falls back to :class:`SerialExecutor` whenever a pool cannot help or
     cannot work: a single task, ``jobs <= 1``, a platform without ``fork``,
     or tasks that cannot be pickled.
+
+    Progress streams block by block as workers finish (worker processes
+    cannot call back into the parent per cell); cancellation is checked
+    between arriving blocks and terminates the pool.
     """
 
     def __init__(self, jobs: int):
@@ -349,22 +438,32 @@ class ProcessExecutor:
         self.jobs = jobs
 
     def execute(
-        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+        self,
+        tasks: list[WorkloadTask],
+        cache: SimulationCache | None,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> list[Block]:
         """Run the tasks on a worker pool (serial fallback when impossible)."""
         jobs = min(self.jobs, len(tasks))
         context = _fork_context()
         if jobs <= 1 or context is None or not _tasks_picklable(tasks):
-            return SerialExecutor().execute(tasks, cache)
-        with context.Pool(processes=jobs) as pool:
-            results = pool.map(_worker, tasks)
+            return _delegate(SerialExecutor(), tasks, cache, progress, cancel)
         blocks: list[Block] = []
-        for block, worker_stats in results:
-            blocks.append(block)
-            if cache is not None and worker_stats is not None:
-                cache.stats.hits += worker_stats.hits
-                cache.stats.misses += worker_stats.misses
-                cache.stats.stores += worker_stats.stores
+        with context.Pool(processes=jobs) as pool:
+            # imap preserves task order while letting finished blocks stream
+            # back before the whole grid is done (progress + cancellation).
+            for block, worker_stats in pool.imap(_worker, tasks):
+                if cancel is not None and cancel():
+                    pool.terminate()
+                    raise ExecutionCancelled(
+                        f"cancelled after {len(blocks)}/{len(tasks)} workloads")
+                blocks.append(block)
+                if cache is not None and worker_stats is not None:
+                    cache.stats.hits += worker_stats.hits
+                    cache.stats.misses += worker_stats.misses
+                    cache.stats.stores += worker_stats.stores
+                _emit_block_progress(block, progress)
         return blocks
 
 
@@ -431,12 +530,16 @@ class AutoExecutor:
         return jobs
 
     def execute(
-        self, tasks: list[WorkloadTask], cache: SimulationCache | None
+        self,
+        tasks: list[WorkloadTask],
+        cache: SimulationCache | None,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> list[Block]:
         """Run the tasks on the backend the cost model or probe selects."""
         choice = self.static_choice(tasks)
         if choice is not None:
-            return choice.execute(tasks, cache)
+            return _delegate(choice, tasks, cache, progress, cancel)
 
         # Recall: with a recorded cost for every task, choose the backend
         # without probing at all (the cross-run cost model lives next to
@@ -454,9 +557,11 @@ class AutoExecutor:
                     estimate = sum(cost * task.cells
                                    for cost, task in zip(known, tasks))
                     if estimate < self.probe_threshold_s:
-                        return SerialExecutor().execute(tasks, cache)
+                        return _delegate(SerialExecutor(), tasks, cache,
+                                         progress, cancel)
                     if not _task_fully_cached(tasks[0], cache):
-                        return ProcessExecutor(self._pool_jobs(tasks)).execute(tasks, cache)
+                        return _delegate(ProcessExecutor(self._pool_jobs(tasks)),
+                                         tasks, cache, progress, cancel)
 
         # Probe in-process until a block actually computes cells: estimating
         # cost from an all-cache-hit block would read as "free" and wrongly
@@ -468,7 +573,8 @@ class AutoExecutor:
             task = tasks[index]
             misses_before = cache.stats.misses if cache is not None else 0
             start = time.perf_counter()
-            blocks.append(run_workload_block(task, slim=False, cache=cache))
+            blocks.append(run_workload_block(task, slim=False, cache=cache,
+                                             progress=progress, cancel=cancel))
             elapsed = time.perf_counter() - start
             computed = (cache.stats.misses - misses_before
                         if cache is not None else task.cells)
@@ -486,9 +592,11 @@ class AutoExecutor:
         # warm remainder at worst pays one pool spawn for near-free hits.
         remaining_cells = sum(task.cells for task in rest)
         if per_cell * remaining_cells < self.probe_threshold_s:
-            blocks.extend(SerialExecutor().execute(rest, cache))
+            blocks.extend(_delegate(SerialExecutor(), rest, cache,
+                                    progress, cancel))
         else:
-            blocks.extend(ProcessExecutor(self._pool_jobs(rest)).execute(rest, cache))
+            blocks.extend(_delegate(ProcessExecutor(self._pool_jobs(rest)),
+                                    rest, cache, progress, cancel))
         return blocks
 
 
@@ -536,6 +644,8 @@ def execute_grid(
     jobs: int | str | None = None,
     cache: SimulationCache | bool | str | None = None,
     executor: Executor | None = None,
+    progress: ProgressFn | None = None,
+    cancel: CancelFn | None = None,
 ) -> dict[GridKey, SimulationOutcome]:
     """Run the full grid and return outcomes in deterministic grid order.
 
@@ -552,6 +662,11 @@ def execute_grid(
             :func:`repro.harness.cache.resolve_cache` understands
             (instance / bool / path / None).
         executor: Explicit :class:`Executor` instance (overrides ``jobs``).
+        progress: Optional per-cell completion callback
+            (:data:`ProgressFn`); this is what streams job progress out of
+            a :class:`repro.api.session.Session`.
+        cancel: Optional cancellation probe (:data:`CancelFn`); a True
+            return aborts the grid with :class:`ExecutionCancelled`.
 
     Returns:
         ``{(workload name, machine label, reno label): outcome}`` ordered
@@ -572,7 +687,7 @@ def execute_grid(
         max_instructions=max_instructions,
         cache_root=cache_root,
     )
-    blocks = executor.execute(tasks, cache) if tasks else []
+    blocks = _delegate(executor, tasks, cache, progress, cancel) if tasks else []
     outcomes: dict[GridKey, SimulationOutcome] = {}
     for block in blocks:
         for grid_key, outcome in block:

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 from repro.analysis.critpath import analyze_critical_path
 from repro.analysis.report import (
+    REPORT_SCHEMA_VERSION,
+    check_schema_version,
     decode_data_key,
     encode_data_key,
     format_percent,
@@ -43,8 +45,11 @@ class ExperimentReport:
     (the registry name and the generating spec's dict form); reports built
     by hand leave them empty.  The whole report — including tuple-keyed
     ``data`` entries — round-trips exactly through :meth:`to_json` /
-    :meth:`from_json`, which is what the ``--json`` CLI artifacts and the
-    structured benchmark comparisons consume.
+    :meth:`from_json`, which is what the ``--json`` CLI artifacts, the
+    ``repro serve`` wire payloads and the structured benchmark comparisons
+    consume.  ``schema_version`` stamps the serialised layout
+    (:data:`~repro.analysis.report.REPORT_SCHEMA_VERSION`); readers accept
+    older artifacts and refuse newer ones.
     """
 
     name: str
@@ -54,6 +59,7 @@ class ExperimentReport:
     data: dict = field(default_factory=dict)
     experiment: str = ""
     spec: dict | None = None
+    schema_version: int = REPORT_SCHEMA_VERSION
 
     def __str__(self) -> str:
         return format_table(self.headers, self.rows, title=f"{self.name}: {self.description}")
@@ -65,6 +71,7 @@ class ExperimentReport:
     def to_dict(self) -> dict:
         """JSON-safe dictionary form (tuple data keys are tagged)."""
         return {
+            "schema_version": self.schema_version,
             "name": self.name,
             "description": self.description,
             "experiment": self.experiment,
@@ -76,7 +83,13 @@ class ExperimentReport:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ExperimentReport":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Artifacts that predate schema versioning read as version 1; a
+        payload stamped with a *newer* schema than this package supports
+        raises ValueError instead of being silently misread.
+        """
+        version = check_schema_version(payload.get("schema_version", 1))
         return cls(
             name=payload["name"],
             description=payload["description"],
@@ -85,6 +98,7 @@ class ExperimentReport:
             data={decode_data_key(key): value for key, value in payload["data"]},
             experiment=payload.get("experiment", ""),
             spec=payload.get("spec"),
+            schema_version=version,
         )
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -516,6 +530,8 @@ def run_scale_sweep(
     cache=None,
     max_instructions: int = 2_000_000,
     executor=None,
+    progress=None,
+    cancel=None,
 ) -> ExperimentReport:
     """Baseline-vs-RENO behaviour as the workloads scale up.
 
@@ -535,6 +551,10 @@ def run_scale_sweep(
         cache: Outcome cache (same forms as :func:`repro.harness.run_matrix`).
         max_instructions: Functional-simulation budget per workload run.
         executor: Explicit execution backend (overrides ``jobs``).
+        progress: Per-cell completion callback, applied per scale grid
+            (:data:`~repro.harness.executors.ProgressFn`).
+        cancel: Cooperative cancellation probe
+            (:data:`~repro.harness.executors.CancelFn`).
     """
     names = _workload_list(suite, workloads)
     machines = {"4wide": MachineConfig.default_4wide()}
@@ -547,7 +567,8 @@ def run_scale_sweep(
     for scale in scales:
         matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs,
                             cache=cache, max_instructions=max_instructions,
-                            executor=executor)
+                            executor=executor, progress=progress,
+                            cancel=cancel)
         speedup_sum = 0.0
         for name in matrix.workloads:
             base = matrix.get(name, "4wide", SPEEDUP_BASELINE)
@@ -574,8 +595,8 @@ def run_scale_sweep(
 
 
 def _run_scale_sweep_experiment(suite, workloads=None, scale=1, jobs=None,
-                                cache=None, executor=None, scales=(1, 2, 4),
-                                **params):
+                                cache=None, executor=None, progress=None,
+                                cancel=None, scales=(1, 2, 4), **params):
     """Registry adapter for the scale sweep, which sweeps ``scales`` and
     therefore rejects a single ``scale=`` instead of silently ignoring it."""
     if scale != 1:
@@ -583,8 +604,9 @@ def _run_scale_sweep_experiment(suite, workloads=None, scale=1, jobs=None,
             f"scale_sweep sweeps scales={tuple(scales)} and ignores scale=; "
             f"pass scales=... (Python) instead of scale={scale}"
         )
-    return run_scale_sweep(suite, workloads=workloads, scales=scales,
-                           jobs=jobs, cache=cache, executor=executor, **params)
+    return run_scale_sweep(suite, workloads=workloads, scales=tuple(scales),
+                           jobs=jobs, cache=cache, executor=executor,
+                           progress=progress, cancel=cancel, **params)
 
 
 register_experiment(Experiment(
@@ -638,9 +660,10 @@ def instruction_mix(
 
 
 def _run_mix_experiment(suite, workloads=None, scale=1, jobs=None, cache=None,
-                        executor=None, **params):
+                        executor=None, progress=None, cancel=None, **params):
     """Registry adapter: the mix is functional-only, so the engine arguments
-    (``jobs``/``cache``/``executor``) are accepted and ignored."""
+    (``jobs``/``cache``/``executor``/``progress``/``cancel``) are accepted
+    and ignored."""
     return instruction_mix(suite, workloads=workloads, scale=scale)
 
 

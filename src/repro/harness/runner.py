@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.core.config import RenoConfig
 from repro.core.simulator import SimulationOutcome
 from repro.harness.cache import SimulationCache
-from repro.harness.executors import Executor, execute_grid
+from repro.harness.executors import CancelFn, Executor, ProgressFn, execute_grid
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload, get_workload
 
@@ -131,6 +131,8 @@ def run_matrix(
     jobs: int | str | None = None,
     cache: SimulationCache | bool | str | None = None,
     executor: Executor | None = None,
+    progress: ProgressFn | None = None,
+    cancel: CancelFn | None = None,
 ) -> MatrixResult:
     """Simulate every (workload, machine, RENO config) combination.
 
@@ -167,6 +169,10 @@ def run_matrix(
             specific cache.  See :mod:`repro.harness.cache`.
         executor: Explicit :class:`~repro.harness.executors.Executor`
             backend (overrides ``jobs``).
+        progress: Per-cell completion callback
+            (:data:`~repro.harness.executors.ProgressFn`).
+        cancel: Cooperative cancellation probe
+            (:data:`~repro.harness.executors.CancelFn`).
     """
     resolved = _resolve_workloads(workloads)
     machines = _normalize_axis(machines, "machine")
@@ -181,6 +187,8 @@ def run_matrix(
         jobs=jobs,
         cache=cache,
         executor=executor,
+        progress=progress,
+        cancel=cancel,
     )
     return MatrixResult(
         outcomes=outcomes,

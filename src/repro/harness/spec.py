@@ -38,7 +38,7 @@ from typing import Any, Callable
 
 from repro.core.config import RenoConfig
 from repro.harness.cache import SimulationCache
-from repro.harness.executors import Executor
+from repro.harness.executors import CancelFn, Executor, ProgressFn
 from repro.harness.runner import MatrixResult, _require_unique, run_matrix
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload
@@ -203,12 +203,14 @@ class SweepSpec:
         jobs: int | str | None = None,
         cache: SimulationCache | bool | str | None = None,
         executor: Executor | None = None,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> MatrixResult:
         """Run the grid through the experiment engine.
 
-        ``jobs``/``cache``/``executor`` take the same forms as
-        :func:`~repro.harness.runner.run_matrix`; the spec contributes
-        everything else.
+        ``jobs``/``cache``/``executor``/``progress``/``cancel`` take the
+        same forms as :func:`~repro.harness.runner.run_matrix`; the spec
+        contributes everything else.
         """
         return run_matrix(
             list(self.workloads),
@@ -220,6 +222,8 @@ class SweepSpec:
             jobs=jobs,
             cache=cache,
             executor=executor,
+            progress=progress,
+            cancel=cancel,
         )
 
 
@@ -262,19 +266,32 @@ class Experiment:
         jobs: int | str | None = None,
         cache: SimulationCache | bool | str | None = None,
         executor: Executor | None = None,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
         **params,
     ):
         """Build the spec, run the grid, reduce to an ``ExperimentReport``.
 
         The returned report carries provenance: ``report.experiment`` is the
         registry name and ``report.spec`` the spec's :meth:`SweepSpec.to_dict`
-        form (None for custom-runner experiments).
+        form (None for custom-runner experiments).  ``progress``/``cancel``
+        stream per-cell completion out of (and cooperative cancellation
+        into) the engine — this is the hook
+        :class:`repro.api.session.Session` jobs are built on.
         """
         suite = suite or self.default_suite
         if self.run_fn is not None:
+            # Pass the hooks only when set, so externally registered run_fn
+            # callables with the pre-hook signature keep working for plain
+            # runs (mirrors the executors' two-argument compat shape).
+            hooks = {}
+            if progress is not None:
+                hooks["progress"] = progress
+            if cancel is not None:
+                hooks["cancel"] = cancel
             report = self.run_fn(
                 suite, workloads=workloads, scale=scale, jobs=jobs,
-                cache=cache, executor=executor, **params,
+                cache=cache, executor=executor, **hooks, **params,
             )
             spec_dict = None
         else:
@@ -289,9 +306,11 @@ class Experiment:
                     scale=spec.scale, collect_timing=spec.collect_timing,
                     max_instructions=spec.max_instructions,
                     jobs=jobs, cache=cache, executor=executor,
+                    progress=progress, cancel=cancel,
                 )
             else:
-                matrix = spec.run(jobs=jobs, cache=cache, executor=executor)
+                matrix = spec.run(jobs=jobs, cache=cache, executor=executor,
+                                  progress=progress, cancel=cancel)
             report = self.reduce(matrix, spec)
             spec_dict = spec.to_dict()
         report.experiment = self.name
@@ -367,5 +386,14 @@ def list_experiments() -> list[Experiment]:
 
 
 def run_experiment(name: str, **kwargs):
-    """Run a registered experiment end to end (see :meth:`Experiment.run`)."""
-    return get_experiment(name).run(**kwargs)
+    """Run a registered experiment end to end (see :meth:`Experiment.run`).
+
+    Since the API redesign this is a thin client of the process-default
+    :class:`repro.api.session.Session` — same arguments, same deterministic
+    results, but every run flows through the one facade the service and the
+    CLI also use (session defaults for ``jobs``/``cache``/``executor``
+    apply only where the caller left them unset).
+    """
+    from repro.api.session import default_session
+
+    return default_session().run_experiment(name, **kwargs)

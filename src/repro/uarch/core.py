@@ -42,6 +42,7 @@ honest.
 
 from __future__ import annotations
 
+import copy
 import gc
 from bisect import insort
 from dataclasses import dataclass, field
@@ -74,6 +75,7 @@ from repro.uarch.regfile import NOT_READY, PhysicalRegisterFile
 from repro.uarch.rename import BaselineRenamer, RenameResult, Renamer
 from repro.uarch.rob import ReorderBuffer
 from repro.uarch.scheduler import IssueQueue
+from repro.uarch.snapshot import PipelineSnapshot
 from repro.uarch.stats import SimStats
 from repro.uarch.storesets import StoreSets
 
@@ -100,12 +102,18 @@ class CommitMismatchError(Exception):
 
 @dataclass
 class SimResult:
-    """Outcome of one timing simulation."""
+    """Outcome of one timing simulation.
+
+    ``finished`` is False for a partial result returned by an incremental
+    ``Pipeline.run(max_cycles=...)`` call whose cycle budget ran out before
+    the whole trace retired; statistics then cover the simulated prefix.
+    """
 
     stats: SimStats
     config: MachineConfig
     final_registers: list[int] = field(default_factory=list)
     timing_records: list[TimingRecord] | None = None
+    finished: bool = True
 
     @property
     def ipc(self) -> float:
@@ -158,11 +166,7 @@ class Pipeline:
         initial_regs[RegisterNames.SP] = STACK_BASE
         initial_regs[RegisterNames.GP] = DATA_BASE
         self.prf = PhysicalRegisterFile(self.config.num_physical_regs, initial_regs)
-        # Hot-loop aliases: the value/readiness arrays are stable attributes
-        # of the register file, and the scheduler latency never changes
-        # during a run.
-        self._prf_values = self.prf.values
-        self._prf_ready = self.prf.ready_cycle
+        # Config-derived scalars never change during (or across) runs.
         self._sched_latency = self.config.scheduler_latency
         self._commit_width = self.config.commit_width
         self._retire_dcache_ports = self.config.retire_dcache_ports
@@ -179,16 +183,50 @@ class Pipeline:
         #: The structure-of-arrays in-flight window shared by every stage.
         self.window = InFlightWindow(self.config.rob_size)
         self.issue_queue = IssueQueue(self.config, self.window, self.prf.ready_cycle)
-        # Producer-side wakeup aliases: most register writes have no
-        # registered waiters, so the membership test saves the call.
-        self._iq_waiters = self.issue_queue._waiters
-        self._iq_wakeup = self.issue_queue.wakeup
         self.rob = ReorderBuffer(self.config.rob_size, self.window)
         self.store_queue = StoreQueue(self.config.store_queue_size)
         self.load_queue = LoadQueue(self.config.load_queue_size)
         self.memory = Memory(program.initial_memory)
 
-        # Window-array aliases (list identities are stable for the run).
+        self.stats = SimStats()
+        self.timing_records: list[TimingRecord] = []
+
+        # Run cursors + front-end state (mirrored from the cycle loop's
+        # locals at the end of every _run_cycles call, so an incremental run
+        # resumes exactly where the previous slice stopped).
+        self._cycle = 0
+        self._committed = 0
+        self._fetch_index = 0
+        self._fetch_resume_cycle = 0
+        self._waiting_branch = _NO_BRANCH
+        self._last_fetch_block = -1
+
+        # preg -> sequence number of the instruction producing it (for the
+        # critical-path model).
+        self._preg_writer: dict[int, int] = {}
+        self._producers: dict[int, tuple[int, ...]] = {}
+
+        # Loads currently being held back because of an ordering violation.
+        self._violated_loads: set[int] = set()
+
+        self._bind_aliases()
+
+    def _bind_aliases(self) -> None:
+        """(Re)derive the hot-loop aliases from the primary components.
+
+        Called at construction and after :meth:`restore` — the aliases must
+        point into whatever objects currently back the pipeline.  Everything
+        here is a pure re-read of stable attributes; no state is created.
+        """
+        # The value/readiness arrays are stable attributes of the register
+        # file.
+        self._prf_values = self.prf.values
+        self._prf_ready = self.prf.ready_cycle
+        # Producer-side wakeup aliases: most register writes have no
+        # registered waiters, so the membership test saves the call.
+        self._iq_waiters = self.issue_queue._waiters
+        self._iq_wakeup = self.issue_queue.wakeup
+        # Window-array aliases (list identities are stable between runs).
         window = self.window
         self._w_mask = window.mask
         self._w_dispatch = window.dispatch_cycle
@@ -206,29 +244,11 @@ class Pipeline:
         self._w_dest = window.dest_preg
         self._w_fextra = window.fusion_extra
 
-        self.stats = SimStats()
-        self.timing_records: list[TimingRecord] = []
-
-        # Front-end state (mirrored from the cycle loop's locals at the end
-        # of a run; see _run_cycles).
-        self._fetch_index = 0
-        self._fetch_resume_cycle = 0
-        self._waiting_branch = _NO_BRANCH
-        self._last_fetch_block = -1
-
-        # preg -> sequence number of the instruction producing it (for the
-        # critical-path model).
-        self._preg_writer: dict[int, int] = {}
-        self._producers: dict[int, tuple[int, ...]] = {}
-
-        # Loads currently being held back because of an ordering violation.
-        self._violated_loads: set[int] = set()
-
     # ------------------------------------------------------------------
     # Top level
     # ------------------------------------------------------------------
 
-    def run(self) -> SimResult:
+    def run(self, max_cycles: int | None = None) -> SimResult:
         """Simulate until every trace instruction has retired.
 
         The loop is event-driven: after the three pipeline phases run for a
@@ -239,7 +259,24 @@ class Pipeline:
         cycles.  Skipped stretches are pure no-ops except for the fetch-stall
         counter, which is credited in bulk, so all statistics are identical
         to the cycle-by-cycle loop's.
+
+        Args:
+            max_cycles: When given, simulate at most this many *additional*
+                cycles and return a partial :class:`SimResult`
+                (``finished=False`` if the trace has not fully retired).
+                Calling :meth:`run` again — on this pipeline, or on one
+                restored from a :meth:`snapshot` — continues exactly where
+                the slice stopped; the concatenation of sliced runs is
+                byte-identical to one uninterrupted run.  ``None`` (the
+                default) runs to completion.
+
+        Returns:
+            The (possibly partial) simulation result.  Statistics of a
+            partial result cover everything simulated so far.
         """
+        if max_cycles is not None and max_cycles < 0:
+            raise ValueError(f"max_cycles must be >= 0, got {max_cycles}")
+        stop_cycle = None if max_cycles is None else self._cycle + max_cycles
         # The loop allocates short-lived, acyclic objects (rename results,
         # wakeup buckets); generational GC only burns time re-scanning
         # them.  Reference counting reclaims everything, so pause GC for
@@ -248,20 +285,96 @@ class Pipeline:
         if gc_was_enabled:
             gc.disable()
         try:
-            self._run_cycles()
+            self._run_cycles(stop_cycle)
         finally:
             if gc_was_enabled:
                 gc.enable()
         self._merge_component_stats()
+        finished = self.finished
+        stats = self.stats
+        records = self.timing_records if self.collect_timing else None
+        if not finished:
+            # A partial result must be a point-in-time view: later slices
+            # keep mutating the live stats/records, and callers (run_sliced
+            # callbacks, checkpointing services) naturally stash per-slice
+            # results.
+            stats = copy.deepcopy(stats)
+            records = list(records) if records is not None else None
         return SimResult(
-            stats=self.stats,
+            stats=stats,
             config=self.config,
             final_registers=self._final_registers(),
-            timing_records=self.timing_records if self.collect_timing else None,
+            timing_records=records,
+            finished=finished,
         )
 
-    def _run_cycles(self) -> None:
+    @property
+    def finished(self) -> bool:
+        """Whether every trace instruction has retired."""
+        return self._committed >= self._trace_length
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (incremental simulation)
+    # ------------------------------------------------------------------
+
+    #: Attributes captured by :meth:`snapshot` — every piece of state the
+    #: cycle loop mutates.  The immutable run inputs (program, trace,
+    #: config, decoded-op caches) and the hot-loop aliases re-derived by
+    #: :meth:`_bind_aliases` are deliberately absent.
+    _SNAPSHOT_STATE = (
+        "prf", "renamer", "branch_unit", "caches", "store_sets", "window",
+        "issue_queue", "rob", "store_queue", "load_queue", "memory",
+        "stats", "timing_records", "_cycle", "_committed", "_fetch_index",
+        "_fetch_resume_cycle", "_waiting_branch", "_last_fetch_block",
+        "_preg_writer", "_producers", "_violated_loads",
+    )
+
+    def snapshot(self) -> PipelineSnapshot:
+        """Capture the complete mutable simulation state.
+
+        The capture is one deep copy, so aliasing *between* components (the
+        issue queue's window reference, rename results sharing map-table
+        mappings, ...) is preserved inside the snapshot, and the snapshot is
+        fully detached from this pipeline — continuing to :meth:`run` after
+        snapshotting never mutates it.  Snapshots pickle cleanly
+        (:meth:`~repro.uarch.snapshot.PipelineSnapshot.save`), which is how
+        a service checkpoints a time-sliced simulation to disk.
+        """
+        state = {name: getattr(self, name) for name in self._SNAPSHOT_STATE}
+        return PipelineSnapshot(
+            state=copy.deepcopy(state),
+            config_digest=self.config.digest(),
+            trace_length=self._trace_length,
+            collect_timing=self.collect_timing,
+            cycle=self._cycle,
+            committed=self._committed,
+        )
+
+    def restore(self, snapshot: PipelineSnapshot) -> None:
+        """Adopt the state captured by :meth:`snapshot`.
+
+        This pipeline must have been constructed from the same
+        (program, trace, config, collect_timing) inputs as the snapshotted
+        one (:meth:`~repro.uarch.snapshot.PipelineSnapshot.validate_for`
+        raises otherwise; the renamer is *part of the snapshot* and replaces
+        whatever the constructor installed).  The snapshot itself stays
+        reusable: restoring hands over a fresh copy every time.
+        """
+        snapshot.validate_for(self)
+        for name, value in snapshot.copy_state().items():
+            setattr(self, name, value)
+        self._bind_aliases()
+
+    def _run_cycles(self, stop_cycle: int | None = None) -> None:
         """The cycle loop proper (see :meth:`run` for the event-driven model).
+
+        ``stop_cycle`` bounds an incremental slice: the loop exits (without
+        raising) before simulating that cycle, leaving all cursors mirrored
+        on ``self`` so the next call resumes exactly there.  Slices cut only
+        at loop-top boundaries, and the event-driven fast-forward clamps its
+        jump target to the boundary (crediting fetch stalls for exactly the
+        skipped stretch), so a resumed run replays the identical cycle
+        sequence an uninterrupted run would have executed.
 
         All phases — commit, wakeup/select, execute, dispatch — are inlined
         into this one function so every array, counter and piece of
@@ -287,9 +400,11 @@ class Pipeline:
         bumped statistics are accumulated in locals and folded into
         ``self.stats`` once at the end of the run.
         """
-        cycle = 0
-        committed = 0
-        fetch_index = 0
+        cycle = self._cycle
+        committed = self._committed
+        fetch_index = self._fetch_index
+        # Beyond every reachable cycle when no slice boundary was requested.
+        stop = stop_cycle if stop_cycle is not None else 1 << 62
         fetch_resume = self._fetch_resume_cycle
         waiting_branch = self._waiting_branch
         last_fetch_block = self._last_fetch_block
@@ -480,6 +595,8 @@ class Pipeline:
                     f"simulation exceeded {max_cycles} cycles "
                     f"({committed}/{total} instructions retired)"
                 )
+            if cycle >= stop:
+                break                 # slice budget exhausted; resume later
 
             # ---------------- Commit ----------------
             # Guarded: enter only when the head slot holds a completed
@@ -1428,6 +1545,8 @@ class Pipeline:
             # A waiting or absent head carries NO_COMPLETE (beyond every
             # target candidate): it cannot commit until it issues, and no
             # issue can happen before `idle` — already covered.
+            if target > stop:
+                target = stop         # never fast-forward past a slice cut
             if target <= cycle:
                 continue
             if target > max_cycles:
@@ -1444,6 +1563,8 @@ class Pipeline:
             fetch_stalls, pregs_alloc_total, fused_total,
             fusion_penalty_total, store_forwards, elim_moves, elim_folds,
             elim_cse, elim_ra)
+        self._cycle = cycle
+        self._committed = committed
         self._fetch_index = fetch_index
         self._fetch_resume_cycle = fetch_resume
         self._waiting_branch = waiting_branch

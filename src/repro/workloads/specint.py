@@ -23,7 +23,17 @@ from repro.workloads.builder import (
     lcg_sequence,
     permutation,
     scaled,
+    scaled_footprint,
 )
+
+
+def _pow2_buckets(base: int, scale: int) -> int:
+    """Power-of-two hash-bucket count whose footprint grows with ``scale``."""
+    wanted = scaled_footprint(base, scale)
+    buckets = 1
+    while buckets < wanted:
+        buckets <<= 1
+    return buckets
 
 
 # ---------------------------------------------------------------------------
@@ -744,4 +754,148 @@ def vortex_like(scale: int = 1) -> Program:
     asm.st(R.T4, 0, R.T3)
     asm.mov(R.V0, R.T4)
     asm.epilogue(16)
+    return asm.assemble()
+
+
+# ---------------------------------------------------------------------------
+# Footprint-scaled variants (suite "specint_fp")
+# ---------------------------------------------------------------------------
+#
+# The stock kernels scale by iterating longer; their auxiliary structures
+# (hash-head tables, dictionaries) stay fixed-size, so caches and predictors
+# remain warm at any scale.  These variants grow the *auxiliary footprint*
+# with scale — the ROADMAP follow-up to ``footprint_walk`` — so figure
+# sweeps over suite ``specint_fp`` probe the capacity regime via --scale.
+
+
+@register("gzip_fp_like", "specint_fp",
+          "LZ77 matcher whose hash-head table footprint grows with scale.",
+          paper_name="gzip.fp")
+def gzip_fp_like(scale: int = 1) -> Program:
+    """``gzip_like`` with a footprint-scaled hash-head table.
+
+    The base kernel hashes three bytes into a fixed 64-bucket head table;
+    here the table holds ``~64 * scale`` (power-of-two) buckets fed by a
+    wider multiplicative hash, so growing ``scale`` spreads the chain heads
+    over an ever larger, sparsely revisited structure (L1 pressure instead
+    of a permanently warm 512-byte table).
+    """
+    length = scaled(192, scale)
+    buckets = _pow2_buckets(64, scale)
+    asm = Assembler(f"gzip_fp_like_x{scale}")
+    asm.byte_array("text", lcg_bytes(17, length + 8, 16))
+    asm.zeros("heads", buckets)
+    asm.zeros("matches", 4)
+    asm.la(R.S0, "text")
+    asm.la(R.S1, "heads")
+    asm.li(R.S2, 0)                  # position
+    asm.li(R.V0, 0)                  # total match length
+    asm.li(R.S3, length)
+    asm.li(R.S4, buckets - 1)        # hash mask (footprint-scaled)
+
+    asm.label("scan")
+    # hash = ((b0 * 65) + b1) * 65 + b2, masked to the scaled table
+    asm.add(R.T0, R.S0, R.S2)
+    asm.ldbu(R.T1, 0, R.T0)
+    asm.ldbu(R.T2, 1, R.T0)
+    asm.ldbu(R.T3, 2, R.T0)
+    asm.muli(R.T4, R.T1, 65)
+    asm.add(R.T4, R.T4, R.T2)
+    asm.muli(R.T4, R.T4, 65)
+    asm.add(R.T4, R.T4, R.T3)
+    asm.and_(R.T4, R.T4, R.S4)
+    # look up previous position with the same hash
+    asm.slli(R.T5, R.T4, 3)
+    asm.add(R.T5, R.S1, R.T5)
+    asm.ld(R.T6, 0, R.T5)            # candidate position + 1 (0 means empty)
+    asm.addi(R.T7, R.S2, 1)
+    asm.st(R.T7, 0, R.T5)            # update head
+    asm.beq(R.T6, "advance")
+    # compare up to 4 bytes at the candidate
+    asm.subi(R.T6, R.T6, 1)
+    asm.add(R.T7, R.S0, R.T6)
+    asm.li(R.T8, 4)
+    asm.li(R.T9, 0)                  # match length
+    asm.label("cmploop")
+    asm.ldbu(R.T10, 0, R.T0)
+    asm.ldbu(R.T11, 0, R.T7)
+    asm.sub(R.T12, R.T10, R.T11)
+    asm.bne(R.T12, "cmpdone")
+    asm.addi(R.T9, R.T9, 1)
+    asm.addi(R.T0, R.T0, 1)
+    asm.addi(R.T7, R.T7, 1)
+    asm.subi(R.T8, R.T8, 1)
+    asm.bgt(R.T8, "cmploop")
+    asm.label("cmpdone")
+    asm.add(R.V0, R.V0, R.T9)
+    asm.label("advance")
+    asm.addi(R.S2, R.S2, 1)
+    asm.cmplt(R.T0, R.S2, R.S3)
+    asm.bne(R.T0, "scan")
+    asm.la(R.T1, "matches")
+    asm.st(R.V0, 0, R.T1)
+    asm.halt()
+    return asm.assemble()
+
+
+@register("perl_fp_like", "specint_fp",
+          "Hash-table counting whose table footprint grows with scale.",
+          paper_name="perl.fp")
+def perl_fp_like(scale: int = 1) -> Program:
+    """``perl_diffmail_like`` with footprint-scaled hash tables.
+
+    The base kernel folds every key into 64 fixed buckets (two 512-byte
+    tables that never leave the L1).  Here both the count table and the
+    chain table hold ``~64 * scale`` buckets, so the randomly-hashed update
+    stream touches a structure whose working set grows with scale.
+    """
+    keys = scaled(64, scale)
+    buckets = _pow2_buckets(64, scale)
+    asm = Assembler(f"perl_fp_like_x{scale}")
+    asm.word_array("keys", lcg_sequence(97, keys, 1 << 20))
+    asm.zeros("table", buckets)
+    asm.zeros("chains", buckets)
+    asm.la(R.S0, "keys")
+    asm.la(R.S1, "table")
+    asm.la(R.S2, "chains")
+    asm.li(R.S3, keys)
+    asm.li(R.S5, 0)
+
+    asm.label("key")
+    asm.ld(R.T0, 0, R.S0)
+    emit_argument_moves(asm, (R.A0, R.T0))
+    asm.jsr("insert")
+    asm.add(R.S5, R.S5, R.V0)
+    asm.addi(R.S0, R.S0, 8)
+    asm.subi(R.S3, R.S3, 1)
+    asm.bgt(R.S3, "key")
+    asm.halt()
+
+    asm.label("insert")
+    asm.prologue(32, (R.S4,))
+    asm.mov(R.S4, R.A0)
+    # hash = (key * 40503) >> 8, masked to the scaled table
+    asm.li(R.T1, 40503)
+    asm.mul(R.T2, R.S4, R.T1)
+    asm.srli(R.T2, R.T2, 8)
+    asm.li(R.T1, buckets - 1)
+    asm.and_(R.T2, R.T2, R.T1)
+    asm.slli(R.T2, R.T2, 3)
+    asm.add(R.T3, R.S1, R.T2)
+    asm.ld(R.T4, 0, R.T3)            # current count
+    asm.addi(R.T4, R.T4, 1)
+    asm.st(R.T4, 0, R.T3)
+    # chain bookkeeping (second table) plus a "score" loop over key digits
+    asm.add(R.T5, R.S2, R.T2)
+    asm.ld(R.T6, 0, R.T5)
+    asm.add(R.T6, R.T6, R.S4)
+    asm.st(R.T6, 0, R.T5)
+    asm.li(R.V0, 0)
+    asm.mov(R.T7, R.S4)
+    for _ in range(2):
+        asm.andi(R.T8, R.T7, 15)
+        asm.add(R.V0, R.V0, R.T8)
+        asm.srli(R.T7, R.T7, 4)
+    asm.add(R.V0, R.V0, R.T4)
+    asm.epilogue(32, (R.S4,))
     return asm.assemble()

@@ -20,15 +20,24 @@ def mediabench_suite() -> list[Workload]:
     return list_workloads("mediabench")
 
 
+def specint_fp_suite() -> list[Workload]:
+    """Footprint-scaled SPECint variants: auxiliary data structures (hash
+    tables, dictionaries) grow with ``scale``, so figure sweeps over this
+    suite stress cache/predictor capacity instead of just running longer."""
+    return list_workloads("specint_fp")
+
+
 def microbench_suite() -> list[Workload]:
     """Small single-idiom kernels used by tests and examples."""
     return list_workloads("micro")
 
 
 def suite_by_name(name: str) -> list[Workload]:
-    """Look up a suite by name: ``specint``, ``mediabench`` or ``micro``."""
+    """Look up a suite by name: ``specint``, ``specint_fp``, ``mediabench``
+    or ``micro``."""
     suites = {
         "specint": specint_suite,
+        "specint_fp": specint_fp_suite,
         "mediabench": mediabench_suite,
         "micro": microbench_suite,
     }

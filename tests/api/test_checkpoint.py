@@ -1,0 +1,73 @@
+"""Tests for time-sliced, disk-checkpointed simulation (repro.api.checkpoint)."""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.api import resume_sliced, run_sliced
+from repro.core import RenoConfig, RenoRenamer
+from repro.functional.simulator import FunctionalSimulator
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Pipeline
+from repro.workloads.base import get_workload
+
+
+@pytest.fixture(scope="module")
+def run_inputs():
+    program = get_workload("micro_call_spill").build(2)
+    trace = FunctionalSimulator(program, 2_000_000).run().trace
+    return program, trace
+
+
+def make_pipeline(run_inputs, reno=None):
+    program, trace = run_inputs
+    machine = MachineConfig.default_4wide()
+    renamer = RenoRenamer(machine.num_physical_regs, reno) if reno else None
+    return Pipeline(program, trace, machine, renamer=renamer)
+
+
+def stats_dict(result):
+    return {f.name: getattr(result.stats, f.name) for f in fields(result.stats)}
+
+
+def test_run_sliced_matches_one_shot(run_inputs, tmp_path):
+    reference = make_pipeline(run_inputs).run()
+    seen = []
+    checkpoint = tmp_path / "run.ckpt"
+    result = run_sliced(make_pipeline(run_inputs), slice_cycles=200,
+                        checkpoint_path=checkpoint,
+                        on_slice=lambda p, r: seen.append(r.finished))
+    assert stats_dict(result) == stats_dict(reference)
+    assert result.final_registers == reference.final_registers
+    assert seen[-1] and not all(seen)       # really ran in several slices
+    assert not checkpoint.exists()          # removed on completion
+
+
+def test_run_sliced_respects_max_slices(run_inputs, tmp_path):
+    checkpoint = tmp_path / "partial.ckpt"
+    partial = run_sliced(make_pipeline(run_inputs), slice_cycles=100,
+                         checkpoint_path=checkpoint, max_slices=2)
+    assert not partial.finished
+    assert partial.stats.cycles == 200
+    assert checkpoint.exists()              # parked for a later resume
+
+
+def test_resume_sliced_from_disk(run_inputs, tmp_path):
+    reno = RenoConfig.reno_default()
+    reference = make_pipeline(run_inputs, reno).run()
+    checkpoint = tmp_path / "resume.ckpt"
+    partial = run_sliced(make_pipeline(run_inputs, reno), slice_cycles=150,
+                         checkpoint_path=checkpoint, max_slices=3)
+    assert not partial.finished
+    # A different process would rebuild the pipeline from the same inputs.
+    resumed = resume_sliced(make_pipeline(run_inputs, reno), checkpoint,
+                            slice_cycles=150)
+    assert resumed.finished
+    assert stats_dict(resumed) == stats_dict(reference)
+    assert resumed.final_registers == reference.final_registers
+    assert not checkpoint.exists()
+
+
+def test_run_sliced_validates_budget(run_inputs):
+    with pytest.raises(ValueError, match="slice_cycles"):
+        run_sliced(make_pipeline(run_inputs), slice_cycles=0)

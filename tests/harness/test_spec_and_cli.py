@@ -462,3 +462,28 @@ def test_cli_run_smoke_via_subprocess(tmp_path):
     report = ExperimentReport.from_json(out.read_text())
     assert report.experiment == "fig8"
     assert report.rows
+
+
+def test_legacy_run_fn_signature_still_works():
+    """Externally registered experiments whose run_fn predates the
+    progress/cancel hooks must keep working for plain runs (the hooks are
+    only passed when a caller actually supplies them)."""
+    from repro.harness.spec import EXPERIMENTS, Experiment
+
+    def legacy_run_fn(suite, workloads=None, scale=1, jobs=None, cache=None,
+                      executor=None):
+        return ExperimentReport(name="legacy", description=suite,
+                                headers=["x"], rows=[["1"]])
+
+    entry = Experiment(name="_legacy_test", title="t", description="d",
+                       run_fn=legacy_run_fn)
+    EXPERIMENTS[entry.name] = entry
+    try:
+        report = run_experiment("_legacy_test", suite="micro")
+        assert report.name == "legacy"
+        # With a hook supplied the legacy signature fails loudly (the
+        # feature genuinely needs the new parameter) ...
+        with pytest.raises(TypeError):
+            entry.run(suite="micro", progress=lambda key, cached: None)
+    finally:
+        del EXPERIMENTS[entry.name]

@@ -110,3 +110,59 @@ def test_cli_scale_list_rejected_for_grid_experiments(capsys):
 def test_cli_rejects_malformed_scales(capsys):
     assert cli_main(["run", "fig8", "--scale", "two", "--no-cache"]) == 2
     assert cli_main(["run", "fig8", "--scale", "0", "--no-cache"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Footprint-scaled SPECint variants (suite "specint_fp")
+# ---------------------------------------------------------------------------
+
+
+def test_specint_fp_suite_is_registered():
+    from repro.workloads.suites import suite_by_name
+
+    names = [workload.name for workload in suite_by_name("specint_fp")]
+    assert names == ["gzip_fp_like", "perl_fp_like"]
+    for name in names:
+        workload = get_workload(name)
+        assert workload.suite == "specint_fp"
+        assert workload.paper_name.endswith(".fp")
+
+
+@pytest.mark.parametrize("name", ["gzip_fp_like", "perl_fp_like"])
+def test_fp_variants_are_deterministic_and_halt(name):
+    workload = get_workload(name)
+    first = workload.build(2)
+    second = workload.build(2)
+    assert first.initial_memory == second.initial_memory
+    run = FunctionalSimulator(first).run()
+    assert run.halted
+
+
+@pytest.mark.parametrize("name,base_name", [
+    ("gzip_fp_like", "gzip_like"),
+    ("perl_fp_like", "perl_diffmail_like"),
+])
+def test_fp_variants_grow_auxiliary_footprint_with_scale(name, base_name):
+    fp = get_workload(name)
+    base = get_workload(base_name)
+    fp_growth = (len(fp.build(16).initial_memory)
+                 - len(fp.build(1).initial_memory))
+    base_growth = (len(base.build(16).initial_memory)
+                   - len(base.build(1).initial_memory))
+    # Both grow their input streams; only the fp variant also grows its
+    # hash-table structures (gzip: 1 table, perl: 2 tables of 8-byte words).
+    assert fp_growth > base_growth + 8 * 64 * 15 - 128
+    # At scale 64 the auxiliary structures alone exceed the 32 KiB L1
+    # d-cache, the regime fixed-table kernels can never reach.
+    assert len(fp.build(64).initial_memory) > 32 * 1024
+
+
+def test_fp_suite_runs_through_a_figure_sweep(tmp_path):
+    """`--suite specint_fp` composes with the registered figure sweeps."""
+    from repro.harness import run_experiment
+
+    report = run_experiment("fig8", suite="specint_fp", scale=1, jobs=1,
+                            cache=tmp_path)
+    labels = [row[0] for row in report.rows]
+    assert labels == ["gzip.fp", "perl.fp", "amean"]
+    assert report.spec["suite"] == "specint_fp"
