@@ -18,6 +18,14 @@ false-failing on slower runners.  Baselines without a matching calibration
 record (older commits, or a calibration-version bump) fall back to the
 unnormalised comparison with the historical 1.5× threshold.
 
+The probe runs with occupancy recording **off** (``record_stats`` defaults
+to ``False`` everywhere), so this gate doubles as the observability
+off-mode overhead budget: the cycle loop tests one pre-bound local boolean
+per cycle and nothing else (see ``docs/observability.md``).  The gate
+first asserts the default path really records nothing, then holds the
+measured cost to the calibrated factor — if recording ever leaks into the
+default path, the assertion or the floor fails.
+
 Environment overrides:
 
 * ``REPRO_PERF_SMOKE_FACTOR`` — slowdown factor that fails the gate
@@ -103,6 +111,18 @@ def main(argv=None) -> int:
                             else UNCALIBRATED_FACTOR))
         except ValueError:
             factor = UNCALIBRATED_FACTOR
+
+    # The stats-off guarantee this gate certifies: the default simulation
+    # path must record no occupancy/timeline state at all, so the timing
+    # below measures the one-boolean-per-cycle off mode and nothing more.
+    from repro.core.simulator import simulate_workload  # noqa: E402
+
+    off_probe = simulate_workload("micro_addi_chain").stats
+    if off_probe.occupancy is not None:
+        print("perf smoke: FAIL — default (stats-off) run recorded occupancy; "
+              "the off-mode fast path has been compromised", file=sys.stderr)
+        return 1
+    print("perf smoke: stats-off probe recorded nothing (off-mode path intact)")
 
     _, loop_s, instructions = time_fig8(workloads, jobs=1, repeats=args.repeats)
     measured_ips = instructions / loop_s

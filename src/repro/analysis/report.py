@@ -12,10 +12,15 @@ from __future__ import annotations
 #:
 #: * **1** — headers/rows/data/experiment/spec plus this field.  Artifacts
 #:   written before versioning existed deserialise as version 1.
+#: * **2** — optional ``occupancy`` section: per-grid-cell occupancy /
+#:   utilization summaries (see :mod:`repro.uarch.observe`), keyed
+#:   ``"workload/machine/reno"``.  Absent (None) when the generating spec
+#:   did not set ``record_stats``; version-1 artifacts deserialise with
+#:   ``occupancy=None``.
 #:
 #: Bump on any incompatible change to the serialised shape; readers refuse
 #: artifacts from a *newer* schema instead of misreading them.
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 #: JSON tag marking an encoded tuple data key (see :func:`encode_data_key`).
 _TUPLE_TAG = "__tuple__"
@@ -81,3 +86,30 @@ def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> 
     for row in rows:
         lines.append(render_row(row))
     return "\n".join(lines)
+
+
+def format_occupancy_table(occupancy: dict, title: str = "Occupancy / utilization") -> str:
+    """Render a report's ``occupancy`` section as an ASCII utilization table.
+
+    ``occupancy`` maps ``"workload/machine/reno"`` cell labels to
+    :meth:`repro.uarch.observe.OccupancyStats.summary` dictionaries.  One
+    row per cell: mean utilization of each tracked structure, mean issue
+    utilization, and the dominant fetch-stall reason.
+    """
+    headers = ["cell", "ROB", "IQ", "PRF", "LQ", "SQ", "issue", "top stall"]
+    rows = []
+    for cell, summary in occupancy.items():
+        structures = summary["structures"]
+        stalls = summary["fetch_stalls"]
+        top_stall = max(stalls, key=stalls.get) if any(stalls.values()) else "-"
+        rows.append([
+            cell,
+            format_percent(structures["rob"]["utilization"]),
+            format_percent(structures["iq"]["utilization"]),
+            format_percent(structures["prf"]["utilization"]),
+            format_percent(structures["lq"]["utilization"]),
+            format_percent(structures["sq"]["utilization"]),
+            format_percent(summary["issue"]["utilization"]),
+            top_stall,
+        ])
+    return format_table(headers, rows, title=title)

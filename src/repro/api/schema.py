@@ -164,6 +164,12 @@ class JobStatus:
         cells_cached: How many completed cells were outcome-cache hits.
         error: Failure message (``state == "failed"`` only).
         report: Serialised report (``state == "succeeded"`` only).
+        occupancy: Live per-cell occupancy/utilization summaries
+            (``"workload/machine/reno"`` →
+            :meth:`repro.uarch.observe.OccupancyStats.summary`), populated
+            incrementally as cells finish when the experiment records
+            occupancy statistics; None otherwise.  Additive field — the
+            wire schema version is unchanged.
     """
 
     job_id: str
@@ -175,6 +181,7 @@ class JobStatus:
     cells_cached: int = 0
     error: str | None = None
     report: dict | None = None
+    occupancy: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-safe form (the ``GET /jobs/<id>`` body)."""
@@ -189,6 +196,7 @@ class JobStatus:
             "cells_cached": self.cells_cached,
             "error": self.error,
             "report": self.report,
+            "occupancy": self.occupancy,
         }
 
     @classmethod
@@ -208,4 +216,5 @@ class JobStatus:
             cells_cached=payload.get("cells_cached", 0),
             error=payload.get("error"),
             report=payload.get("report"),
+            occupancy=payload.get("occupancy"),
         )

@@ -29,6 +29,7 @@ import json
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
 
 from repro.api.schema import WIRE_SCHEMA_VERSION, ExperimentRequest, SchemaError
 from repro.api.session import Session
@@ -117,12 +118,16 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             })
             return
         if path.startswith("/jobs/"):
-            job_id = path[len("/jobs/"):]
+            job_id = unquote(path[len("/jobs/"):])
             job = self.server.session.job(job_id)
             if job is None:
                 self._error(404, f"unknown job {job_id!r}")
                 return
             wait = _parse_wait(query)
+            if wait is None:
+                self._error(400, f"malformed wait= parameter in {query!r}; "
+                                 f"expected a number of seconds")
+                return
             if wait:
                 job.wait(wait)
             self._reply(200, job.status().to_dict())
@@ -142,7 +147,10 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             except SchemaError as error:
                 self._error(400, str(error))
             except KeyError as error:
-                self._error(404, str(error.args[0]))
+                # A bare ``KeyError()`` has no args; fall back to the
+                # exception itself rather than crashing the handler.
+                detail = error.args[0] if error.args else error
+                self._error(404, str(detail))
             else:
                 self._reply(202, {
                     "schema_version": WIRE_SCHEMA_VERSION,
@@ -152,7 +160,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 })
             return
         if path.startswith("/jobs/") and path.endswith("/cancel"):
-            job_id = path[len("/jobs/"):-len("/cancel")]
+            job_id = unquote(path[len("/jobs/"):-len("/cancel")])
             job = self.server.session.job(job_id)
             if job is None:
                 self._error(404, f"unknown job {job_id!r}")
@@ -168,15 +176,25 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         self._error(404, f"unknown path {path!r}")
 
 
-def _parse_wait(query: str) -> float:
-    """Extract a clamped ``wait=<seconds>`` long-poll duration (0 = none)."""
+def _parse_wait(query: str) -> float | None:
+    """Extract the ``wait=<seconds>`` long-poll duration from a query string.
+
+    Returns 0.0 when no ``wait=`` is present, the clamped duration
+    otherwise — negatives clamp to 0 and oversized values to
+    :data:`MAX_WAIT_S` — and **None** when the value is malformed
+    (non-numeric, empty, or NaN), so the handler can answer 400 instead of
+    silently ignoring a request it did not understand.
+    """
     for part in query.split("&"):
         key, _, value = part.partition("=")
         if key == "wait":
             try:
-                return max(0.0, min(MAX_WAIT_S, float(value)))
+                wait = float(unquote(value))
             except ValueError:
-                return 0.0
+                return None
+            if wait != wait:          # NaN: no meaningful duration
+                return None
+            return max(0.0, min(MAX_WAIT_S, wait))
     return 0.0
 
 

@@ -24,6 +24,7 @@ repro serve`` (:mod:`repro.api.service`) maps it onto HTTP.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.schema import ExperimentRequest, JobState, JobStatus
@@ -74,18 +75,36 @@ class Job:
         self._error: BaseException | None = None
         self._cells_done = 0
         self._cells_cached = 0
+        self._cell_occupancy: dict[str, dict] = {}
         self._progress_watchers: list = []
+        #: Monotonic timestamp of the transition into a terminal state
+        #: (None while pending/running); drives the session's TTL eviction.
+        self.finished_at: float | None = None
 
     # ------------------------------------------------------------------
     # Engine-facing hooks (driven by the session's worker thread)
     # ------------------------------------------------------------------
 
-    def _on_cell(self, grid_key, cached: bool) -> None:
-        """Per-cell progress callback threaded into the executors."""
+    def _on_cell(self, grid_key, cached: bool, outcome=None) -> None:
+        """Per-cell progress callback threaded into the executors.
+
+        The third argument is the cell's
+        :class:`~repro.core.simulator.SimulationOutcome` (the executors
+        pass it to outcome-aware callbacks); when it carries occupancy
+        statistics, their summary is folded into the live per-cell view
+        that :meth:`status` reports.
+        """
+        occupancy = (outcome.stats.occupancy
+                     if outcome is not None and outcome.stats.occupancy is not None
+                     else None)
         with self._lock:
             self._cells_done += 1
             if cached:
                 self._cells_cached += 1
+            if occupancy is not None:
+                label = ("/".join(str(part) for part in grid_key)
+                         if isinstance(grid_key, tuple) else str(grid_key))
+                self._cell_occupancy[label] = occupancy.summary()
             watchers = list(self._progress_watchers)
         for watcher in watchers:
             # Watchers are isolated: one client's broken callback must not
@@ -109,17 +128,20 @@ class Job:
             self._report = report
             self._report_dict = report_dict
             self._state = JobState.SUCCEEDED
+            self.finished_at = time.monotonic()
         self._done_event.set()
 
     def _finish_cancelled(self) -> None:
         with self._lock:
             self._state = JobState.CANCELLED
+            self.finished_at = time.monotonic()
         self._done_event.set()
 
     def _fail(self, error: BaseException) -> None:
         with self._lock:
             self._error = error
             self._state = JobState.FAILED
+            self.finished_at = time.monotonic()
         self._done_event.set()
 
     # ------------------------------------------------------------------
@@ -159,6 +181,8 @@ class Job:
                 error=(f"{type(self._error).__name__}: {self._error}"
                        if self._error is not None else None),
                 report=self._report_dict,
+                occupancy=(dict(self._cell_occupancy)
+                           if self._cell_occupancy else None),
             )
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -213,6 +237,15 @@ class Session:
         workers: Worker threads for asynchronously submitted jobs.  Grids
             are CPU-bound, so a small number only orders queued jobs; the
             process-pool executors below provide the real parallelism.
+        max_retained_jobs: How many jobs the session keeps queryable by id.
+            When a new submission would exceed the cap, the *oldest
+            terminal* jobs are evicted (in-flight jobs are never evicted,
+            and may temporarily push the table past the cap).  Long-lived
+            sessions — ``repro serve`` in particular — would otherwise
+            grow the job table without bound.
+        job_ttl_s: How long a terminal job stays queryable after it
+            finishes; expired jobs are swept on each submission.  None
+            disables the TTL (the cap still applies).
     """
 
     def __init__(
@@ -222,11 +255,20 @@ class Session:
         cache: SimulationCache | bool | str | None = None,
         executor: Executor | None = None,
         workers: int = 2,
+        max_retained_jobs: int = 256,
+        job_ttl_s: float | None = 3600.0,
     ):
+        if max_retained_jobs < 1:
+            raise ValueError(
+                f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
+        if job_ttl_s is not None and job_ttl_s <= 0:
+            raise ValueError(f"job_ttl_s must be positive or None, got {job_ttl_s}")
         self._jobs_arg = jobs
         self._cache_arg = cache
         self._executor_arg = executor
         self._workers = max(1, workers)
+        self._max_retained_jobs = max_retained_jobs
+        self._job_ttl_s = job_ttl_s
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._jobs_by_id: dict[str, Job] = {}
@@ -290,6 +332,7 @@ class Session:
             job_id = f"job-{self._next_job_number:04d}"
             self._next_job_number += 1
             job = Job(job_id, request, self._estimate_cells(entry, request))
+            self._evict_terminal_jobs()
             self._jobs_by_id[job_id] = job
             self._inflight[digest] = job
             pool = self._ensure_pool()
@@ -417,6 +460,32 @@ class Session:
             return spec.grid_size
         except Exception:
             return None               # progress simply reports no total
+
+    def _evict_terminal_jobs(self) -> None:
+        """Drop expired/excess *terminal* jobs (caller holds the lock).
+
+        Two passes over the table in insertion (= submission) order: first
+        every terminal job older than the TTL, then — if the table would
+        still exceed ``max_retained_jobs`` with the incoming job counted —
+        the oldest terminal jobs until it fits.  Jobs still pending or
+        running are never evicted, so coalescing onto in-flight work is
+        unaffected regardless of the cap.
+        """
+        if self._job_ttl_s is not None:
+            deadline = time.monotonic() - self._job_ttl_s
+            for job_id, job in list(self._jobs_by_id.items()):
+                if (job.done() and job.finished_at is not None
+                        and job.finished_at < deadline):
+                    del self._jobs_by_id[job_id]
+        excess = len(self._jobs_by_id) + 1 - self._max_retained_jobs
+        if excess <= 0:
+            return
+        for job_id, job in list(self._jobs_by_id.items()):
+            if excess <= 0:
+                break
+            if job.done():
+                del self._jobs_by_id[job_id]
+                excess -= 1
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:

@@ -5,11 +5,14 @@ Six subcommands cover the whole harness without writing Python:
 * ``python -m repro list`` — every registered experiment (registry-driven),
   plus ``--workloads`` for the workload suites.
 * ``python -m repro run fig8 [--suite S] [--workloads W ...] [--scale N]
-  [--jobs auto|N] [--cache | --no-cache | --cache-dir DIR] [--json PATH]``
+  [--jobs auto|N] [--cache | --no-cache | --cache-dir DIR] [--json PATH]
+  [--stats]``
   — run an experiment through the :class:`repro.api.session.Session`
   facade, print the report table and optionally write the JSON artifact
   (:meth:`~repro.harness.experiments.ExperimentReport.to_json`, exact
-  round-trip via ``from_json``).
+  round-trip via ``from_json``).  ``--stats`` renders the report's
+  occupancy/utilization section (recorded by e.g. the ``bottleneck``
+  experiment) as an extra table.
 * ``python -m repro cache [--clear]`` — inspect or wipe the outcome cache
   (absorbs the older ``python -m repro.harness.cache`` entry point, which
   still works).
@@ -77,6 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           "('-' for stdout)")
     run.add_argument("--quiet", action="store_true",
                      help="suppress the report table on stdout")
+    run.add_argument("--stats", action="store_true",
+                     help="also print the per-cell occupancy/utilization "
+                          "table (experiments that record occupancy, e.g. "
+                          "bottleneck)")
 
     lst = sub.add_parser("list", help="list registered experiments")
     lst.add_argument("--workloads", action="store_true",
@@ -108,6 +115,9 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--json", metavar="PATH", dest="json_path",
                         help="with --wait: write the report JSON to PATH "
                              "('-' for stdout)")
+    submit.add_argument("--stats", action="store_true",
+                        help="with --wait: also print the occupancy/"
+                             "utilization table when the report carries one")
 
     status = sub.add_parser(
         "status", help="query a job on a running `repro serve`")
@@ -204,7 +214,7 @@ def _cmd_run(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    _emit_report(report, args.json_path, quiet=args.quiet)
+    _emit_report(report, args.json_path, quiet=args.quiet, stats=args.stats)
     return 0
 
 
@@ -293,10 +303,26 @@ def _write_artifact(text: str, json_path: str) -> None:
     print(f"wrote {path}", file=sys.stderr)
 
 
-def _emit_report(report, json_path: str | None, quiet: bool) -> None:
-    """Print an ``ExperimentReport`` and/or write it as a JSON artifact."""
+def _emit_report(report, json_path: str | None, quiet: bool,
+                 stats: bool = False) -> None:
+    """Print an ``ExperimentReport`` and/or write it as a JSON artifact.
+
+    With ``stats=True`` the report's occupancy section (when present) is
+    rendered as a utilization table after the main one; a report without
+    one gets a pointer to the ``bottleneck`` experiment instead.
+    """
     if not quiet:
         print(report)
+    if stats:
+        if report.occupancy:
+            from repro.analysis.report import format_occupancy_table
+
+            print()
+            print(format_occupancy_table(report.occupancy))
+        else:
+            print("note: this report carries no occupancy section; run an "
+                  "experiment that records it (e.g. `python -m repro run "
+                  "bottleneck`)", file=sys.stderr)
     if json_path:
         _write_artifact(report.to_json(), json_path)
 
@@ -345,7 +371,7 @@ def _cmd_submit(args) -> int:
         from repro.harness.experiments import ExperimentReport
 
         _emit_report(ExperimentReport.from_dict(status["report"]),
-                     args.json_path, quiet=False)
+                     args.json_path, quiet=False, stats=args.stats)
         return 0
     print(f"error: job {job_id} {state}"
           + (f": {status.get('error')}" if status.get("error") else ""),

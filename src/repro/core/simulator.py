@@ -65,6 +65,7 @@ def simulate(
     *,
     trace: ExecutionResult | None = None,
     collect_timing: bool = False,
+    record_stats: bool = False,
     max_instructions: int = 2_000_000,
     verify: bool = True,
 ) -> SimulationOutcome:
@@ -78,6 +79,9 @@ def simulate(
             comparing several configurations on the same workload).
         collect_timing: Collect per-instruction timing records for
             critical-path analysis.
+        record_stats: Record per-structure occupancy histograms and issue
+            utilization (``outcome.stats.occupancy``); see
+            :mod:`repro.uarch.observe`.
         max_instructions: Functional-simulation budget.
         verify: Check that the timing simulator's final architectural state
             matches the functional simulator's.
@@ -94,6 +98,7 @@ def simulate(
         machine,
         renamer=renamer,
         collect_timing=collect_timing,
+        record_stats=record_stats,
     )
     timing = pipeline.run()
     if verify:

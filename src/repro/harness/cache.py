@@ -48,7 +48,10 @@ from repro.uarch.config import MachineConfig
 
 #: Bump whenever the pickled payload layout or the key material changes.
 #: v2: ``SimResult`` gained the ``finished`` field (incremental runs).
-CACHE_FORMAT_VERSION = 2
+#: v3: ``SimStats`` gained ``occupancy`` and ``SimResult`` gained
+#:     ``timeline`` (observability); the key material gained the
+#:     ``record_stats`` mode.
+CACHE_FORMAT_VERSION = 3
 
 #: Environment variable overriding the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -149,6 +152,7 @@ def outcome_key(
     reno: RenoConfig | None,
     max_instructions: int,
     collect_timing: bool,
+    record_stats: bool = False,
 ) -> str:
     """The cache key for one grid point."""
     reno_digest = reno.digest() if reno is not None else "baseline"
@@ -159,6 +163,7 @@ def outcome_key(
         reno_digest,
         str(max_instructions),
         "timing" if collect_timing else "notiming",
+        "stats" if record_stats else "nostats",
     ])
     return hashlib.sha256(material.encode()).hexdigest()
 

@@ -39,6 +39,7 @@ original ``run_matrix`` behaviour for callers that inspect
 
 from __future__ import annotations
 
+import inspect
 import json
 import multiprocessing
 import os
@@ -74,8 +75,11 @@ Block = list[tuple[GridKey, SimulationOutcome]]
 
 #: Per-cell completion callback: ``progress(grid_key, cached)`` is invoked
 #: once per grid cell as its outcome becomes available (``cached`` is True
-#: for cache hits).  In-process execution streams cell by cell; pool
-#: execution streams block by block as workers finish.
+#: for cache hits).  A callback accepting a third positional argument is
+#: additionally handed the cell's :class:`SimulationOutcome` — this is how
+#: the session streams live per-cell utilization.  In-process execution
+#: streams cell by cell; pool execution streams block by block as workers
+#: finish.
 ProgressFn = Callable[[GridKey, bool], None]
 
 #: Cooperative cancellation probe: return True to abort the grid.
@@ -84,6 +88,27 @@ CancelFn = Callable[[], bool]
 
 class ExecutionCancelled(RuntimeError):
     """A grid execution was aborted by its cancellation callback."""
+
+
+def _progress_emitter(progress):
+    """Normalise a progress callback to the 3-arg form.
+
+    Legacy callbacks take ``(grid_key, cached)``; outcome-aware callbacks
+    (the session's live-utilization hook) take ``(grid_key, cached,
+    outcome)``.  Both keep working: the returned emitter always accepts
+    three arguments and drops the outcome for 2-arg callbacks.
+    """
+    if progress is None:
+        return None
+    try:
+        parameters = list(inspect.signature(progress).parameters.values())
+    except (TypeError, ValueError):
+        parameters = []
+    positional = sum(1 for p in parameters
+                     if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD))
+    if positional >= 3 or any(p.kind == p.VAR_POSITIONAL for p in parameters):
+        return progress
+    return lambda grid_key, cached, outcome: progress(grid_key, cached)
 
 #: Estimated remaining serial seconds above which :class:`AutoExecutor`
 #: switches from the serial loop to a process pool.  Roughly an order of
@@ -103,6 +128,7 @@ class WorkloadTask:
     collect_timing: bool
     max_instructions: int
     cache_root: str | None
+    record_stats: bool = False
 
     @property
     def cells(self) -> int:
@@ -156,6 +182,7 @@ def run_workload_block(
         ``[(grid_key, outcome), ...]`` in (machine, RENO) grid order.
     """
     workload = task.workload
+    emit = _progress_emitter(progress)
     if cache is None and task.cache_root is not None:
         cache = SimulationCache(task.cache_root)
     if cancel is not None and cancel():
@@ -172,7 +199,8 @@ def run_workload_block(
             outcome = None
             if cache is not None:
                 key = outcome_key(digest, machine, reno,
-                                  task.max_instructions, task.collect_timing)
+                                  task.max_instructions, task.collect_timing,
+                                  task.record_stats)
                 outcome = cache.get(key)
             if outcome is None:
                 misses += 1
@@ -197,6 +225,7 @@ def run_workload_block(
                 renos[reno_label],
                 trace=functional,
                 collect_timing=task.collect_timing,
+                record_stats=task.record_stats,
                 max_instructions=task.max_instructions,
             )
             if cache is not None:
@@ -204,8 +233,8 @@ def run_workload_block(
             if slim:
                 outcome = _slim(outcome)
         results.append((grid_key, outcome))
-        if progress is not None:
-            progress(grid_key, cached)
+        if emit is not None:
+            emit(grid_key, cached, outcome)
     return results
 
 
@@ -229,7 +258,8 @@ def _task_fully_cached(task: WorkloadTask, cache: SimulationCache) -> bool:
     for _, machine in task.machines:
         for _, reno in task.renos:
             key = outcome_key(digest, machine, reno,
-                              task.max_instructions, task.collect_timing)
+                              task.max_instructions, task.collect_timing,
+                              task.record_stats)
             if not cache.path_for(key).exists():
                 return False
     return True
@@ -260,6 +290,7 @@ def build_tasks(
     *,
     scale: int = 1,
     collect_timing: bool = False,
+    record_stats: bool = False,
     max_instructions: int = 2_000_000,
     cache_root: str | None = None,
 ) -> list[WorkloadTask]:
@@ -273,6 +304,7 @@ def build_tasks(
             collect_timing=collect_timing,
             max_instructions=max_instructions,
             cache_root=cache_root,
+            record_stats=record_stats,
         )
         for workload in workloads
     ]
@@ -312,6 +344,7 @@ class CostModel:
         """The store key for one workload task (outcome-cache style)."""
         return (f"{task.workload.name}|scale={task.scale}"
                 f"|timing={int(task.collect_timing)}"
+                f"|stats={int(task.record_stats)}"
                 f"|budget={task.max_instructions}")
 
     def load(self) -> dict[str, float]:
@@ -397,10 +430,11 @@ class SerialExecutor:
 
 def _emit_block_progress(block: Block, progress: ProgressFn | None) -> None:
     """Fire the per-cell callback for a block computed elsewhere."""
-    if progress is None:
+    emit = _progress_emitter(progress)
+    if emit is None:
         return
     for grid_key, outcome in block:
-        progress(grid_key, outcome.cached)
+        emit(grid_key, outcome.cached, outcome)
 
 
 def _delegate(
@@ -640,6 +674,7 @@ def execute_grid(
     *,
     scale: int = 1,
     collect_timing: bool = False,
+    record_stats: bool = False,
     max_instructions: int = 2_000_000,
     jobs: int | str | None = None,
     cache: SimulationCache | bool | str | None = None,
@@ -655,6 +690,8 @@ def execute_grid(
         renos: RENO-label → configuration (None = baseline).
         scale: Workload scale factor.
         collect_timing: Keep per-instruction timing records.
+        record_stats: Record occupancy/utilization histograms per cell
+            (``outcome.stats.occupancy``; see :mod:`repro.uarch.observe`).
         max_instructions: Functional-simulation budget.
         jobs: Worker processes: an int, ``"auto"`` (adaptive; the default),
             or None to read ``$REPRO_JOBS``.
@@ -684,6 +721,7 @@ def execute_grid(
         renos,
         scale=scale,
         collect_timing=collect_timing,
+        record_stats=record_stats,
         max_instructions=max_instructions,
         cache_root=cache_root,
     )

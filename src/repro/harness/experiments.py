@@ -50,6 +50,12 @@ class ExperimentReport:
     consume.  ``schema_version`` stamps the serialised layout
     (:data:`~repro.analysis.report.REPORT_SCHEMA_VERSION`); readers accept
     older artifacts and refuse newer ones.
+
+    ``occupancy`` (schema version 2) is an optional per-grid-cell
+    occupancy/utilization section — ``"workload/machine/reno"`` →
+    :meth:`repro.uarch.observe.OccupancyStats.summary` — populated only
+    when the generating spec set ``record_stats``; it is None otherwise
+    and for artifacts written before the section existed.
     """
 
     name: str
@@ -59,6 +65,7 @@ class ExperimentReport:
     data: dict = field(default_factory=dict)
     experiment: str = ""
     spec: dict | None = None
+    occupancy: dict | None = None
     schema_version: int = REPORT_SCHEMA_VERSION
 
     def __str__(self) -> str:
@@ -79,6 +86,7 @@ class ExperimentReport:
             "rows": [list(row) for row in self.rows],
             "data": [[encode_data_key(key), value] for key, value in self.data.items()],
             "spec": self.spec,
+            "occupancy": self.occupancy,
         }
 
     @classmethod
@@ -98,6 +106,7 @@ class ExperimentReport:
             data={decode_data_key(key): value for key, value in payload["data"]},
             experiment=payload.get("experiment", ""),
             spec=payload.get("spec"),
+            occupancy=payload.get("occupancy"),
             schema_version=version,
         )
 
@@ -194,6 +203,73 @@ def figure8_elimination_and_speedup(
     """
     return run_experiment("fig8", suite=suite, workloads=workloads, scale=scale,
                           jobs=jobs, cache=cache, executor=executor)
+
+
+# ---------------------------------------------------------------------------
+# Bottleneck sweep: occupancy attribution across the Figure 8 grid
+# ---------------------------------------------------------------------------
+
+
+def collect_occupancy(matrix: MatrixResult) -> dict:
+    """The per-cell occupancy section of a matrix, keyed ``"w/m/r"``.
+
+    Only cells whose outcomes actually carry occupancy statistics (i.e. the
+    grid ran with ``record_stats=True``) contribute; everything else is
+    skipped rather than emitted as an empty entry.
+    """
+    section = {}
+    for (workload, machine, reno), outcome in matrix.outcomes.items():
+        occupancy = outcome.stats.occupancy
+        if occupancy is not None:
+            section[f"{workload}/{machine}/{reno}"] = occupancy.summary()
+    return section
+
+
+def _reduce_bottleneck(matrix: MatrixResult, spec: SweepSpec) -> ExperimentReport:
+    """Utilization table per grid cell, plus the raw occupancy section."""
+    headers = ["benchmark", "machine", "config", "ROB", "IQ", "PRF",
+               "issue", "top stall"]
+    rows = []
+    data = {}
+    for name in matrix.workloads:
+        for machine_label in matrix.machine_labels:
+            for reno_label in matrix.reno_labels:
+                outcome = matrix.get(name, machine_label, reno_label)
+                summary = outcome.stats.occupancy.summary()
+                structures = summary["structures"]
+                stalls = summary["fetch_stalls"]
+                top_stall = (max(stalls, key=stalls.get)
+                             if any(stalls.values()) else "-")
+                data[(name, machine_label, reno_label)] = summary
+                rows.append([
+                    _label(name), machine_label, reno_label,
+                    format_percent(structures["rob"]["utilization"]),
+                    format_percent(structures["iq"]["utilization"]),
+                    format_percent(structures["prf"]["utilization"]),
+                    format_percent(summary["issue"]["utilization"]),
+                    top_stall,
+                ])
+    return ExperimentReport(
+        name=f"Bottleneck sweep ({spec.suite})",
+        description="occupancy attribution: structure/issue utilization across the Figure 8 grid",
+        headers=headers, rows=rows, data=data,
+        occupancy=collect_occupancy(matrix),
+    )
+
+
+@experiment("bottleneck", title="Bottleneck sweep",
+            description="occupancy attribution: structure/issue utilization across the Figure 8 grid",
+            reducer=_reduce_bottleneck)
+def _bottleneck_spec(suite: str, workloads: list[str] | None, scale: int) -> SweepSpec:
+    """The Figure 8 grid with per-structure occupancy recording enabled."""
+    return SweepSpec.from_grid(
+        suite, workloads,
+        machines={"4wide": MachineConfig.default_4wide(),
+                  "6wide": MachineConfig.default_6wide()},
+        renos={SPEEDUP_BASELINE: None, "RENO": RenoConfig.reno_default()},
+        scale=scale,
+        record_stats=True,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -127,6 +127,7 @@ def run_matrix(
     renos: dict[str, RenoConfig | None],
     scale: int = 1,
     collect_timing: bool = False,
+    record_stats: bool = False,
     max_instructions: int = 2_000_000,
     jobs: int | str | None = None,
     cache: SimulationCache | bool | str | None = None,
@@ -152,6 +153,9 @@ def run_matrix(
             same forms as ``machines``.
         scale: Workload scale factor.
         collect_timing: Keep per-instruction timing records (Figure 9).
+        record_stats: Record per-structure occupancy histograms and issue
+            utilization per cell (``outcome.stats.occupancy``; see
+            :mod:`repro.uarch.observe`).
         max_instructions: Functional-simulation budget per workload.
         jobs: Worker processes to fan workloads out over: an int, ``"auto"``
             (adaptive backend selection, see
@@ -183,6 +187,7 @@ def run_matrix(
         renos,
         scale=scale,
         collect_timing=collect_timing,
+        record_stats=record_stats,
         max_instructions=max_instructions,
         jobs=jobs,
         cache=cache,

@@ -56,6 +56,7 @@ class SweepSpec:
         renos: (label, RENO config or None) pairs, in series order.
         scale: Workload scale factor (≥ 1).
         collect_timing: Keep per-instruction timing records.
+        record_stats: Record occupancy/utilization histograms per cell.
         max_instructions: Functional-simulation budget per workload.
     """
 
@@ -65,6 +66,7 @@ class SweepSpec:
     renos: tuple[tuple[str, RenoConfig | None], ...]
     scale: int = 1
     collect_timing: bool = False
+    record_stats: bool = False
     max_instructions: int = 2_000_000
 
     def __post_init__(self):
@@ -95,6 +97,7 @@ class SweepSpec:
         *,
         scale: int = 1,
         collect_timing: bool = False,
+        record_stats: bool = False,
         max_instructions: int = 2_000_000,
     ) -> "SweepSpec":
         """Build a spec from the arguments the ``figure*`` functions take.
@@ -120,6 +123,7 @@ class SweepSpec:
             renos=tuple(renos.items()),
             scale=scale,
             collect_timing=collect_timing,
+            record_stats=record_stats,
             max_instructions=max_instructions,
         )
 
@@ -158,6 +162,7 @@ class SweepSpec:
             },
             "scale": self.scale,
             "collect_timing": self.collect_timing,
+            "record_stats": self.record_stats,
             "max_instructions": self.max_instructions,
         }
 
@@ -177,6 +182,8 @@ class SweepSpec:
             ),
             scale=data["scale"],
             collect_timing=data["collect_timing"],
+            # Absent in spec dicts serialised before observability existed.
+            record_stats=data.get("record_stats", False),
             max_instructions=data["max_instructions"],
         )
 
@@ -218,6 +225,7 @@ class SweepSpec:
             self.renos,
             scale=self.scale,
             collect_timing=self.collect_timing,
+            record_stats=self.record_stats,
             max_instructions=self.max_instructions,
             jobs=jobs,
             cache=cache,
@@ -304,6 +312,7 @@ class Experiment:
                 matrix = run_matrix(
                     list(workloads), spec.machines, spec.renos,
                     scale=spec.scale, collect_timing=spec.collect_timing,
+                    record_stats=spec.record_stats,
                     max_instructions=spec.max_instructions,
                     jobs=jobs, cache=cache, executor=executor,
                     progress=progress, cancel=cancel,

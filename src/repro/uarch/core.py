@@ -71,6 +71,14 @@ from repro.uarch.cache import CacheHierarchy
 from repro.uarch.config import MachineConfig
 from repro.uarch.inflight import NO_COMPLETE, InFlightWindow, TimingRecord
 from repro.uarch.lsq import LoadQueue, StoreQueue, StoreQueueEntry
+from repro.uarch.observe import (
+    DEFAULT_TIMELINE_CAPACITY,
+    STALL_BRANCH,
+    STALL_FRONTEND,
+    STALL_ICACHE,
+    OccupancyStats,
+    TimelineRecorder,
+)
 from repro.uarch.regfile import NOT_READY, PhysicalRegisterFile
 from repro.uarch.rename import BaselineRenamer, RenameResult, Renamer
 from repro.uarch.rob import ReorderBuffer
@@ -107,6 +115,9 @@ class SimResult:
     ``finished`` is False for a partial result returned by an incremental
     ``Pipeline.run(max_cycles=...)`` call whose cycle budget ran out before
     the whole trace retired; statistics then cover the simulated prefix.
+
+    ``timeline`` carries the ordered rows of the opt-in cycle-timeline
+    recorder (``timeline_stride > 0``), oldest first; None otherwise.
     """
 
     stats: SimStats
@@ -114,6 +125,7 @@ class SimResult:
     final_registers: list[int] = field(default_factory=list)
     timing_records: list[TimingRecord] | None = None
     finished: bool = True
+    timeline: list[tuple] | None = None
 
     @property
     def ipc(self) -> float:
@@ -136,6 +148,9 @@ class Pipeline:
         config: MachineConfig | None = None,
         renamer: Renamer | None = None,
         collect_timing: bool = False,
+        record_stats: bool = False,
+        timeline_stride: int = 0,
+        timeline_capacity: int = DEFAULT_TIMELINE_CAPACITY,
     ):
         """Create a pipeline for one program run.
 
@@ -148,12 +163,26 @@ class Pipeline:
                 enable RENO.
             collect_timing: If True, keep a per-retired-instruction timing
                 record for critical-path analysis (costs memory).
+            record_stats: If True, accumulate per-structure occupancy
+                histograms and issue-port utilization
+                (:class:`~repro.uarch.observe.OccupancyStats`, surfaced as
+                ``result.stats.occupancy``).  Off by default: the cycle loop
+                then pays a single pre-bound boolean test per cycle.
+            timeline_stride: When > 0, additionally record one timeline row
+                every this many cycles into a bounded ring buffer
+                (:class:`~repro.uarch.observe.TimelineRecorder`; implies
+                ``record_stats``).
+            timeline_capacity: Ring-buffer size for the timeline recorder.
         """
         self.config = config or MachineConfig.default_4wide()
         self.config.validate()
         self.program = program
         self.trace = trace
         self.collect_timing = collect_timing
+        if timeline_stride < 0:
+            raise ValueError(f"timeline_stride must be >= 0, got {timeline_stride}")
+        self.record_stats = bool(record_stats) or timeline_stride > 0
+        self.timeline_stride = timeline_stride
         self._trace_length = len(trace)
         #: Decoded-op cache: one immutable tuple per static instruction,
         #: indexed by the trace records' static index (== PC/4 offset).
@@ -189,6 +218,11 @@ class Pipeline:
         self.memory = Memory(program.initial_memory)
 
         self.stats = SimStats()
+        if self.record_stats:
+            self.stats.occupancy = OccupancyStats.for_config(self.config)
+        self.timeline: TimelineRecorder | None = (
+            TimelineRecorder(stride=timeline_stride, capacity=timeline_capacity)
+            if timeline_stride > 0 else None)
         self.timing_records: list[TimingRecord] = []
 
         # Run cursors + front-end state (mirrored from the cycle loop's
@@ -200,6 +234,9 @@ class Pipeline:
         self._fetch_resume_cycle = 0
         self._waiting_branch = _NO_BRANCH
         self._last_fetch_block = -1
+        # Which observe.STALL_* bucket the current fetch stall belongs to
+        # (only read while record_stats is on).
+        self._fetch_stall_reason = STALL_BRANCH
 
         # preg -> sequence number of the instruction producing it (for the
         # critical-path model).
@@ -293,6 +330,7 @@ class Pipeline:
         finished = self.finished
         stats = self.stats
         records = self.timing_records if self.collect_timing else None
+        timeline = self.timeline.ordered() if self.timeline is not None else None
         if not finished:
             # A partial result must be a point-in-time view: later slices
             # keep mutating the live stats/records, and callers (run_sliced
@@ -306,6 +344,7 @@ class Pipeline:
             final_registers=self._final_registers(),
             timing_records=records,
             finished=finished,
+            timeline=timeline,
         )
 
     @property
@@ -324,8 +363,9 @@ class Pipeline:
     _SNAPSHOT_STATE = (
         "prf", "renamer", "branch_unit", "caches", "store_sets", "window",
         "issue_queue", "rob", "store_queue", "load_queue", "memory",
-        "stats", "timing_records", "_cycle", "_committed", "_fetch_index",
-        "_fetch_resume_cycle", "_waiting_branch", "_last_fetch_block",
+        "stats", "timeline", "timing_records", "_cycle", "_committed",
+        "_fetch_index", "_fetch_resume_cycle", "_waiting_branch",
+        "_last_fetch_block", "_fetch_stall_reason",
         "_preg_writer", "_producers", "_violated_loads",
     )
 
@@ -348,6 +388,8 @@ class Pipeline:
             collect_timing=self.collect_timing,
             cycle=self._cycle,
             committed=self._committed,
+            record_stats=self.record_stats,
+            timeline_stride=self.timeline_stride,
         )
 
     def restore(self, snapshot: PipelineSnapshot) -> None:
@@ -582,6 +624,26 @@ class Pipeline:
         fusion_penalty_total = 0
         store_forwards = 0
         elim_moves = elim_folds = elim_cse = elim_ra = 0
+
+        # Observability (one hoisted flag; everything below it is dead and
+        # unbound when record_stats is off, so the off-mode cost is the
+        # single local boolean test per cycle).
+        record_stats = self.record_stats
+        stall_reason = self._fetch_stall_reason
+        if record_stats:
+            occ = stats.occupancy
+            occ_rob = occ.rob
+            occ_iq = occ.iq
+            occ_prf = occ.prf
+            occ_sq = occ.sq
+            occ_lq = occ.lq
+            occ_ready = occ.ready
+            occ_issued = occ.issued
+            occ_class = occ.issued_by_class
+            occ_stall = occ.fetch_stall_reasons
+            timeline = self.timeline
+            tl_stride = timeline.stride if timeline is not None else 0
+            tl_record = timeline.record if timeline is not None else None
 
         empty_selection: list[int] = []
         while committed < total:
@@ -1083,11 +1145,14 @@ class Pipeline:
                     if w_mispred[slot] and waiting_branch == seq:
                         fetch_resume = complete + front_end_depth
                         waiting_branch = _NO_BRANCH
+                        stall_reason = STALL_BRANCH
 
             # ---------------- Fetch + rename + dispatch ----------------
             if fetch_index < total:
                 if cycle < fetch_resume:
                     fetch_stalls += 1
+                    if record_stats:
+                        occ_stall[stall_reason] += 1
                 else:
                     rob_room = rob_capacity - (fetch_index - committed)
                     iq_room = iq_capacity - (iq_count if inline_iq
@@ -1132,6 +1197,7 @@ class Pipeline:
                             last_fetch_block = block
                             if not access.l1_hit:
                                 fetch_resume = cycle + access.latency
+                                stall_reason = STALL_ICACHE
                                 break
 
                         # Taken-branch fetch limit.
@@ -1351,6 +1417,7 @@ class Pipeline:
                                     w_mispred[slot] = True
                                     waiting_branch = seq
                                     fetch_resume = _STALLED
+                                    stall_reason = STALL_BRANCH
                                     stop_after = True
                                 elif is_taken_control:
                                     outcome = branch_check_target(dyn)
@@ -1360,16 +1427,19 @@ class Pipeline:
                                         # front-end bubble, not a full
                                         # misprediction.
                                         fetch_resume = cycle + 2
+                                        stall_reason = STALL_FRONTEND
                                         stop_after = True
                             else:
                                 outcome = branch_process(dyn)
                                 if outcome.mispredicted:
                                     if outcome.reason == "btb":
                                         fetch_resume = cycle + 2
+                                        stall_reason = STALL_FRONTEND
                                     else:
                                         w_mispred[slot] = True
                                         waiting_branch = seq
                                         fetch_resume = _STALLED
+                                        stall_reason = STALL_BRANCH
                                     stop_after = True
 
                         # Insertion: initialise the slot and, unless the
@@ -1520,6 +1590,37 @@ class Pipeline:
                             in_use = num_pregs - free_count()
                         if in_use > stats.max_pregs_in_use:
                             stats.max_pregs_in_use = in_use
+
+            # ---------------- Observability (opt-in) ----------------
+            # End-of-cycle occupancy sampling; one histogram bump per
+            # structure.  Off by default: the whole block is one local
+            # boolean test then.
+            if record_stats:
+                rob_now = fetch_index - committed
+                iq_now = iq_count if inline_iq else issue_queue._count
+                if baseline_fast:
+                    prf_used = num_pregs - len(bfree)
+                elif reno_fast:
+                    prf_used = num_pregs - len(reno_free)
+                else:
+                    prf_used = num_pregs - free_count()
+                occ_rob[rob_now] += 1
+                occ_iq[iq_now] += 1
+                occ_prf[prf_used] += 1
+                occ_sq[sq_len] += 1
+                occ_lq[lq_len] += 1
+                occ_ready[0][len(iq_ready[0])] += 1
+                occ_ready[1][len(iq_ready[1])] += 1
+                occ_ready[2][len(iq_ready[2])] += 1
+                occ_ready[3][len(iq_ready[3])] += 1
+                issued_now = len(selected)
+                occ_issued[issued_now] += 1
+                if issued_now:
+                    for sseq in selected:
+                        occ_class[iq_class[sseq & mask]] += 1
+                if tl_stride and not cycle % tl_stride:
+                    tl_record((cycle, committed, issued_now, rob_now,
+                               iq_now, prf_used, sq_len, lq_len))
             cycle += 1
 
             # ---------------- Event-driven fast-forward ----------------
@@ -1554,6 +1655,41 @@ class Pipeline:
             if fetching:
                 # Exactly what the skipped dispatch phases would have counted.
                 fetch_stalls += target - cycle
+            if record_stats:
+                # The skipped stretch is a pure no-op (nothing issues,
+                # commits or dispatches), so every skipped cycle would have
+                # sampled the frozen end-of-cycle state with zero issue and
+                # empty ready lists.  Credit the histograms in bulk so the
+                # event-driven run stays byte-identical to cycle-by-cycle
+                # (and to any sliced + resumed replay of it).
+                skipped = target - cycle
+                if fetching:
+                    occ_stall[stall_reason] += skipped
+                rob_now = fetch_index - committed
+                iq_now = iq_count if inline_iq else issue_queue._count
+                if baseline_fast:
+                    prf_used = num_pregs - len(bfree)
+                elif reno_fast:
+                    prf_used = num_pregs - len(reno_free)
+                else:
+                    prf_used = num_pregs - free_count()
+                occ_rob[rob_now] += skipped
+                occ_iq[iq_now] += skipped
+                occ_prf[prf_used] += skipped
+                occ_sq[sq_len] += skipped
+                occ_lq[lq_len] += skipped
+                occ_ready[0][0] += skipped
+                occ_ready[1][0] += skipped
+                occ_ready[2][0] += skipped
+                occ_ready[3][0] += skipped
+                occ_issued[0] += skipped
+                if tl_stride:
+                    # The strided sample points inside [cycle, target).
+                    tl_cycle = cycle + (-cycle) % tl_stride
+                    while tl_cycle < target:
+                        tl_record((tl_cycle, committed, 0, rob_now,
+                                   iq_now, prf_used, sq_len, lq_len))
+                        tl_cycle += tl_stride
             cycle = target
 
         # Mirror the loop's local state back onto the objects for
@@ -1569,6 +1705,7 @@ class Pipeline:
         self._fetch_resume_cycle = fetch_resume
         self._waiting_branch = waiting_branch
         self._last_fetch_block = last_fetch_block
+        self._fetch_stall_reason = stall_reason
         self.rob.head_seq = committed
         self.rob.tail_seq = fetch_index
         if inline_iq:
@@ -1597,6 +1734,8 @@ class Pipeline:
         """Fold the cycle loop's locally accumulated counters into ``stats``."""
         stats.cycles = cycle
         stats.committed = committed
+        if stats.occupancy is not None:
+            stats.occupancy.cycles = cycle
         stats.issued += issued_total
         stats.fetched += fetched_total
         stats.fetch_stall_cycles += fetch_stalls

@@ -157,6 +157,19 @@ class InFlightWindow:
         """The slot owned by sequence number ``seq`` while it is in flight."""
         return seq & self.mask
 
+    @staticmethod
+    def occupancy(committed: int, fetched: int) -> int:
+        """ROB occupancy between the retire head and the fetch tail.
+
+        The window itself holds no head/tail state — the pipeline owns both
+        sequence counters — so occupancy is simply their distance.  This is
+        the probe the observability layer
+        (:class:`repro.uarch.observe.OccupancyStats`) samples once per
+        cycle; the inlined cycle loop computes the same expression on its
+        locals.
+        """
+        return fetched - committed
+
     def reset_slot(self, slot: int) -> None:
         """Full cosmetic reset of one slot (tests / debugging only).
 

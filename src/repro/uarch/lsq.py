@@ -65,6 +65,11 @@ class StoreQueue:
         return len(self.entries)
 
     @property
+    def occupancy(self) -> int:
+        """Entries currently held (the observability layer's SQ probe)."""
+        return len(self.entries)
+
+    @property
     def full(self) -> bool:
         """True when no store-queue entry is free."""
         return len(self.entries) >= self.capacity
@@ -139,6 +144,11 @@ class LoadQueue:
         self.entries: set[int] = set()
 
     def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently held (the observability layer's LQ probe)."""
         return len(self.entries)
 
     @property

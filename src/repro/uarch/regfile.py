@@ -29,6 +29,16 @@ class PhysicalRegisterFile:
         """Read a physical register's value (must have been produced already)."""
         return self.values[preg]
 
+    def in_use(self, free_registers: int) -> int:
+        """Allocated register count given the renamer's free-list depth.
+
+        The register file itself holds no allocation state — the renamer
+        owns the free list — so the occupancy-observability probe
+        (:class:`repro.uarch.observe.OccupancyStats` ``prf`` histogram) is
+        the complement of the free-list depth.
+        """
+        return self.num_registers - free_registers
+
     def is_ready(self, preg: int, cycle: int) -> bool:
         """True if dependents of ``preg`` may issue at ``cycle``."""
         return self.ready_cycle[preg] <= cycle

@@ -54,6 +54,10 @@ class PipelineSnapshot:
         cycle: Simulated cycle count at capture time (informational).
         committed: Instructions retired at capture time (informational).
         version: :data:`SNAPSHOT_VERSION` at capture time.
+        record_stats: Whether the source run recorded occupancy histograms
+            (the histograms themselves travel inside ``state``).
+        timeline_stride: The source run's timeline sampling stride
+            (0 = no timeline recorder).
     """
 
     state: dict
@@ -63,6 +67,8 @@ class PipelineSnapshot:
     cycle: int
     committed: int
     version: int = SNAPSHOT_VERSION
+    record_stats: bool = False
+    timeline_stride: int = 0
 
     @property
     def finished(self) -> bool:
@@ -91,6 +97,20 @@ class PipelineSnapshot:
             raise SnapshotError(
                 f"snapshot collect_timing={self.collect_timing}, "
                 f"pipeline collect_timing={pipeline.collect_timing}"
+            )
+        # Observability modes must match too (getattr: snapshots pickled
+        # before these fields existed read as the off defaults).
+        record_stats = getattr(self, "record_stats", False)
+        if record_stats != pipeline.record_stats:
+            raise SnapshotError(
+                f"snapshot record_stats={record_stats}, "
+                f"pipeline record_stats={pipeline.record_stats}"
+            )
+        timeline_stride = getattr(self, "timeline_stride", 0)
+        if timeline_stride != pipeline.timeline_stride:
+            raise SnapshotError(
+                f"snapshot timeline_stride={timeline_stride}, "
+                f"pipeline timeline_stride={pipeline.timeline_stride}"
             )
 
     def copy_state(self) -> dict:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.uarch.observe import OccupancyStats
+
 
 @dataclass(slots=True)
 class SimStats:
@@ -12,6 +14,9 @@ class SimStats:
     The elimination counters mirror the categories of Figure 8: moves
     eliminated by RENO_ME, register-immediate additions folded by RENO_CF,
     and loads (plus any other ops) eliminated by RENO_CSE+RA.
+
+    ``occupancy`` is populated only when the run recorded observability
+    data (``record_stats=True``); see :mod:`repro.uarch.observe`.
     """
 
     # Progress.
@@ -59,6 +64,9 @@ class SimStats:
     it_lookups: int = 0
     it_hits: int = 0
     it_insertions: int = 0
+
+    # Observability (None unless the run recorded occupancy histograms).
+    occupancy: OccupancyStats | None = None
 
     extra: dict = field(default_factory=dict)
 

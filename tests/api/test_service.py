@@ -187,3 +187,68 @@ def test_serve_smoke_subprocess(tmp_path):
             server.kill()
             output, _ = server.communicate()
     assert "shut down cleanly" in output
+
+
+def test_wait_parameter_validation(server):
+    """Malformed ?wait= answers 400; negatives and oversized values clamp."""
+    _, submitted = call(server, "/experiments", REQUEST)
+    job_id = submitted["job_id"]
+    for bad in ("abc", "", "nan", "1.5x"):
+        code, body = call_error(server, f"/jobs/{job_id}?wait={bad}")
+        assert code == 400, bad
+        assert "wait" in body["error"]
+    # Negative waits clamp to zero (an immediate status read).
+    code, status = call(server, f"/jobs/{job_id}?wait=-1")
+    assert code == 200 and status["job_id"] == job_id
+    # Oversized waits clamp to the server maximum instead of erroring; the
+    # job finishes well inside it, so this returns promptly.
+    code, status = call(server, f"/jobs/{job_id}?wait=99999")
+    assert code == 200 and status["state"] == "succeeded"
+
+
+def test_job_routes_unquote_the_id_segment(server):
+    """URL-encoded job ids resolve to the same job on GET and cancel."""
+    _, submitted = call(server, "/experiments", REQUEST)
+    job_id = submitted["job_id"]
+    encoded = job_id.replace("-", "%2D")
+    assert encoded != job_id
+    code, status = call(server, f"/jobs/{encoded}?wait=60")
+    assert code == 200 and status["job_id"] == job_id
+    code, cancelled = call(server, f"/jobs/{encoded}/cancel", payload={})
+    assert code == 200 and cancelled["job_id"] == job_id
+    # An unknown encoded id still 404s with the decoded name.
+    code, body = call_error(server, "/jobs/no%20such%20job")
+    assert code == 404 and "no such job" in body["error"]
+
+
+def test_submit_survives_bare_keyerror(server, monkeypatch):
+    """A bare KeyError() from the session must surface as a 404, not crash
+    the handler (str(error.args[0]) used to raise IndexError)."""
+    from repro.api.session import Session as SessionClass
+
+    def raise_bare(self, request, on_progress=None):
+        raise KeyError()
+
+    monkeypatch.setattr(SessionClass, "submit", raise_bare)
+    code, body = call_error(server, "/experiments", REQUEST)
+    assert code == 404
+    assert isinstance(body["error"], str)
+
+
+def test_job_status_carries_occupancy_for_recording_experiments(server):
+    request = dict(REQUEST, experiment="bottleneck")
+    _, submitted = call(server, "/experiments", request)
+    _, status = call(server, f"/jobs/{submitted['job_id']}?wait=60")
+    assert status["state"] == "succeeded"
+    assert status["occupancy"]
+    cell = status["occupancy"]["micro_addi_chain/4wide/RENO"]
+    assert 0.0 <= cell["structures"]["rob"]["utilization"] <= 1.0
+    assert 0.0 <= cell["issue"]["utilization"] <= 1.0
+    # The finished report embeds the same section.
+    assert status["report"]["occupancy"]
+    assert set(status["report"]["occupancy"]) == set(status["occupancy"])
+    # Non-recording experiments keep the field null.
+    _, plain = call(server, "/experiments", REQUEST)
+    _, plain_status = call(server, f"/jobs/{plain['job_id']}?wait=60")
+    assert plain_status["state"] == "succeeded"
+    assert plain_status["occupancy"] is None

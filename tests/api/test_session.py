@@ -74,12 +74,16 @@ def test_report_schema_version_is_stamped_and_checked():
     report = figure8_elimination_and_speedup("micro", workloads=SMALL[:1],
                                              jobs=1, cache=False)
     payload = report.to_dict()
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == 2
     assert ExperimentReport.from_dict(payload) == report
-    # Artifacts that predate versioning read as version 1.
+    # Artifacts that predate versioning read as version 1 (all other
+    # fields still round-trip).
     legacy = dict(payload)
     del legacy["schema_version"]
-    assert ExperimentReport.from_dict(legacy) == report
+    parsed = ExperimentReport.from_dict(legacy)
+    assert parsed.schema_version == 1
+    assert parsed.rows == report.rows
+    assert parsed.data == report.data
     # Newer-than-us artifacts fail loudly.
     payload["schema_version"] = 99
     with pytest.raises(ValueError, match="schema_version 99"):
@@ -252,3 +256,101 @@ def test_sync_run_survives_a_cancelled_coalesced_job(tmp_path):
         report = session.run(request)       # must not raise JobCancelled
         assert report.rows
         job.wait(timeout=120)
+
+
+# ---------------------------------------------------------------------------
+# Job retention and live occupancy
+# ---------------------------------------------------------------------------
+
+
+def test_terminal_jobs_are_evicted_beyond_the_cap(tmp_path):
+    """Many sequential jobs must not grow the job table without bound."""
+    with Session(jobs=1, cache=tmp_path / "cache", max_retained_jobs=5,
+                 job_ttl_s=None) as session:
+        job_ids = []
+        for index in range(12):
+            # Distinct digests: each request is a different workload subset.
+            request = ExperimentRequest(
+                "mix", suite="micro", workloads=[SMALL[index % 2]],
+                scale=1 + index // 2)
+            job = session.submit(request)
+            job_ids.append(job.job_id)
+            assert job.result(timeout=120) is not None
+        assert len(session.jobs()) <= 5
+        # The most recent job is still queryable; the oldest are gone.
+        assert session.job(job_ids[-1]) is not None
+        assert session.job(job_ids[0]) is None
+
+
+def test_job_ttl_sweeps_expired_terminal_jobs(tmp_path):
+    with Session(jobs=1, cache=tmp_path / "cache",
+                 job_ttl_s=0.05) as session:
+        first = session.submit(small_request())
+        assert first.result(timeout=120) is not None
+        import time
+
+        time.sleep(0.1)
+        # The next submission sweeps the expired job.
+        second = session.submit(ExperimentRequest(
+            "mix", suite="micro", workloads=SMALL[:1]))
+        assert second.result(timeout=120) is not None
+        assert session.job(first.job_id) is None
+        assert session.job(second.job_id) is second
+
+
+def test_inflight_jobs_are_never_evicted(tmp_path):
+    """The cap only applies to terminal jobs; a running job survives any
+    number of subsequent submissions."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def stall(job, key, cached):
+        started.set()
+        release.wait(timeout=60)
+
+    with Session(jobs=1, cache=tmp_path / "cache", workers=2,
+                 max_retained_jobs=1, job_ttl_s=None) as session:
+        running = session.submit(
+            ExperimentRequest("fig8", suite="micro", workloads=SMALL),
+            on_progress=stall)
+        started.wait(timeout=60)
+        try:
+            quick = session.submit(ExperimentRequest(
+                "mix", suite="micro", workloads=SMALL[:1]))
+            assert quick.result(timeout=120) is not None
+            # In-flight job still present despite the cap of 1.
+            assert session.job(running.job_id) is running
+        finally:
+            release.set()
+        assert running.result(timeout=240) is not None
+
+
+def test_session_rejects_bad_retention_arguments():
+    with pytest.raises(ValueError, match="max_retained_jobs"):
+        Session(max_retained_jobs=0)
+    with pytest.raises(ValueError, match="job_ttl_s"):
+        Session(job_ttl_s=0.0)
+
+
+def test_status_carries_live_occupancy_for_recording_experiments(tmp_path):
+    with Session(jobs=1, cache=tmp_path / "cache") as session:
+        job = session.submit(ExperimentRequest(
+            "bottleneck", suite="micro", workloads=SMALL[:1]))
+        report = job.result(timeout=240)
+        status = job.status()
+    assert status.occupancy
+    assert "micro_addi_chain/4wide/RENO" in status.occupancy
+    for summary in status.occupancy.values():
+        assert 0.0 <= summary["structures"]["rob"]["utilization"] <= 1.0
+    # The finished report carries the same per-cell section.
+    assert report.occupancy
+    assert set(report.occupancy) == set(status.occupancy)
+    # And the status round-trips through its wire form, occupancy included.
+    assert JobStatus.from_dict(status.to_dict()) == status
+
+
+def test_status_occupancy_is_none_without_recording(tmp_path):
+    with Session(jobs=1, cache=tmp_path / "cache") as session:
+        job = session.submit(small_request())
+        assert job.result(timeout=120) is not None
+        assert job.status().occupancy is None

@@ -1,0 +1,164 @@
+"""Tests for the occupancy/utilization observability layer.
+
+Unit tests for the :mod:`repro.uarch.observe` containers, plus whole-run
+invariants: every per-cycle histogram must cover exactly ``cycles``
+samples, the issue histogram's weighted sum must equal the issued-
+instruction count, the stall-reason buckets must sum to the fetch-stall
+cycle count, and recording must not perturb the simulated results.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.core import RenoConfig
+from repro.core.simulator import simulate_workload
+from repro.functional.simulator import FunctionalSimulator
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Pipeline
+from repro.uarch.observe import (
+    ISSUE_CLASS_NAMES,
+    STALL_REASON_NAMES,
+    OccupancyStats,
+    TimelineRecorder,
+)
+from repro.workloads.base import get_workload
+
+WORKLOADS = ["micro_addi_chain", "micro_store_load", "micro_branchy"]
+
+CONFIGS = {
+    "BASE": None,
+    "RENO": RenoConfig.reno_default(),
+}
+
+
+def run_with_stats(workload, reno, timeline_stride=0):
+    """One pipeline run with recording on, returning (pipeline, result)."""
+    program = get_workload(workload).build(1)
+    trace = FunctionalSimulator(program, 2_000_000).run().trace
+    machine = MachineConfig.default_4wide()
+    renamer = None
+    if reno is not None:
+        from repro.core.renamer import RenoRenamer
+
+        renamer = RenoRenamer(machine.num_physical_regs, reno)
+    pipeline = Pipeline(program, trace, machine, renamer=renamer,
+                        record_stats=True, timeline_stride=timeline_stride)
+    return pipeline, pipeline.run()
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_histograms_cover_every_cycle(workload, config_name):
+    _, result = run_with_stats(workload, CONFIGS[config_name])
+    occupancy = result.stats.occupancy
+    cycles = result.stats.cycles
+    assert occupancy.cycles == cycles
+    for name in ("rob", "iq", "prf", "sq", "lq", "issued"):
+        assert sum(getattr(occupancy, name)) == cycles, name
+    for counts in occupancy.ready:
+        assert sum(counts) == cycles
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_issue_and_stall_totals_match_simstats(workload, config_name):
+    _, result = run_with_stats(workload, CONFIGS[config_name])
+    occupancy = result.stats.occupancy
+    stats = result.stats
+    weighted = sum(n * count for n, count in enumerate(occupancy.issued))
+    assert weighted == stats.issued
+    assert sum(occupancy.issued_by_class) == stats.issued
+    assert sum(occupancy.fetch_stall_reasons) == stats.fetch_stall_cycles
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_recording_does_not_perturb_results(workload):
+    """Stats-on and stats-off runs must simulate identically."""
+    off = simulate_workload(workload, reno=RenoConfig.reno_default())
+    on = simulate_workload(workload, reno=RenoConfig.reno_default(),
+                           record_stats=True)
+    assert off.cycles == on.cycles
+    assert off.timing.final_registers == on.timing.final_registers
+    ignore = {"occupancy"}
+    for f in fields(off.stats):
+        if f.name not in ignore:
+            assert getattr(off.stats, f.name) == getattr(on.stats, f.name), f.name
+    assert off.stats.occupancy is None
+    assert on.stats.occupancy is not None
+
+
+def test_occupancy_dict_roundtrip_and_summary_shape():
+    _, result = run_with_stats(WORKLOADS[0], CONFIGS["RENO"])
+    occupancy = result.stats.occupancy
+    again = OccupancyStats.from_dict(occupancy.to_dict())
+    assert again == occupancy
+    summary = occupancy.summary()
+    assert set(summary["structures"]) == {"rob", "iq", "prf", "sq", "lq"}
+    for entry in summary["structures"].values():
+        assert 0.0 <= entry["utilization"] <= 1.0
+        assert entry["peak"] <= entry["capacity"]
+    assert set(summary["ready"]) == set(ISSUE_CLASS_NAMES)
+    assert set(summary["fetch_stalls"]) == set(STALL_REASON_NAMES)
+    assert 0.0 <= summary["issue"]["utilization"] <= 1.0
+
+
+def test_timeline_rows_follow_the_stride():
+    _, result = run_with_stats(WORKLOADS[0], CONFIGS["BASE"], timeline_stride=5)
+    assert result.timeline
+    cycles = [row[0] for row in result.timeline]
+    assert all(cycle % 5 == 0 for cycle in cycles)
+    assert cycles == sorted(cycles)
+    # Row shape: (cycle, committed, issued, rob, iq, prf, sq, lq).
+    assert all(len(row) == 8 for row in result.timeline)
+    # committed is monotonically non-decreasing along the timeline.
+    committed = [row[1] for row in result.timeline]
+    assert committed == sorted(committed)
+
+
+def test_timeline_stride_implies_recording():
+    """A timeline stride alone switches occupancy recording on."""
+    program = get_workload(WORKLOADS[0]).build(1)
+    trace = FunctionalSimulator(program, 2_000_000).run().trace
+    pipeline = Pipeline(program, trace, MachineConfig.default_4wide(),
+                        timeline_stride=9)
+    assert pipeline.record_stats
+    result = pipeline.run()
+    assert result.stats.occupancy is not None
+    assert result.timeline
+
+
+def test_negative_timeline_stride_rejected():
+    program = get_workload(WORKLOADS[0]).build(1)
+    trace = FunctionalSimulator(program, 2_000_000).run().trace
+    with pytest.raises(ValueError, match="timeline_stride"):
+        Pipeline(program, trace, MachineConfig.default_4wide(),
+                 timeline_stride=-1)
+
+
+def test_timeline_ring_buffer_wraps():
+    recorder = TimelineRecorder(stride=1, capacity=4)
+    for cycle in range(10):
+        recorder.record((cycle, 0, 0, 0, 0, 0, 0, 0))
+    assert recorder.total == 10
+    assert len(recorder.rows) == 4
+    assert [row[0] for row in recorder.ordered()] == [6, 7, 8, 9]
+    payload = recorder.to_dict()
+    assert payload["total"] == 10
+    assert [row[0] for row in payload["rows"]] == [6, 7, 8, 9]
+    assert len(payload["columns"]) == 8
+
+
+def test_ring_wrap_in_a_real_run():
+    """A tiny capacity forces wrap-around mid-run; the retained tail is
+    still strided, ordered and consistent."""
+    program = get_workload("micro_branchy").build(1)
+    trace = FunctionalSimulator(program, 2_000_000).run().trace
+    pipeline = Pipeline(program, trace, MachineConfig.default_4wide(),
+                        timeline_stride=2, timeline_capacity=16)
+    result = pipeline.run()
+    assert pipeline.timeline.total > 16
+    assert len(result.timeline) == 16
+    cycles = [row[0] for row in result.timeline]
+    assert cycles == sorted(cycles)
+    assert all(cycle % 2 == 0 for cycle in cycles)

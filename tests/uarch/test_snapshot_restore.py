@@ -37,11 +37,13 @@ def build_run(seed):
     return program, trace
 
 
-def make_pipeline(program, trace, reno, collect_timing=False):
+def make_pipeline(program, trace, reno, collect_timing=False,
+                  record_stats=False, timeline_stride=0):
     machine = MachineConfig.default_4wide()
     renamer = RenoRenamer(machine.num_physical_regs, reno) if reno is not None else None
     return Pipeline(program, trace, machine, renamer=renamer,
-                    collect_timing=collect_timing)
+                    collect_timing=collect_timing, record_stats=record_stats,
+                    timeline_stride=timeline_stride)
 
 
 def stats_dict(result):
@@ -52,14 +54,17 @@ def assert_results_identical(sliced, reference):
     assert stats_dict(sliced) == stats_dict(reference)
     assert sliced.final_registers == reference.final_registers
     assert sliced.timing_records == reference.timing_records
+    assert sliced.timeline == reference.timeline
     assert sliced.finished and reference.finished
 
 
 def run_sliced_with_handoff(program, trace, reno, slice_cycles,
-                            collect_timing=False):
+                            collect_timing=False, record_stats=False,
+                            timeline_stride=0):
     """Finish a run in slices, pickling the snapshot and rebuilding the
     pipeline from scratch between every pair of slices."""
-    pipeline = make_pipeline(program, trace, reno, collect_timing)
+    pipeline = make_pipeline(program, trace, reno, collect_timing,
+                             record_stats, timeline_stride)
     slices = 0
     while True:
         result = pipeline.run(max_cycles=slice_cycles)
@@ -67,7 +72,8 @@ def run_sliced_with_handoff(program, trace, reno, slice_cycles,
         if result.finished:
             return result, slices
         snapshot = pickle.loads(pickle.dumps(pipeline.snapshot()))
-        fresh = make_pipeline(program, trace, reno, collect_timing)
+        fresh = make_pipeline(program, trace, reno, collect_timing,
+                              record_stats, timeline_stride)
         fresh.restore(snapshot)
         pipeline = fresh
 
@@ -106,6 +112,53 @@ def test_sliced_run_with_timing_records(config_name):
     sliced, _ = run_sliced_with_handoff(program, trace, reno, 131,
                                         collect_timing=True)
     assert_results_identical(sliced, reference)
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sliced_run_with_occupancy_and_timeline(seed, config_name):
+    """Slicing with the observability layer on is byte-identical too: the
+    occupancy histograms, the serialised occupancy section and the strided
+    timeline all survive pickled snapshot handoffs exactly."""
+    program, trace = build_run(seed)
+    reno = CONFIGS[config_name]
+    reference = make_pipeline(program, trace, reno, record_stats=True,
+                              timeline_stride=7).run()
+    assert reference.stats.occupancy is not None
+    assert reference.stats.occupancy.cycles == reference.stats.cycles
+    sliced, slices = run_sliced_with_handoff(
+        program, trace, reno, 97 + seed % 5,
+        record_stats=True, timeline_stride=7)
+    assert slices > 1
+    assert_results_identical(sliced, reference)
+    assert (sliced.stats.occupancy.to_dict()
+            == reference.stats.occupancy.to_dict())
+
+
+def test_restore_rejects_mismatched_observability_modes():
+    """A snapshot only restores into a pipeline recording the same things."""
+    program, trace = build_run(SEEDS[0])
+    pipeline = make_pipeline(program, trace, None, record_stats=True,
+                             timeline_stride=4)
+    pipeline.run(max_cycles=100)
+    snapshot = pickle.loads(pickle.dumps(pipeline.snapshot()))
+
+    plain = make_pipeline(program, trace, None)
+    with pytest.raises(SnapshotError, match="record_stats"):
+        plain.restore(snapshot)
+
+    other_stride = make_pipeline(program, trace, None, record_stats=True,
+                                 timeline_stride=8)
+    with pytest.raises(SnapshotError, match="timeline_stride"):
+        other_stride.restore(snapshot)
+
+    # And the inverse direction: a stats-off snapshot does not restore
+    # into a recording pipeline.
+    off = make_pipeline(program, trace, None)
+    off.run(max_cycles=100)
+    stats_on = make_pipeline(program, trace, None, record_stats=True)
+    with pytest.raises(SnapshotError, match="record_stats"):
+        stats_on.restore(off.snapshot())
 
 
 def test_snapshot_is_detached_from_the_live_pipeline():
