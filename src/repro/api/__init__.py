@@ -15,6 +15,12 @@ library internals that may change between versions.  It has four pieces:
 * Incremental simulation — time-sliced, checkpointable pipeline runs
   (:mod:`repro.api.checkpoint`, re-exporting
   :class:`~repro.uarch.snapshot.PipelineSnapshot`).
+* The distributed worker fleet — a lease broker plus ``python -m repro
+  worker`` pullers executing experiment grids across processes with
+  byte-identical results (:mod:`repro.api.fleet`, :mod:`repro.api.worker`;
+  wire messages :class:`~repro.api.schema.WorkerHello`,
+  :class:`~repro.api.schema.TaskLease`,
+  :class:`~repro.api.schema.TaskResult`).
 
 Quick start::
 
@@ -26,14 +32,30 @@ Quick start::
 """
 
 from repro.api.checkpoint import resume_sliced, run_sliced
+from repro.api.fleet import (
+    FleetBroker,
+    FleetError,
+    FleetExecutor,
+    FleetSaturated,
+    FleetServer,
+    FleetStalled,
+    FleetTaskError,
+    WorkerRejected,
+    make_fleet_server,
+    shared_fleet,
+)
 from repro.api.schema import (
     WIRE_SCHEMA_VERSION,
     ExperimentRequest,
     JobState,
     JobStatus,
     SchemaError,
+    TaskLease,
+    TaskResult,
+    WorkerHello,
 )
 from repro.api.service import make_server, serve
+from repro.api.worker import FleetWorker
 from repro.api.session import (
     Job,
     JobCancelled,
@@ -60,4 +82,18 @@ __all__ = [
     "resume_sliced",
     "PipelineSnapshot",
     "SnapshotError",
+    "WorkerHello",
+    "TaskLease",
+    "TaskResult",
+    "FleetBroker",
+    "FleetServer",
+    "FleetExecutor",
+    "FleetWorker",
+    "FleetError",
+    "FleetSaturated",
+    "FleetStalled",
+    "FleetTaskError",
+    "WorkerRejected",
+    "make_fleet_server",
+    "shared_fleet",
 ]

@@ -1,0 +1,1127 @@
+"""The distributed worker fleet: broker, fleet HTTP server, FleetExecutor.
+
+``repro serve`` historically ran every grid cell in threads of one process.
+This module is the path from one process to a fleet: a lease-based broker
+shards :class:`~repro.harness.executors.WorkloadTask` grids into *cells*
+(one (workload, machine, RENO) point each) and hands them to ``python -m
+repro worker`` pullers over the versioned HTTP wire schema
+(:mod:`repro.api.schema`).  Three layers, separable for testing:
+
+* :class:`FleetBroker` — the pure state machine: a fair-share task queue
+  (round-robin across concurrent submissions), expiring leases with
+  heartbeat renewal, bounded retry of expired/failed leases, backpressure
+  (queue-depth cap), and exactly-once commit per cell.
+* :class:`FleetServer` — a dependency-free ``http.server`` front-end
+  mapping the broker onto ``/fleet/hello``, ``/fleet/lease``,
+  ``/fleet/result``, ``/fleet/heartbeat`` and ``/fleet/stats``.
+* :class:`FleetExecutor` — an :class:`~repro.harness.executors.Executor`
+  implementation: it boots (or attaches to) a broker, keeps a target
+  number of worker subprocesses alive, enqueues cell leases, and
+  assembles the deterministic grid-ordered blocks every consumer of
+  :func:`~repro.harness.executors.execute_grid` expects.
+
+Determinism contract: results are **byte-identical** to
+:class:`~repro.harness.executors.SerialExecutor` no matter how workers
+die, stall or duplicate work.  Three mechanisms make that hold:
+
+* every cell is a pure function of its content-addressed inputs, so a
+  retried cell recomputes the identical outcome;
+* outcomes travel through the shared content-addressed outcome cache
+  (never the wire), so a late result from an expired lease is *dropped*
+  by the broker without losing the work — the retry becomes a cache hit;
+* long cells checkpoint via :class:`~repro.uarch.snapshot.PipelineSnapshot`
+  (see :mod:`repro.api.worker`), so a dying worker's partial simulation
+  resumes elsewhere with byte-identical final state.
+
+The chaos harness in ``tests/fleet/harness.py`` SIGKILLs, SIGSTOPs and
+version-desyncs workers mid-grid and asserts exactly this contract.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.api.schema import (
+    WIRE_SCHEMA_VERSION,
+    SchemaError,
+    TaskLease,
+    TaskResult,
+    WorkerHello,
+)
+from repro.harness.cache import (
+    SimulationCache,
+    outcome_key,
+    program_digest,
+)
+from repro.harness.executors import (
+    FLEET_ENV,
+    Block,
+    ExecutionCancelled,
+    SerialExecutor,
+    WorkloadTask,
+    _delegate,
+    _progress_emitter,
+)
+
+#: Default seconds a lease stays valid without a heartbeat.
+DEFAULT_LEASE_TTL_S = 10.0
+
+#: Default bound on execution attempts per cell (grants, not heartbeats).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default cap on broker queue depth (queued + leased cells) — the
+#: backpressure limit behind the service's structured 429.
+DEFAULT_MAX_QUEUE_DEPTH = 4096
+
+#: Default cycle budget per worker slice (the checkpoint granularity).
+DEFAULT_SLICE_CYCLES = 50_000
+
+
+class FleetError(RuntimeError):
+    """Base class for fleet failures."""
+
+
+class FleetSaturated(FleetError):
+    """The broker queue is at its depth cap; the submission was refused.
+
+    Carries ``queue_depth`` and ``max_queue_depth`` so HTTP front-ends can
+    answer a structured 429 with the live numbers.
+    """
+
+    def __init__(self, message: str, queue_depth: int, max_queue_depth: int):
+        """Create the error with the live depth numbers attached."""
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+
+
+class FleetTaskError(FleetError):
+    """A cell exhausted its retry budget; the grid cannot complete."""
+
+
+class FleetStalled(FleetError):
+    """No cell made progress within the stall timeout (fleet dead/hung)."""
+
+
+class WorkerRejected(FleetError):
+    """A worker's hello was refused (wire schema version mismatch).
+
+    ``payload`` is the structured rejection body the HTTP layer returns.
+    """
+
+    def __init__(self, message: str, payload: dict):
+        """Create the rejection with its structured wire body."""
+        super().__init__(message)
+        self.payload = payload
+
+
+class FleetProtocolError(FleetError):
+    """A worker spoke out of turn (e.g. leased without a hello)."""
+
+
+# ---------------------------------------------------------------------------
+# Broker state records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Cell:
+    """Broker-side record of one grid cell (internal)."""
+
+    grid_key: tuple
+    payload: dict
+    job_tag: str
+    state: str = "queued"          # queued | leased | done | failed | cancelled
+    attempts: int = 0
+    commits: int = 0
+    cached: bool = False
+    last_error: str | None = None
+
+
+@dataclass
+class _Lease:
+    """Broker-side record of one live lease (internal)."""
+
+    lease_id: str
+    cell: _Cell
+    worker_id: str
+    deadline: float
+
+
+@dataclass
+class _FleetJob:
+    """Broker-side record of one submitted grid (internal)."""
+
+    tag: str
+    total: int
+    remaining: int
+    events: list = field(default_factory=list)
+    error: str | None = None
+    cancelled: bool = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the job can no longer make progress."""
+        return self.remaining <= 0 or self.error is not None or self.cancelled
+
+
+@dataclass
+class _Worker:
+    """Broker-side record of one registered worker (internal)."""
+
+    hello: WorkerHello
+    last_seen: float
+    leases_granted: int = 0
+
+
+# ---------------------------------------------------------------------------
+# The broker
+# ---------------------------------------------------------------------------
+
+
+class FleetBroker:
+    """Lease-based fair-share cell queue (the fleet's state machine).
+
+    Thread-safe; every public method may be called from HTTP handler
+    threads and the executor's wait loop concurrently.  Time is injectable
+    (``clock``) so lease-expiry behaviour is testable without sleeping.
+
+    Args:
+        lease_ttl_s: Seconds a lease survives without a heartbeat.
+        max_attempts: Execution attempts per cell before the cell (and its
+            job) fail.
+        max_queue_depth: Cap on queued+leased cells; submissions past it
+            raise :class:`FleetSaturated` (the backpressure bound).
+        slice_cycles: Cycle budget per worker slice, shipped inside each
+            cell (checkpoint granularity for preemptible cells).
+        clock: Monotonic time source (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        *,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        slice_cycles: int = DEFAULT_SLICE_CYCLES,
+        clock=time.monotonic,
+    ):
+        """Create an empty broker with the given policy knobs."""
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be positive, got {lease_ttl_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        self.lease_ttl_s = lease_ttl_s
+        self.heartbeat_every_s = max(0.05, min(lease_ttl_s / 3.0, 2.0))
+        self.max_attempts = max_attempts
+        self.max_queue_depth = max_queue_depth
+        self.slice_cycles = slice_cycles
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)     # lease waiters
+        self._events = threading.Condition(self._lock)   # commit waiters
+        self._jobs: dict[str, _FleetJob] = {}
+        self._queues: dict[str, deque[_Cell]] = {}
+        self._rr: deque[str] = deque()                   # fair-share rotation
+        self._leases: dict[str, _Lease] = {}
+        self._workers: dict[str, _Worker] = {}
+        self._draining = False
+        self._next_lease = 1
+        self.counters = {
+            "commits": 0,           # cells committed exactly once
+            "retries": 0,           # expired/failed leases sent back to queue
+            "late_results": 0,      # results dropped (lease no longer live)
+            "failures": 0,          # cells that exhausted the retry budget
+            "leases_granted": 0,
+            "cancelled_cells": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Worker registration / negotiation
+    # ------------------------------------------------------------------
+
+    def register(self, hello: WorkerHello) -> dict:
+        """Register a worker after wire-schema negotiation.
+
+        A worker advertising an *older* :data:`WIRE_SCHEMA_VERSION` gets a
+        structured :class:`WorkerRejected` (it cannot interpret this
+        broker's leases); a *newer* one was already refused by
+        :meth:`WorkerHello.from_dict` per the standard
+        :class:`~repro.api.schema.SchemaError` policy.
+        """
+        if hello.schema_version < WIRE_SCHEMA_VERSION:
+            payload = {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "error": (
+                    f"worker {hello.worker_id!r} speaks wire schema "
+                    f"{hello.schema_version}, older than the broker's "
+                    f"{WIRE_SCHEMA_VERSION}; upgrade the worker"
+                ),
+                "supported_version": WIRE_SCHEMA_VERSION,
+                "advertised_version": hello.schema_version,
+            }
+            raise WorkerRejected(payload["error"], payload)
+        with self._lock:
+            self._workers[hello.worker_id] = _Worker(
+                hello=hello, last_seen=self._clock())
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "ok": True,
+            "worker_id": hello.worker_id,
+            "lease_ttl_s": self.lease_ttl_s,
+            "heartbeat_every_s": self.heartbeat_every_s,
+        }
+
+    def worker_count(self) -> int:
+        """Number of workers that have said hello."""
+        with self._lock:
+            return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # Submission / backpressure
+    # ------------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Queued plus leased cells (the backpressure quantity)."""
+        with self._lock:
+            return self._depth_locked()
+
+    def _depth_locked(self) -> int:
+        return sum(len(q) for q in self._queues.values()) + len(self._leases)
+
+    def admit(self, cells: int) -> None:
+        """Raise :class:`FleetSaturated` if ``cells`` more would overflow.
+
+        Advisory (the depth can change between this check and the actual
+        submission); :meth:`submit_cells` re-enforces the cap.
+        """
+        with self._lock:
+            self._check_depth_locked(cells)
+
+    def _check_depth_locked(self, incoming: int) -> None:
+        depth = self._depth_locked()
+        if depth + incoming > self.max_queue_depth:
+            raise FleetSaturated(
+                f"fleet queue is saturated: {depth} cells in flight plus "
+                f"{incoming} submitted would exceed the cap of "
+                f"{self.max_queue_depth}; retry when the queue drains",
+                queue_depth=depth,
+                max_queue_depth=self.max_queue_depth,
+            )
+
+    def submit_cells(self, job_tag: str, cells: list[tuple[tuple, dict]]) -> None:
+        """Enqueue one job's cells: ``[(grid_key, cell_payload), ...]``.
+
+        Raises :class:`FleetSaturated` past the depth cap and ValueError on
+        a reused tag (tags are one-shot submission identities).
+        """
+        if not cells:
+            return
+        with self._lock:
+            if job_tag in self._jobs:
+                raise ValueError(f"job tag {job_tag!r} already submitted")
+            self._check_depth_locked(len(cells))
+            job = _FleetJob(tag=job_tag, total=len(cells), remaining=len(cells))
+            self._jobs[job_tag] = job
+            queue = self._queues.setdefault(job_tag, deque())
+            for grid_key, payload in cells:
+                queue.append(_Cell(grid_key=grid_key, payload=payload,
+                                   job_tag=job_tag))
+            self._rr.append(job_tag)
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+
+    def lease(self, worker_id: str, wait: float = 0.0) -> TaskLease | None:
+        """Grant the next cell to ``worker_id`` (fair-share round-robin).
+
+        Blocks up to ``wait`` seconds for work.  Returns None when there is
+        none (or the broker is draining); raises
+        :class:`FleetProtocolError` for a worker that never said hello
+        (the HTTP layer answers 409, telling the worker to re-register).
+        """
+        deadline = self._clock() + max(0.0, wait)
+        with self._lock:
+            while True:
+                worker = self._workers.get(worker_id)
+                if worker is None:
+                    raise FleetProtocolError(
+                        f"unknown worker {worker_id!r}; say hello first")
+                worker.last_seen = self._clock()
+                if self._draining:
+                    return None
+                self._sweep_expired_locked()
+                cell = self._next_cell_locked()
+                if cell is not None:
+                    return self._grant_locked(cell, worker)
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return None
+                # Short waits so expiring leases are swept while blocked.
+                self._work.wait(min(remaining, self.heartbeat_every_s))
+
+    def _next_cell_locked(self) -> _Cell | None:
+        """Pop the next queued cell, rotating fairly across job tags."""
+        for _ in range(len(self._rr)):
+            tag = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(tag)
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _grant_locked(self, cell: _Cell, worker: _Worker) -> TaskLease:
+        lease_id = f"lease-{self._next_lease:06d}"
+        self._next_lease += 1
+        cell.state = "leased"
+        cell.attempts += 1
+        lease = _Lease(lease_id=lease_id, cell=cell,
+                       worker_id=worker.hello.worker_id,
+                       deadline=self._clock() + self.lease_ttl_s)
+        self._leases[lease_id] = lease
+        worker.leases_granted += 1
+        self.counters["leases_granted"] += 1
+        return TaskLease(
+            lease_id=lease_id,
+            job_tag=cell.job_tag,
+            cell=cell.payload,
+            attempt=cell.attempts,
+            lease_ttl_s=self.lease_ttl_s,
+            heartbeat_every_s=self.heartbeat_every_s,
+        )
+
+    def _sweep_expired_locked(self) -> None:
+        """Requeue (or fail) every lease whose deadline has passed."""
+        now = self._clock()
+        for lease_id in [lid for lid, lease in self._leases.items()
+                         if lease.deadline < now]:
+            lease = self._leases.pop(lease_id)
+            self._retry_or_fail_locked(
+                lease.cell,
+                f"lease {lease_id} of worker {lease.worker_id!r} expired "
+                f"(no heartbeat within {self.lease_ttl_s}s)")
+
+    def _retry_or_fail_locked(self, cell: _Cell, reason: str) -> None:
+        cell.last_error = reason
+        job = self._jobs.get(cell.job_tag)
+        if job is None or job.cancelled:
+            cell.state = "cancelled"
+            return
+        if cell.attempts >= self.max_attempts:
+            cell.state = "failed"
+            self.counters["failures"] += 1
+            job.error = (f"cell {cell.grid_key} failed after "
+                         f"{cell.attempts} attempts: {reason}")
+            self._events.notify_all()
+            return
+        cell.state = "queued"
+        self.counters["retries"] += 1
+        # Front of the queue: a retried cell is usually a near-free cache
+        # hit (its first worker may have finished before dying), so letting
+        # it jump the line keeps job completion latency bounded.
+        self._queues.setdefault(cell.job_tag, deque()).appendleft(cell)
+        self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # Heartbeats / results
+    # ------------------------------------------------------------------
+
+    def heartbeat(self, worker_id: str, lease_ids: list[str]) -> dict:
+        """Extend the given leases; return a per-lease directive map.
+
+        ``"keep"`` means carry on; ``"abandon"`` means stop working on the
+        cell (the lease expired and was reassigned, or its job was
+        cancelled) — the worker leaves any checkpoint for the next owner.
+        """
+        directives: dict[str, str] = {}
+        with self._lock:
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                worker.last_seen = self._clock()
+            self._sweep_expired_locked()
+            for lease_id in lease_ids:
+                lease = self._leases.get(lease_id)
+                if (lease is None or lease.worker_id != worker_id
+                        or lease.cell.state == "cancelled"):
+                    directives[lease_id] = "abandon"
+                    continue
+                lease.deadline = self._clock() + self.lease_ttl_s
+                directives[lease_id] = "keep"
+        return {"schema_version": WIRE_SCHEMA_VERSION, "directives": directives}
+
+    def complete(self, result: TaskResult) -> bool:
+        """Commit (or reject) one worker result — the exactly-once gate.
+
+        Only a *live* lease may commit its cell; late results (expired or
+        reassigned leases, cancelled jobs) are counted and dropped — their
+        work is not lost, because the worker already stored the outcome in
+        the shared cache and the retry will hit it.  Returns True when the
+        result was accepted.
+        """
+        with self._lock:
+            lease = self._leases.pop(result.lease_id, None)
+            if lease is None or lease.cell.state != "leased":
+                self.counters["late_results"] += 1
+                return False
+            cell = lease.cell
+            job = self._jobs.get(cell.job_tag)
+            if job is None or job.cancelled:
+                cell.state = "cancelled"
+                self.counters["late_results"] += 1
+                return False
+            if not result.ok:
+                self._retry_or_fail_locked(
+                    cell, result.error or "worker reported failure")
+                return True
+            cell.state = "done"
+            cell.commits += 1
+            cell.cached = result.cached
+            job.remaining -= 1
+            job.events.append((cell.grid_key,
+                               cell.payload.get("outcome_key"),
+                               result.cached))
+            self.counters["commits"] += 1
+            self._events.notify_all()
+            return True
+
+    # ------------------------------------------------------------------
+    # Executor-facing surface
+    # ------------------------------------------------------------------
+
+    def wait_job(self, job_tag: str, timeout: float) -> tuple[list, bool, str | None]:
+        """Drain new commit events for one job (blocking up to ``timeout``).
+
+        Returns ``(events, done, error)`` where each event is
+        ``(grid_key, outcome_key, cached)``.  ``done`` covers success,
+        failure and cancellation alike; the caller inspects ``error``.
+        """
+        with self._lock:
+            job = self._jobs.get(job_tag)
+            if job is None:
+                raise KeyError(f"unknown fleet job {job_tag!r}")
+            self._sweep_expired_locked()
+            if not job.events and not job.done and timeout > 0:
+                self._events.wait(timeout)
+                self._sweep_expired_locked()
+            events, job.events = job.events, []
+            return events, job.done, job.error
+
+    def cancel_job(self, job_tag: str) -> int:
+        """Drop a job's queued cells and mark its leased cells abandoned.
+
+        This is what makes cancellation *real* for fleet jobs: queued but
+        unleased cells leave the broker queue immediately (workers stop
+        receiving them), and in-flight leases are told to abandon on their
+        next heartbeat.  Returns how many queued cells were dropped.
+        """
+        with self._lock:
+            job = self._jobs.get(job_tag)
+            if job is None:
+                return 0
+            job.cancelled = True
+            queue = self._queues.get(job_tag)
+            dropped = 0
+            if queue:
+                dropped = len(queue)
+                for cell in queue:
+                    cell.state = "cancelled"
+                queue.clear()
+            for lease in self._leases.values():
+                if lease.cell.job_tag == job_tag:
+                    lease.cell.state = "cancelled"
+            self.counters["cancelled_cells"] += dropped
+            self._events.notify_all()
+            self._work.notify_all()
+            return dropped
+
+    def forget_job(self, job_tag: str) -> None:
+        """Release a finished job's bookkeeping (executor cleanup)."""
+        with self._lock:
+            self._jobs.pop(job_tag, None)
+            self._queues.pop(job_tag, None)
+            if job_tag in self._rr:
+                self._rr.remove(job_tag)
+
+    def job_cells(self, job_tag: str) -> list[_Cell]:
+        """Snapshot of a job's cell records (tests/observability)."""
+        with self._lock:
+            cells: list[_Cell] = []
+            for queue in self._queues.values():
+                cells.extend(c for c in queue if c.job_tag == job_tag)
+            for lease in self._leases.values():
+                if lease.cell.job_tag == job_tag:
+                    cells.append(lease.cell)
+            return cells
+
+    def drain(self) -> None:
+        """Stop granting leases; pollers are told to shut down."""
+        with self._lock:
+            self._draining = True
+            self._work.notify_all()
+            self._events.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the broker has stopped granting leases."""
+        with self._lock:
+            return self._draining
+
+    def stats(self) -> dict:
+        """A JSON-safe snapshot of queue/lease/worker state (``/fleet/stats``)."""
+        with self._lock:
+            now = self._clock()
+            return {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "queued": sum(len(q) for q in self._queues.values()),
+                "leased": len(self._leases),
+                "max_queue_depth": self.max_queue_depth,
+                "lease_ttl_s": self.lease_ttl_s,
+                "draining": self._draining,
+                "workers": {
+                    worker_id: {
+                        "pid": record.hello.pid,
+                        "host": record.hello.host,
+                        "last_seen_age_s": max(0.0, now - record.last_seen),
+                        "leases_granted": record.leases_granted,
+                    }
+                    for worker_id, record in self._workers.items()
+                },
+                "jobs": {
+                    tag: {"total": job.total,
+                          "remaining": job.remaining,
+                          "cancelled": job.cancelled,
+                          "error": job.error}
+                    for tag, job in self._jobs.items()
+                },
+                "counters": dict(self.counters),
+            }
+
+
+# ---------------------------------------------------------------------------
+# The fleet HTTP server
+# ---------------------------------------------------------------------------
+
+
+class FleetServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`FleetBroker`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, broker: FleetBroker):
+        """Bind to ``address`` and serve ``broker``."""
+        self.broker = broker
+        super().__init__(address, FleetRequestHandler)
+
+    def handle_error(self, request, client_address) -> None:
+        """Swallow disconnect noise: a SIGKILLed worker tears its socket
+        down mid-long-poll, which is chaos-by-design, not a server bug."""
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        super().handle_error(request, client_address)
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (host resolved after an ephemeral bind)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class FleetRequestHandler(BaseHTTPRequestHandler):
+    """Routes the fleet endpoints (one request per connection thread).
+
+    ========  =====================  ====================================
+    method    path                   behaviour
+    ========  =====================  ====================================
+    GET       ``/healthz``           liveness probe
+    GET       ``/fleet/stats``       broker queue/lease/worker snapshot
+    POST      ``/fleet/hello``       worker registration + negotiation
+    POST      ``/fleet/lease``       pull one lease (long-polls ``wait``)
+    POST      ``/fleet/result``      commit one result (exactly-once)
+    POST      ``/fleet/heartbeat``   extend leases, receive directives
+    ========  =====================  ====================================
+    """
+
+    server: FleetServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Suppress the default per-request stderr chatter."""
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._reply(code, {"schema_version": WIRE_SCHEMA_VERSION,
+                           "error": message})
+
+    def _read_json(self) -> dict | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        try:
+            return json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, f"malformed JSON body: {error}")
+            return None
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """GET router: ``/healthz`` and ``/fleet/stats``."""
+        path = self.path.partition("?")[0]
+        if path == "/healthz":
+            self._reply(200, {"schema_version": WIRE_SCHEMA_VERSION,
+                              "ok": True})
+            return
+        if path == "/fleet/stats":
+            self._reply(200, self.server.broker.stats())
+            return
+        self._error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """POST router: hello / lease / result / heartbeat."""
+        path = self.path.partition("?")[0]
+        payload = self._read_json()
+        if payload is None:
+            return
+        broker = self.server.broker
+        try:
+            if path == "/fleet/hello":
+                self._reply(200, broker.register(WorkerHello.from_dict(payload)))
+            elif path == "/fleet/lease":
+                worker_id = payload.get("worker_id", "")
+                wait = float(payload.get("wait", 0.0) or 0.0)
+                lease = broker.lease(worker_id, wait=min(max(wait, 0.0), 30.0))
+                self._reply(200, {
+                    "schema_version": WIRE_SCHEMA_VERSION,
+                    "lease": lease.to_dict() if lease is not None else None,
+                    "shutdown": broker.draining,
+                })
+            elif path == "/fleet/result":
+                accepted = broker.complete(TaskResult.from_dict(payload))
+                self._reply(200, {"schema_version": WIRE_SCHEMA_VERSION,
+                                  "accepted": accepted})
+            elif path == "/fleet/heartbeat":
+                worker_id = payload.get("worker_id", "")
+                lease_ids = payload.get("leases") or []
+                self._reply(200, broker.heartbeat(worker_id, list(lease_ids)))
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except SchemaError as error:
+            self._error(400, str(error))
+        except WorkerRejected as error:
+            self._reply(426, error.payload)
+        except FleetProtocolError as error:
+            self._error(409, str(error))
+
+
+def make_fleet_server(host: str = "127.0.0.1", port: int = 0,
+                      broker: FleetBroker | None = None) -> FleetServer:
+    """Create (but do not start) a :class:`FleetServer`.
+
+    ``port=0`` binds an ephemeral free port; the chosen URL is
+    ``server.url``.  Callers drive it from a thread via
+    ``serve_forever()``/``shutdown()``.
+    """
+    return FleetServer((host, port), broker or FleetBroker())
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class FleetExecutor:
+    """Run experiment grids on a broker/worker fleet (Executor protocol).
+
+    On first use it boots a :class:`FleetServer` around its broker and
+    spawns ``workers`` ``python -m repro worker`` subprocesses pointed at
+    it; extra workers (other processes, other hosts sharing the cache
+    directory) may attach to :attr:`url` at any time.  Each ``execute``
+    call shards its tasks into per-(machine × RENO) cells, satisfies cache
+    hits locally, enqueues the misses under one fair-share job tag, and
+    streams commits back through the shared outcome cache.
+
+    Results are byte-identical to :class:`SerialExecutor`; only wall-clock
+    time, worker placement and outcome slimness (cache-loaded outcomes
+    have ``program``/``functional`` None, like every pooled backend)
+    differ.  Tasks whose workloads are not in the registry (ad-hoc
+    Workload objects) cannot be named on the wire and fall back to the
+    serial path, mirroring :class:`ProcessExecutor`'s pickling fallback.
+
+    Args:
+        workers: Worker subprocesses to keep alive (0 = externally
+            managed workers only).
+        host: Bind address of the fleet server.
+        port: TCP port (0 = ephemeral).
+        lease_ttl_s / max_attempts / max_queue_depth / slice_cycles:
+            Broker policy knobs (see :class:`FleetBroker`).
+        cache: Default shared outcome cache root for runs that supply
+            none (the fleet *requires* a shared cache for result
+            transport; None creates a private temp-dir cache).
+        respawn: Keep the worker pool at ``workers`` by respawning dead
+            processes (the chaos harness disables this to control the
+            population itself).
+        stall_timeout_s: Raise :class:`FleetStalled` when no cell commits
+            for this long (guards against a dead fleet hanging a job
+            forever).
+        broker: Attach to an existing broker instead of creating one
+            (tests compose a broker, server and executor separately).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        slice_cycles: int = DEFAULT_SLICE_CYCLES,
+        cache: SimulationCache | str | Path | None = None,
+        respawn: bool = True,
+        stall_timeout_s: float = 300.0,
+        broker: FleetBroker | None = None,
+    ):
+        """Create the executor (the fleet itself boots lazily)."""
+        self.workers = max(0, workers)
+        self._host = host
+        self._port = port
+        self.broker = broker or FleetBroker(
+            lease_ttl_s=lease_ttl_s,
+            max_attempts=max_attempts,
+            max_queue_depth=max_queue_depth,
+            slice_cycles=slice_cycles,
+        )
+        self.respawn = respawn
+        self.stall_timeout_s = stall_timeout_s
+        self._cache_arg = cache
+        self._own_cache_dir: str | None = None
+        self._server: FleetServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self.processes: list[subprocess.Popen] = []
+        self._lock = threading.Lock()
+        self._next_tag = 1
+        self._next_worker = 1
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Fleet lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def url(self) -> str | None:
+        """The fleet server's base URL (None before the fleet started)."""
+        return self._server.url if self._server is not None else None
+
+    def ensure_started(self) -> str:
+        """Boot the fleet server and worker pool if needed; return the URL."""
+        with self._lock:
+            if self._closed:
+                raise FleetError("fleet executor is closed")
+            if self._server is None:
+                self._server = FleetServer((self._host, self._port), self.broker)
+                self._server_thread = threading.Thread(
+                    target=self._server.serve_forever,
+                    name="repro-fleet-server", daemon=True)
+                self._server_thread.start()
+            url = self._server.url
+            while len(self._live_processes_locked()) < self.workers:
+                self._spawn_worker_locked(url)
+        return url
+
+    def spawn_worker(self) -> subprocess.Popen:
+        """Spawn one additional worker subprocess (harness/elastic scale-out)."""
+        url = self.ensure_started()
+        with self._lock:
+            return self._spawn_worker_locked(url)
+
+    def _spawn_worker_locked(self, url: str) -> subprocess.Popen:
+        worker_id = f"worker-{os.getpid()}-{self._next_worker}"
+        self._next_worker += 1
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--server", url, "--worker-id", worker_id],
+            stdout=subprocess.DEVNULL,
+            env=env,
+        )
+        self.processes.append(process)
+        return process
+
+    def _live_processes_locked(self) -> list[subprocess.Popen]:
+        live = []
+        for process in list(self.processes):
+            if process.poll() is None:
+                live.append(process)
+            else:
+                self.processes.remove(process)
+        return live
+
+    def _maintain_workers(self) -> None:
+        """Reap dead workers and, when ``respawn`` is on, replace them."""
+        with self._lock:
+            if self._closed or self._server is None:
+                return
+            live = self._live_processes_locked()
+            if self.respawn:
+                url = self._server.url
+                while len(live) < self.workers:
+                    live.append(self._spawn_worker_locked(url))
+
+    def close(self) -> None:
+        """Drain the broker, stop the workers, shut the server down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            server, self._server = self._server, None
+            thread, self._server_thread = self._server_thread, None
+            processes, self.processes = list(self.processes), []
+        self.broker.drain()
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + 5.0
+        for process in processes:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=10)
+        if self._own_cache_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._own_cache_dir, ignore_errors=True)
+            self._own_cache_dir = None
+
+    def __enter__(self) -> "FleetExecutor":
+        """Context-manager entry (returns the executor)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: :meth:`close` the fleet."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Admission control (the service's backpressure hook)
+    # ------------------------------------------------------------------
+
+    def admit(self, cells: int | None) -> None:
+        """Refuse a submission that would overflow the broker queue.
+
+        :meth:`repro.api.session.Session.submit` calls this with the
+        estimated cell count before accepting a job; ``repro serve`` maps
+        the raised :class:`FleetSaturated` onto a structured 429.  A None
+        estimate (custom-runner experiments) is admitted — the hard cap in
+        :meth:`FleetBroker.submit_cells` still applies when cells enqueue.
+        """
+        if cells is not None:
+            self.broker.admit(cells)
+
+    # ------------------------------------------------------------------
+    # The Executor protocol
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        tasks: list[WorkloadTask],
+        cache: SimulationCache | None,
+        progress=None,
+        cancel=None,
+    ) -> list[Block]:
+        """Run every task's cells on the fleet (deterministic block order)."""
+        if not tasks:
+            return []
+        if not self._tasks_shippable(tasks):
+            return _delegate(SerialExecutor(), tasks, cache, progress, cancel)
+        cache = cache if cache is not None else self._default_cache()
+        self.ensure_started()
+        emit = _progress_emitter(progress)
+        with self._lock:
+            tag = f"grid-{os.getpid()}-{self._next_tag}"
+            self._next_tag += 1
+
+        outcomes: dict[tuple, object] = {}
+        keys: dict[tuple, str] = {}
+        pending: list[tuple[tuple, dict]] = []
+        cache_root = str(cache.root)
+        checkpoint_dir = str(cache.root / "fleet-ckpt")
+        for task in tasks:
+            program = task.workload.build(task.scale)
+            digest = program_digest(program)
+            for machine_label, machine in task.machines:
+                for reno_label, reno in task.renos:
+                    grid_key = (task.workload.name, machine_label, reno_label)
+                    key = outcome_key(digest, machine, reno,
+                                      task.max_instructions,
+                                      task.collect_timing, task.record_stats)
+                    keys[grid_key] = key
+                    outcome = cache.get(key)
+                    if outcome is not None:
+                        outcomes[grid_key] = outcome
+                        if emit is not None:
+                            emit(grid_key, True, outcome)
+                        continue
+                    pending.append((grid_key, {
+                        "workload": task.workload.name,
+                        "scale": task.scale,
+                        "machine_label": machine_label,
+                        "machine": machine.to_dict(),
+                        "reno_label": reno_label,
+                        "reno": reno.to_dict() if reno is not None else None,
+                        "collect_timing": task.collect_timing,
+                        "record_stats": task.record_stats,
+                        "max_instructions": task.max_instructions,
+                        "outcome_key": key,
+                        "cache_root": cache_root,
+                        "checkpoint_path": str(
+                            Path(checkpoint_dir) / f"{key}.ckpt"),
+                        "slice_cycles": self.broker.slice_cycles,
+                    }))
+
+        if pending:
+            self.broker.submit_cells(tag, pending)
+            try:
+                self._await_job(tag, cache, outcomes, emit, cancel)
+            finally:
+                self.broker.forget_job(tag)
+
+        blocks: list[Block] = []
+        for task in tasks:
+            block: Block = []
+            for machine_label, _ in task.machines:
+                for reno_label, _ in task.renos:
+                    grid_key = (task.workload.name, machine_label, reno_label)
+                    outcome = outcomes.get(grid_key)
+                    if outcome is None:
+                        # Committed by a worker but unreadable here: a
+                        # shared-cache misconfiguration, not a sim failure.
+                        raise FleetError(
+                            f"cell {grid_key} committed but its outcome "
+                            f"{keys[grid_key][:12]}… is unreadable from the "
+                            f"shared cache at {cache_root}")
+                    block.append((grid_key, outcome))
+            blocks.append(block)
+        return blocks
+
+    def _await_job(self, tag, cache, outcomes, emit, cancel) -> None:
+        """Drive one submitted job to completion (commits, chaos, cancel)."""
+        last_progress = time.monotonic()
+        while True:
+            if cancel is not None and cancel():
+                dropped = self.broker.cancel_job(tag)
+                raise ExecutionCancelled(
+                    f"fleet job {tag} cancelled "
+                    f"({dropped} queued cells dropped)")
+            events, done, error = self.broker.wait_job(tag, timeout=0.1)
+            for grid_key, key, cached in events:
+                outcome = cache.get(key)
+                if outcome is not None:
+                    outcomes[grid_key] = outcome
+                    if emit is not None:
+                        emit(grid_key, cached, outcome)
+                last_progress = time.monotonic()
+            if error is not None:
+                raise FleetTaskError(error)
+            if done:
+                return
+            self._maintain_workers()
+            if time.monotonic() - last_progress > self.stall_timeout_s:
+                raise FleetStalled(
+                    f"fleet job {tag} made no progress for "
+                    f"{self.stall_timeout_s}s; broker state: "
+                    f"{json.dumps(self.broker.stats()['counters'])}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _tasks_shippable(tasks: list[WorkloadTask]) -> bool:
+        """Whether every task's workload resolves by name on a worker."""
+        from repro.workloads.base import get_workload
+
+        for task in tasks:
+            try:
+                if get_workload(task.workload.name) is not task.workload:
+                    return False
+            except KeyError:
+                return False
+        return True
+
+    def _default_cache(self) -> SimulationCache:
+        """The executor's fallback shared cache (runs that supply none)."""
+        if self._cache_arg is not None:
+            if isinstance(self._cache_arg, SimulationCache):
+                return self._cache_arg
+            return SimulationCache(self._cache_arg)
+        with self._lock:
+            if self._own_cache_dir is None:
+                self._own_cache_dir = tempfile.mkdtemp(
+                    prefix="repro-fleet-cache-")
+        return SimulationCache(self._own_cache_dir)
+
+
+# ---------------------------------------------------------------------------
+# The process-shared fleet (jobs="fleet" / $REPRO_FLEET)
+# ---------------------------------------------------------------------------
+
+_shared_fleet: FleetExecutor | None = None
+_shared_fleet_lock = threading.Lock()
+
+
+def shared_fleet() -> FleetExecutor:
+    """The lazily created process-wide fleet behind ``jobs="fleet"``.
+
+    Worker count comes from ``$REPRO_FLEET`` (an integer; unset or
+    unparseable means 2).  One fleet per process: repeated grid runs reuse
+    the same broker, server and worker pool instead of booting a fleet per
+    call.  The fleet is closed at interpreter exit — draining the broker
+    tells the workers to shut down cleanly instead of dying mid-poll when
+    the daemon server thread disappears.
+    """
+    global _shared_fleet
+    with _shared_fleet_lock:
+        if _shared_fleet is None or _shared_fleet._closed:
+            try:
+                workers = int(os.environ.get(FLEET_ENV, "") or 2)
+            except ValueError:
+                workers = 2
+            _shared_fleet = FleetExecutor(workers=max(1, workers))
+            atexit.register(_shared_fleet.close)
+        return _shared_fleet

@@ -12,6 +12,9 @@ package fail loudly instead of misreading each other:
   per-cell progress, and (on success) the serialised
   :class:`~repro.harness.experiments.ExperimentReport`.
 * :class:`JobState` — the job lifecycle constants.
+* The **fleet messages** — :class:`WorkerHello`, :class:`TaskLease`,
+  :class:`TaskResult` — spoken between the broker
+  (:mod:`repro.api.fleet`) and ``python -m repro worker`` pullers.
 
 The report payload itself is versioned separately by
 :data:`~repro.analysis.report.REPORT_SCHEMA_VERSION` (stamped inside
@@ -28,10 +31,16 @@ from dataclasses import dataclass, field
 #: Version of the request/response envelopes in this module.  History:
 #:
 #: * **1** — initial ``repro serve`` schema (requests, job status).
+#: * **2** — distributed-fleet messages (:class:`WorkerHello`,
+#:   :class:`TaskLease`, :class:`TaskResult`).  Existing envelopes are
+#:   unchanged and version-1 payloads still read fine; the bump exists so
+#:   brokers and workers can *negotiate*: a worker advertising an older
+#:   version is refused with a structured error (it cannot interpret
+#:   leases), a newer one is refused by :func:`_check_wire_version`.
 #:
 #: Bump on any incompatible envelope change; see
 #: :func:`repro.analysis.report.check_schema_version` for the read policy.
-WIRE_SCHEMA_VERSION = 1
+WIRE_SCHEMA_VERSION = 2
 
 
 class SchemaError(ValueError):
@@ -217,4 +226,187 @@ class JobStatus:
             error=payload.get("error"),
             report=payload.get("report"),
             occupancy=payload.get("occupancy"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fleet messages (broker ⇄ worker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerHello:
+    """A worker's registration message (``POST /fleet/hello``).
+
+    Attributes:
+        worker_id: Caller-chosen stable identifier (unique per worker
+            process; the broker keys heartbeats and leases on it).
+        schema_version: The wire schema version the worker speaks.  The
+            broker refuses mismatches: an *older* worker gets a structured
+            rejection (it could not interpret the broker's leases), a
+            *newer* one is refused by the standard
+            newer-than-us :class:`SchemaError` policy.
+        pid: The worker's OS process id (observability only).
+        host: The worker's host name (observability only).
+    """
+
+    worker_id: str
+    schema_version: int = WIRE_SCHEMA_VERSION
+    pid: int = 0
+    host: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``POST /fleet/hello`` body)."""
+        return {
+            "schema_version": self.schema_version,
+            "worker_id": self.worker_id,
+            "pid": self.pid,
+            "host": self.host,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkerHello":
+        """Inverse of :meth:`to_dict`; refuses newer-than-us versions."""
+        if not isinstance(payload, dict):
+            raise SchemaError(f"hello body must be a JSON object, got "
+                              f"{type(payload).__name__}")
+        _check_wire_version(payload, "worker hello")
+        worker_id = payload.get("worker_id", "")
+        if not worker_id or not isinstance(worker_id, str):
+            raise SchemaError(f"worker_id must be a non-empty string, "
+                              f"got {worker_id!r}")
+        return cls(
+            worker_id=worker_id,
+            schema_version=payload.get("schema_version", 1),
+            pid=payload.get("pid", 0),
+            host=payload.get("host", ""),
+        )
+
+
+@dataclass
+class TaskLease:
+    """One leased grid cell (the ``POST /fleet/lease`` success payload).
+
+    A lease is the broker's exclusive, *expiring* grant of one cell to one
+    worker: results are only accepted while the lease is live, heartbeats
+    extend it, and an expired lease sends the cell back to the queue for
+    another worker (bounded by the broker's retry budget).
+
+    Attributes:
+        lease_id: Broker-assigned unique identifier of this grant.
+        job_tag: The submission the cell belongs to (fair-share key).
+        cell: The cell description: workload name/scale, machine and RENO
+            config dicts, budgets, the content-addressed ``outcome_key``,
+            the shared ``cache_root`` and the checkpoint path (see
+            :meth:`repro.api.fleet.FleetBroker.submit_cells`).
+        attempt: 1-based execution attempt this lease represents.
+        lease_ttl_s: Seconds until the lease expires without a heartbeat.
+        heartbeat_every_s: How often the worker should heartbeat.
+    """
+
+    lease_id: str
+    job_tag: str
+    cell: dict
+    attempt: int = 1
+    lease_ttl_s: float = 10.0
+    heartbeat_every_s: float = 2.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (shipped inside the lease response)."""
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "lease_id": self.lease_id,
+            "job_tag": self.job_tag,
+            "cell": dict(self.cell),
+            "attempt": self.attempt,
+            "lease_ttl_s": self.lease_ttl_s,
+            "heartbeat_every_s": self.heartbeat_every_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskLease":
+        """Inverse of :meth:`to_dict`; validates shape and schema version."""
+        if not isinstance(payload, dict):
+            raise SchemaError(f"lease body must be a JSON object, got "
+                              f"{type(payload).__name__}")
+        _check_wire_version(payload, "task lease")
+        lease_id = payload.get("lease_id", "")
+        if not lease_id or not isinstance(lease_id, str):
+            raise SchemaError(f"lease_id must be a non-empty string, "
+                              f"got {lease_id!r}")
+        cell = payload.get("cell")
+        if not isinstance(cell, dict):
+            raise SchemaError(f"lease cell must be an object, got {cell!r}")
+        return cls(
+            lease_id=lease_id,
+            job_tag=payload.get("job_tag", ""),
+            cell=cell,
+            attempt=payload.get("attempt", 1),
+            lease_ttl_s=float(payload.get("lease_ttl_s", 10.0)),
+            heartbeat_every_s=float(payload.get("heartbeat_every_s", 2.0)),
+        )
+
+
+@dataclass
+class TaskResult:
+    """A worker's completion report for one lease (``POST /fleet/result``).
+
+    The simulation outcome itself never crosses the wire: the worker stores
+    it in the shared content-addressed outcome cache and reports the
+    ``outcome_key`` it stored under; the broker side loads it from the
+    cache.  That keeps the wire JSON-pure and makes retries free — a
+    re-leased cell whose first worker finished (but whose result arrived
+    after lease expiry) is a pure cache hit for the second worker.
+
+    Attributes:
+        lease_id: The lease being completed.
+        worker_id: The reporting worker.
+        ok: Whether the cell executed successfully.
+        outcome_key: The shared-cache key the outcome was stored under
+            (``ok=True`` only).
+        cached: Whether the worker satisfied the cell from the shared
+            cache rather than simulating.
+        error: Failure description (``ok=False`` only).
+    """
+
+    lease_id: str
+    worker_id: str
+    ok: bool
+    outcome_key: str | None = None
+    cached: bool = False
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``POST /fleet/result`` body)."""
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "lease_id": self.lease_id,
+            "worker_id": self.worker_id,
+            "ok": self.ok,
+            "outcome_key": self.outcome_key,
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskResult":
+        """Inverse of :meth:`to_dict`; validates shape and schema version."""
+        if not isinstance(payload, dict):
+            raise SchemaError(f"result body must be a JSON object, got "
+                              f"{type(payload).__name__}")
+        _check_wire_version(payload, "task result")
+        lease_id = payload.get("lease_id", "")
+        if not lease_id or not isinstance(lease_id, str):
+            raise SchemaError(f"lease_id must be a non-empty string, "
+                              f"got {lease_id!r}")
+        ok = payload.get("ok")
+        if not isinstance(ok, bool):
+            raise SchemaError(f"result ok must be a boolean, got {ok!r}")
+        return cls(
+            lease_id=lease_id,
+            worker_id=payload.get("worker_id", ""),
+            ok=ok,
+            outcome_key=payload.get("outcome_key"),
+            cached=bool(payload.get("cached", False)),
+            error=payload.get("error"),
         )

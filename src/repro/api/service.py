@@ -15,7 +15,15 @@ GET       ``/jobs/<id>``           job status incl. per-cell progress and,
                                    when finished, the serialised report;
                                    ``?wait=<seconds>`` long-polls
 POST      ``/jobs/<id>/cancel``    cooperative cancellation
+GET       ``/fleet``               broker stats when the session executes
+                                   on a worker fleet (404 otherwise)
 ========  =======================  ==========================================
+
+When the session runs on a :class:`~repro.api.fleet.FleetExecutor`, a
+submission that would overflow the broker queue is refused with a
+structured **429** (``retry_after_s`` plus the live queue numbers) instead
+of growing memory without bound — the fleet's backpressure surfaced at the
+HTTP edge.
 
 Requests are handled on one thread each (``ThreadingHTTPServer``), the
 CPU-heavy work lives on the session's workers, and identical concurrent
@@ -117,6 +125,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 ],
             })
             return
+        if path == "/fleet":
+            broker = getattr(self.server.session.executor, "broker", None)
+            if broker is None:
+                self._error(404, "this session does not run on a worker "
+                                 "fleet; start one with `repro serve "
+                                 "--workers N`")
+                return
+            self._reply(200, broker.stats())
+            return
         if path.startswith("/jobs/"):
             job_id = unquote(path[len("/jobs/"):])
             job = self.server.session.job(job_id)
@@ -141,11 +158,24 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
             payload = self._read_json()
             if payload is None:
                 return
+            from repro.api.fleet import FleetSaturated
+
             try:
                 request = ExperimentRequest.from_dict(payload)
                 job = self.server.session.submit(request)
             except SchemaError as error:
                 self._error(400, str(error))
+            except FleetSaturated as error:
+                # Backpressure, not failure: the fleet queue is full.  The
+                # structured body carries the live numbers so clients can
+                # back off intelligently instead of hammering the edge.
+                self._reply(429, {
+                    "schema_version": WIRE_SCHEMA_VERSION,
+                    "error": str(error),
+                    "queue_depth": error.queue_depth,
+                    "max_queue_depth": error.max_queue_depth,
+                    "retry_after_s": 5.0,
+                })
             except KeyError as error:
                 # A bare ``KeyError()`` has no args; fall back to the
                 # exception itself rather than crashing the handler.

@@ -58,11 +58,12 @@ class Job:
     """
 
     def __init__(self, job_id: str, request: ExperimentRequest,
-                 cells_total: int | None):
+                 cells_total: int | None, clock=time.monotonic):
         """Create a pending job (called by the session only)."""
         self.job_id = job_id
         self.request = request
         self.cells_total = cells_total
+        self._clock = clock
         #: How many times this job was returned by submit() (> 1 ⇒ later
         #: identical requests were coalesced onto it).
         self.submissions = 1
@@ -128,20 +129,20 @@ class Job:
             self._report = report
             self._report_dict = report_dict
             self._state = JobState.SUCCEEDED
-            self.finished_at = time.monotonic()
+            self.finished_at = self._clock()
         self._done_event.set()
 
     def _finish_cancelled(self) -> None:
         with self._lock:
             self._state = JobState.CANCELLED
-            self.finished_at = time.monotonic()
+            self.finished_at = self._clock()
         self._done_event.set()
 
     def _fail(self, error: BaseException) -> None:
         with self._lock:
             self._error = error
             self._state = JobState.FAILED
-            self.finished_at = time.monotonic()
+            self.finished_at = self._clock()
         self._done_event.set()
 
     # ------------------------------------------------------------------
@@ -244,8 +245,12 @@ class Session:
             sessions — ``repro serve`` in particular — would otherwise
             grow the job table without bound.
         job_ttl_s: How long a terminal job stays queryable after it
-            finishes; expired jobs are swept on each submission.  None
-            disables the TTL (the cap still applies).
+            finishes; expired jobs are swept on each submission *and* on
+            the status paths (:meth:`job` / :meth:`jobs`), so an
+            idle-but-polled session still evicts.  None disables the TTL
+            (the cap still applies).
+        clock: Monotonic time source for job timestamps and TTL sweeps
+            (tests inject a fake to exercise eviction without sleeping).
     """
 
     def __init__(
@@ -257,6 +262,7 @@ class Session:
         workers: int = 2,
         max_retained_jobs: int = 256,
         job_ttl_s: float | None = 3600.0,
+        clock=time.monotonic,
     ):
         if max_retained_jobs < 1:
             raise ValueError(
@@ -269,6 +275,7 @@ class Session:
         self._workers = max(1, workers)
         self._max_retained_jobs = max_retained_jobs
         self._job_ttl_s = job_ttl_s
+        self._clock = clock
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._jobs_by_id: dict[str, Job] = {}
@@ -316,6 +323,13 @@ class Session:
             already in flight is coalesced onto the running job
             (``job.submissions`` counts the merged submissions) instead of
             executing the grid twice.
+
+        Raises:
+            repro.api.fleet.FleetSaturated: When the session's executor has
+                an ``admit`` hook (the fleet's backpressure check) and the
+                request's estimated cells would overflow its queue;
+                coalesced submissions are never refused (they add no
+                cells).  ``repro serve`` maps this onto a structured 429.
         """
         request = self._coerce(request)
         entry = get_experiment(request.experiment)   # raises on unknown names
@@ -329,10 +343,14 @@ class Session:
                 if on_progress is not None:
                     existing.add_progress_watcher(on_progress)
                 return existing
+            cells = self._estimate_cells(entry, request)
+            admit = getattr(self.executor, "admit", None)
+            if admit is not None:
+                admit(cells)             # may raise FleetSaturated
             job_id = f"job-{self._next_job_number:04d}"
             self._next_job_number += 1
-            job = Job(job_id, request, self._estimate_cells(entry, request))
-            self._evict_terminal_jobs()
+            job = Job(job_id, request, cells, clock=self._clock)
+            self._sweep_jobs(incoming=1)
             self._jobs_by_id[job_id] = job
             self._inflight[digest] = job
             pool = self._ensure_pool()
@@ -363,13 +381,23 @@ class Session:
         return self._execute(request)
 
     def job(self, job_id: str) -> Job | None:
-        """Look up a job by id (None when unknown)."""
+        """Look up a job by id (None when unknown).
+
+        Status lookups also run the TTL sweep, so an idle-but-polled
+        session (a dashboard refreshing ``GET /jobs/<id>``) still evicts
+        expired terminal jobs instead of retaining them until the next
+        submission.  The job being asked for is itself evictable: an
+        expired id answers None exactly as it would after a submit-time
+        sweep.
+        """
         with self._lock:
+            self._sweep_jobs()
             return self._jobs_by_id.get(job_id)
 
     def jobs(self) -> list[Job]:
-        """Every job this session created, in submission order."""
+        """Every retained job, in submission order (TTL sweep applied)."""
         with self._lock:
+            self._sweep_jobs()
             return list(self._jobs_by_id.values())
 
     # ------------------------------------------------------------------
@@ -415,12 +443,20 @@ class Session:
     # ------------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Cancel nothing, stop accepting work, and join the worker pool."""
+        """Cancel nothing, stop accepting work, and join the worker pool.
+
+        An explicitly supplied executor with a ``close`` method (the fleet)
+        is closed too: the session was its lifecycle owner, and leaving a
+        broker thread plus worker subprocesses behind would leak.
+        """
         with self._lock:
             self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
+        shutdown = getattr(self._executor_arg, "close", None)
+        if shutdown is not None:
+            shutdown()
 
     def __enter__(self) -> "Session":
         """Context-manager entry (returns the session)."""
@@ -461,23 +497,24 @@ class Session:
         except Exception:
             return None               # progress simply reports no total
 
-    def _evict_terminal_jobs(self) -> None:
+    def _sweep_jobs(self, incoming: int = 0) -> None:
         """Drop expired/excess *terminal* jobs (caller holds the lock).
 
         Two passes over the table in insertion (= submission) order: first
         every terminal job older than the TTL, then — if the table would
-        still exceed ``max_retained_jobs`` with the incoming job counted —
-        the oldest terminal jobs until it fits.  Jobs still pending or
-        running are never evicted, so coalescing onto in-flight work is
-        unaffected regardless of the cap.
+        still exceed ``max_retained_jobs`` with ``incoming`` new jobs
+        counted — the oldest terminal jobs until it fits.  Jobs still
+        pending or running are never evicted, so coalescing onto in-flight
+        work is unaffected regardless of the cap.  Runs on submission
+        (``incoming=1``) and on the status paths (``incoming=0``).
         """
         if self._job_ttl_s is not None:
-            deadline = time.monotonic() - self._job_ttl_s
+            deadline = self._clock() - self._job_ttl_s
             for job_id, job in list(self._jobs_by_id.items()):
                 if (job.done() and job.finished_at is not None
                         and job.finished_at < deadline):
                     del self._jobs_by_id[job_id]
-        excess = len(self._jobs_by_id) + 1 - self._max_retained_jobs
+        excess = len(self._jobs_by_id) + incoming - self._max_retained_jobs
         if excess <= 0:
             return
         for job_id, job in list(self._jobs_by_id.items()):

@@ -17,8 +17,15 @@ Six subcommands cover the whole harness without writing Python:
   (absorbs the older ``python -m repro.harness.cache`` entry point, which
   still works).
 * ``python -m repro serve [--host H] [--port P] [--jobs auto|N]
-  [--workers N] [cache flags]`` — run the JSON-over-HTTP service
-  (:mod:`repro.api.service`) until SIGINT/SIGTERM.
+  [--workers N] [--session-workers N] [cache flags]`` — run the
+  JSON-over-HTTP service (:mod:`repro.api.service`) until SIGINT/SIGTERM.
+  ``--workers N`` (N > 0) executes grids on a distributed fleet of N
+  worker *processes* behind a lease broker (:mod:`repro.api.fleet`);
+  the default 0 keeps the in-process executors.
+* ``python -m repro worker --server URL [--worker-id ID]`` — run one fleet
+  worker pulling cell leases from a broker (:mod:`repro.api.worker`);
+  normally spawned by the fleet itself, but startable by hand to attach
+  extra capacity to a running ``serve --workers`` broker.
 * ``python -m repro submit fig8 [grid flags] [--server URL] [--wait]
   [--json PATH]`` — POST a request to a running server; ``--wait``
   long-polls until the job finishes and prints the report.
@@ -100,10 +107,25 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=None,
                        help="TCP port (default 8765; 0 = any free port)")
     serve.add_argument("--jobs", default=None, metavar="N|auto",
-                       help="worker processes per experiment grid")
-    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes per experiment grid "
+                            "(in-process backends; ignored with --workers)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="fleet worker processes behind a lease broker "
+                            "(0 = in-process execution, the default)")
+    serve.add_argument("--session-workers", type=int, default=2,
                        help="concurrent jobs the session runs (default 2)")
     _add_cache_flags(serve)
+
+    worker = sub.add_parser(
+        "worker", help="run one fleet worker against a repro broker")
+    worker.add_argument("--server", required=True, metavar="URL",
+                        help="fleet broker base URL (http://host:port)")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="stable worker identity (default worker-<pid>)")
+    worker.add_argument("--poll-wait", type=float, default=5.0, metavar="S",
+                        help="long-poll window per lease request (default 5s)")
+    worker.add_argument("--max-cells", type=int, default=None, metavar="N",
+                        help="exit cleanly after N cells (default: unbounded)")
 
     submit = sub.add_parser(
         "submit", help="submit an experiment to a running `repro serve`")
@@ -252,13 +274,33 @@ def _cmd_serve(args) -> int:
     from repro.api.service import DEFAULT_HOST, DEFAULT_PORT, serve
     from repro.api.session import Session
 
+    executor = None
+    if args.workers > 0:
+        # Distributed execution: grids shard across worker processes behind
+        # a lease broker; the session owns (and closes) the fleet.  The
+        # session's resolved cache is threaded into execute() per run, so
+        # workers share it; without one the fleet uses a private temp cache
+        # for result transport.
+        from repro.api.fleet import FleetExecutor
+
+        executor = FleetExecutor(workers=args.workers)
     session = Session(jobs=args.jobs, cache=_resolve_cache_arg(args),
-                      workers=max(1, args.workers))
+                      executor=executor,
+                      workers=max(1, args.session_workers))
     return serve(
         host=args.host if args.host is not None else DEFAULT_HOST,
         port=args.port if args.port is not None else DEFAULT_PORT,
         session=session,
     )
+
+
+def _cmd_worker(args) -> int:
+    from repro.api.worker import FleetWorker
+
+    worker = FleetWorker(args.server, args.worker_id,
+                         poll_wait_s=args.poll_wait,
+                         max_cells=args.max_cells)
+    return worker.run()
 
 
 def _server_url(args) -> str:
@@ -419,6 +461,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "status":

@@ -67,6 +67,11 @@ from repro.workloads.base import Workload
 #: (an integer, or ``auto`` for adaptive backend selection).
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment variable enabling the distributed fleet backend for
+#: ``jobs=None`` (its value is the fleet worker-process count); an explicit
+#: ``$REPRO_JOBS`` still wins.  See :mod:`repro.api.fleet`.
+FLEET_ENV = "REPRO_FLEET"
+
 #: Grid-point key: (workload name, machine label, RENO label).
 GridKey = tuple[str, str, str]
 
@@ -640,19 +645,31 @@ def resolve_executor(
     """Normalise the ``jobs=`` / ``executor=`` arguments to an :class:`Executor`.
 
     * An explicit ``executor`` always wins.
-    * ``jobs=None`` (the default) reads ``$REPRO_JOBS``; an unset (or
-      unparseable) variable means ``"auto"``.
+    * ``jobs=None`` (the default) reads ``$REPRO_JOBS``; when that is also
+      unset but ``$REPRO_FLEET`` is set, the process-shared distributed
+      fleet is selected; otherwise ``"auto"``.
     * ``jobs="auto"`` selects :class:`AutoExecutor`.
+    * ``jobs="fleet"`` selects the process-shared
+      :class:`repro.api.fleet.FleetExecutor` (broker + worker processes
+      over the wire schema; worker count from ``$REPRO_FLEET``).
     * ``jobs<=1`` selects :class:`SerialExecutor`; larger integers select
       :class:`ProcessExecutor` with that many workers.
     """
     if executor is not None:
         return executor
     if jobs is None:
-        jobs = os.environ.get(JOBS_ENV, "").strip() or "auto"
+        jobs = os.environ.get(JOBS_ENV, "").strip()
+        if not jobs:
+            jobs = "fleet" if os.environ.get(FLEET_ENV, "").strip() else "auto"
     if isinstance(jobs, str):
         if jobs.lower() == "auto":
             return AutoExecutor()
+        if jobs.lower() == "fleet":
+            # Imported lazily: the fleet lives in the api layer, and plain
+            # in-process runs must not pay (or require) its import.
+            from repro.api.fleet import shared_fleet
+
+            return shared_fleet()
         try:
             jobs = int(jobs)
         except ValueError:

@@ -298,6 +298,33 @@ def test_job_ttl_sweeps_expired_terminal_jobs(tmp_path):
         assert session.job(second.job_id) is second
 
 
+def test_job_ttl_sweeps_on_the_status_path_too(tmp_path):
+    """Expired jobs vanish from ``job()``/``jobs()`` without a new submit.
+
+    A status-polling client (``repro serve`` with no further submissions)
+    must not see expired jobs forever just because nothing new arrived;
+    the sweep runs on the read path as well.  The injected clock makes the
+    expiry deterministic — no sleeps.
+    """
+    class FakeClock:
+        def __init__(self):
+            self.now = 100.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    with Session(jobs=1, cache=tmp_path / "cache", job_ttl_s=30.0,
+                 clock=clock) as session:
+        job = session.submit(small_request())
+        assert job.result(timeout=120) is not None
+        clock.now += 29.0
+        assert session.job(job.job_id) is job     # inside the TTL
+        clock.now += 2.0                          # now past it
+        assert session.job(job.job_id) is None
+        assert session.jobs() == []
+
+
 def test_inflight_jobs_are_never_evicted(tmp_path):
     """The cap only applies to terminal jobs; a running job survives any
     number of subsequent submissions."""
