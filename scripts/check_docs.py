@@ -1,18 +1,9 @@
-"""Documentation checker: relative links resolve, python fences parse.
+"""Documentation checker — thin wrapper over ``repro.lint``.
 
-Dependency-free stand-in for ``mkdocs build --strict``: walks every markdown
-file in ``docs/`` plus the README, verifies that
-
-* every relative markdown link/image points at an existing file (external
-  ``http(s)``/``mailto`` links are skipped — CI must not depend on the
-  network), including ``#anchor`` targets against the linked file's
-  headings; and
-* every fenced ``python`` code block is syntactically valid (``ast.parse``),
-  so the examples in the cookbook cannot rot silently.  Fences tagged
-  ``python noqa`` are skipped (for intentional fragments).
-
-Exits non-zero with a list of problems.  Used by the CI docs job and the
-tier-1 test ``tests/docs/test_docs.py``.
+The link/anchor/fence logic lives in :mod:`repro.lint.docs` (the ``docs``
+checker of ``python -m repro lint``); this script keeps the historical
+CLI — an optional root argument, non-zero exit with a problem list — for
+the CI docs muscle memory and ``tests/docs/test_docs.py``.
 
 Usage::
 
@@ -21,101 +12,28 @@ Usage::
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
 
-LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
-HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
-
-def slugify(heading: str) -> str:
-    """GitHub-style anchor slug for a heading."""
-    text = re.sub(r"[`*_]", "", heading.strip().lower())
-    text = re.sub(r"[^\w\- ]", "", text)
-    return text.replace(" ", "-")
-
-
-def markdown_files(root: Path) -> list[Path]:
-    files = sorted((root / "docs").rglob("*.md")) if (root / "docs").is_dir() else []
-    readme = root / "README.md"
-    if readme.is_file():
-        files.append(readme)
-    return files
-
-
-def anchors_of(path: Path) -> set[str]:
-    anchors = set()
-    for line in path.read_text().splitlines():
-        match = HEADING_RE.match(line)
-        if match:
-            anchors.add(slugify(match.group(1)))
-    return anchors
-
-
-def check_links(path: Path, root: Path, problems: list[str]) -> None:
-    in_fence = False
-    for number, line in enumerate(path.read_text().splitlines(), start=1):
-        if line.strip().startswith("```"):
-            in_fence = not in_fence
-            continue
-        if in_fence:
-            continue
-        for target in LINK_RE.findall(line):
-            if target.startswith(("http://", "https://", "mailto:")):
-                continue
-            file_part, _, anchor = target.partition("#")
-            linked = path if not file_part else (path.parent / file_part).resolve()
-            if file_part and not linked.exists():
-                problems.append(f"{path.relative_to(root)}:{number}: broken link {target!r}")
-                continue
-            if anchor and linked.suffix == ".md" and linked.exists():
-                if slugify(anchor) not in anchors_of(linked):
-                    problems.append(
-                        f"{path.relative_to(root)}:{number}: missing anchor {target!r}")
-
-
-def check_python_fences(path: Path, root: Path, problems: list[str]) -> None:
-    in_fence = False
-    fence_tag = ""
-    fence_info = ""
-    block: list[str] = []
-    start = 0
-    for number, line in enumerate(path.read_text().splitlines(), start=1):
-        stripped = line.strip()
-        if not in_fence and stripped.startswith("```"):
-            in_fence = True
-            parts = stripped[3:].split(None, 1)
-            fence_tag = parts[0].lower() if parts else ""
-            fence_info = parts[1] if len(parts) > 1 else ""
-            block = []
-            start = number
-        elif in_fence and stripped == "```":
-            in_fence = False
-            if fence_tag == "python" and "noqa" not in fence_info:
-                try:
-                    ast.parse("\n".join(block))
-                except SyntaxError as error:
-                    problems.append(
-                        f"{path.relative_to(root)}:{start}: python example does "
-                        f"not parse ({error.msg}, line {error.lineno})")
-        elif in_fence:
-            block.append(line)
+from repro.lint.docs import (  # noqa: E402 - after sys.path bootstrap
+    check_docs_tree,
+    markdown_files,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
-    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
-    problems: list[str] = []
+    """Check the docs tree; 0 = clean, 1 = problems (printed per line)."""
+    root = Path(argv[0]).resolve() if argv else ROOT
     files = markdown_files(root)
     if not files:
         print("no markdown files found", file=sys.stderr)
         return 1
-    for path in files:
-        check_links(path, root, problems)
-        check_python_fences(path, root, problems)
+    problems = check_docs_tree(root)
     if problems:
-        print("\n".join(problems))
+        print("\n".join(f"{p.path}:{p.line}: {p.message}" for p in problems))
         print(f"\n{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     print(f"docs ok: {len(files)} files, links resolve, python examples parse")

@@ -1,85 +1,46 @@
-"""Docstring-coverage gate for the hot-path packages (interrogate-style).
+"""Docstring-coverage gate — thin wrapper over ``repro.lint``.
 
-Walks the given packages with ``ast`` and counts docstrings on modules,
-classes and public functions/methods (names not starting with ``_``, plus
-``__init__`` exempted — its contract belongs to the class docstring).
-Fails if coverage drops below the threshold, printing every undocumented
-definition so the gate is actionable.
-
-No third-party dependency (the container must not need ``pip install``);
-CI runs it as part of the docs job, and it can be run locally:
+The gate logic lives in :mod:`repro.lint.docstrings` (the ``docstrings``
+checker of ``python -m repro lint``); this script keeps the historical
+CLI — positional package directories plus ``--threshold`` — for CI
+muscle memory and local use:
 
     python scripts/check_docstrings.py                # default packages/threshold
     python scripts/check_docstrings.py --threshold 95 src/repro/uarch
+
+No third-party dependency (the container must not need ``pip install``).
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PACKAGES = ["src/repro/uarch", "src/repro/harness", "src/repro/api"]
-DEFAULT_THRESHOLD = 90.0
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
-
-def is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def iter_definitions(tree: ast.Module, module_name: str):
-    """Yield (qualified name, node) for the module, classes and public defs."""
-    yield module_name, tree
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef):
-            yield f"{module_name}.{node.name}", node
-            for child in node.body:
-                if (isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
-                        and is_public(child.name)):
-                    yield f"{module_name}.{node.name}.{child.name}", child
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and is_public(node.name):
-            yield f"{module_name}.{node.name}", node
-
-
-def check_package(package: Path, root: Path):
-    """Returns (documented, missing) lists of qualified names."""
-    documented = []
-    missing = []
-    for path in sorted(package.rglob("*.py")):
-        module_name = str(path.relative_to(root)).removesuffix(".py").replace("/", ".")
-        tree = ast.parse(path.read_text())
-        for name, node in iter_definitions(tree, module_name):
-            if ast.get_docstring(node):
-                documented.append(name)
-            else:
-                missing.append(name)
-    return documented, missing
+from repro.lint.docstrings import (  # noqa: E402 - after sys.path bootstrap
+    DEFAULT_PACKAGES,
+    DEFAULT_THRESHOLD,
+    docstring_coverage,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run the coverage gate; 0 = at/above threshold, 1 = below, 2 = usage."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("packages", nargs="*", default=DEFAULT_PACKAGES,
+    parser.add_argument("packages", nargs="*", default=list(DEFAULT_PACKAGES),
                         help="package directories to check")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help=f"minimum coverage percent (default {DEFAULT_THRESHOLD})")
     args = parser.parse_args(argv)
 
-    root = Path(__file__).resolve().parent.parent
-    documented: list[str] = []
-    missing: list[str] = []
     for package in args.packages:
-        package_path = (root / package).resolve()
-        if not package_path.is_dir():
+        if not (ROOT / package).resolve().is_dir():
             print(f"no such package directory: {package}", file=sys.stderr)
             return 2
-        # Qualified names drop the src/ prefix when present; packages
-        # elsewhere (tests/, scripts/) are named relative to the repo root.
-        base = root / "src" if package_path.is_relative_to(root / "src") else root
-        good, bad = check_package(package_path, base)
-        documented.extend(good)
-        missing.extend(bad)
+    documented, missing = docstring_coverage(ROOT, args.packages)
 
     total = len(documented) + len(missing)
     coverage = 100.0 * len(documented) / total if total else 100.0
@@ -87,8 +48,8 @@ def main(argv: list[str] | None = None) -> int:
           f"({len(documented)}/{total} definitions documented)")
     if missing:
         print("undocumented:")
-        for name in missing:
-            print(f"  - {name}")
+        for name, rel, line in missing:
+            print(f"  - {name} ({rel}:{line})")
     if coverage < args.threshold:
         print(f"FAIL: below threshold {args.threshold:.1f}%", file=sys.stderr)
         return 1

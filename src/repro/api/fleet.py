@@ -208,6 +208,20 @@ class FleetBroker:
         clock: Monotonic time source (tests inject a fake).
     """
 
+    #: Queue/lease/worker state mutated from HTTP handler threads and the
+    #: executor's wait loop; only touch under ``self._lock`` (enforced by
+    #: the ``lock-discipline`` lint rule).
+    _GUARDED_BY_LOCK = (
+        "_jobs",
+        "_queues",
+        "_rr",
+        "_leases",
+        "_workers",
+        "_draining",
+        "_next_lease",
+        "counters",
+    )
+
     def __init__(
         self,
         *,
@@ -793,6 +807,19 @@ class FleetExecutor:
             (tests compose a broker, server and executor separately).
     """
 
+    #: Lifecycle state shared between execute() callers, the maintenance
+    #: path and close(); only touch under ``self._lock`` (enforced by the
+    #: ``lock-discipline`` lint rule).
+    _GUARDED_BY_LOCK = (
+        "_server",
+        "_server_thread",
+        "processes",
+        "_next_tag",
+        "_next_worker",
+        "_closed",
+        "_own_cache_dir",
+    )
+
     def __init__(
         self,
         workers: int = 2,
@@ -837,7 +864,8 @@ class FleetExecutor:
     @property
     def url(self) -> str | None:
         """The fleet server's base URL (None before the fleet started)."""
-        return self._server.url if self._server is not None else None
+        with self._lock:
+            return self._server.url if self._server is not None else None
 
     def ensure_started(self) -> str:
         """Boot the fleet server and worker pool if needed; return the URL."""
@@ -906,6 +934,7 @@ class FleetExecutor:
             server, self._server = self._server, None
             thread, self._server_thread = self._server_thread, None
             processes, self.processes = list(self.processes), []
+            own_cache_dir, self._own_cache_dir = self._own_cache_dir, None
         self.broker.drain()
         for process in processes:
             if process.poll() is None:
@@ -923,11 +952,10 @@ class FleetExecutor:
             server.server_close()
         if thread is not None:
             thread.join(timeout=10)
-        if self._own_cache_dir is not None:
+        if own_cache_dir is not None:
             import shutil
 
-            shutil.rmtree(self._own_cache_dir, ignore_errors=True)
-            self._own_cache_dir = None
+            shutil.rmtree(own_cache_dir, ignore_errors=True)
 
     def __enter__(self) -> "FleetExecutor":
         """Context-manager entry (returns the executor)."""
@@ -1094,7 +1122,8 @@ class FleetExecutor:
             if self._own_cache_dir is None:
                 self._own_cache_dir = tempfile.mkdtemp(
                     prefix="repro-fleet-cache-")
-        return SimulationCache(self._own_cache_dir)
+            own_cache_dir = self._own_cache_dir
+        return SimulationCache(own_cache_dir)
 
 
 # ---------------------------------------------------------------------------

@@ -57,6 +57,22 @@ class Job:
     All methods are thread-safe.
     """
 
+    #: Mutable state shared between the session's worker thread and any
+    #: number of status-polling clients; only touch under ``self._lock``
+    #: (enforced by the ``lock-discipline`` lint rule).
+    _GUARDED_BY_LOCK = (
+        "_state",
+        "_report",
+        "_report_dict",
+        "_error",
+        "_cells_done",
+        "_cells_cached",
+        "_cell_occupancy",
+        "_progress_watchers",
+        "_submissions",
+        "_finished_at",
+    )
+
     def __init__(self, job_id: str, request: ExperimentRequest,
                  cells_total: int | None, clock=time.monotonic):
         """Create a pending job (called by the session only)."""
@@ -64,9 +80,7 @@ class Job:
         self.request = request
         self.cells_total = cells_total
         self._clock = clock
-        #: How many times this job was returned by submit() (> 1 ⇒ later
-        #: identical requests were coalesced onto it).
-        self.submissions = 1
+        self._submissions = 1
         self._lock = threading.Lock()
         self._state = JobState.PENDING
         self._cancel_event = threading.Event()
@@ -78,9 +92,7 @@ class Job:
         self._cells_cached = 0
         self._cell_occupancy: dict[str, dict] = {}
         self._progress_watchers: list = []
-        #: Monotonic timestamp of the transition into a terminal state
-        #: (None while pending/running); drives the session's TTL eviction.
-        self.finished_at: float | None = None
+        self._finished_at: float | None = None
 
     # ------------------------------------------------------------------
     # Engine-facing hooks (driven by the session's worker thread)
@@ -116,6 +128,11 @@ class Job:
             except Exception:         # noqa: BLE001 - observer boundary
                 pass
 
+    def _note_coalesced(self) -> None:
+        """Count one more submit() coalesced onto this job."""
+        with self._lock:
+            self._submissions += 1
+
     def _mark_running(self) -> None:
         with self._lock:
             if self._state == JobState.PENDING:
@@ -129,20 +146,20 @@ class Job:
             self._report = report
             self._report_dict = report_dict
             self._state = JobState.SUCCEEDED
-            self.finished_at = self._clock()
+            self._finished_at = self._clock()
         self._done_event.set()
 
     def _finish_cancelled(self) -> None:
         with self._lock:
             self._state = JobState.CANCELLED
-            self.finished_at = self._clock()
+            self._finished_at = self._clock()
         self._done_event.set()
 
     def _fail(self, error: BaseException) -> None:
         with self._lock:
             self._error = error
             self._state = JobState.FAILED
-            self.finished_at = self._clock()
+            self._finished_at = self._clock()
         self._done_event.set()
 
     # ------------------------------------------------------------------
@@ -159,6 +176,20 @@ class Job:
         """Current :class:`~repro.api.schema.JobState` constant."""
         with self._lock:
             return self._state
+
+    @property
+    def submissions(self) -> int:
+        """How many submit() calls this job satisfied (> 1 ⇒ later
+        identical requests were coalesced onto it)."""
+        with self._lock:
+            return self._submissions
+
+    @property
+    def finished_at(self) -> float | None:
+        """Monotonic timestamp of the transition into a terminal state
+        (None while pending/running); drives the session's TTL eviction."""
+        with self._lock:
+            return self._finished_at
 
     def done(self) -> bool:
         """Whether the job reached a terminal state."""
@@ -253,6 +284,16 @@ class Session:
             (tests inject a fake to exercise eviction without sleeping).
     """
 
+    #: Submission-path state shared with worker threads; only touch under
+    #: ``self._lock`` (enforced by the ``lock-discipline`` lint rule).
+    _GUARDED_BY_LOCK = (
+        "_pool",
+        "_jobs_by_id",
+        "_inflight",
+        "_next_job_number",
+        "_closed",
+    )
+
     def __init__(
         self,
         *,
@@ -339,7 +380,7 @@ class Session:
                 raise RuntimeError("session is closed")
             existing = self._inflight.get(digest)
             if existing is not None and not existing.done():
-                existing.submissions += 1
+                existing._note_coalesced()
                 if on_progress is not None:
                     existing.add_progress_watcher(on_progress)
                 return existing
@@ -350,10 +391,10 @@ class Session:
             job_id = f"job-{self._next_job_number:04d}"
             self._next_job_number += 1
             job = Job(job_id, request, cells, clock=self._clock)
-            self._sweep_jobs(incoming=1)
+            self._sweep_jobs_locked(incoming=1)
             self._jobs_by_id[job_id] = job
             self._inflight[digest] = job
-            pool = self._ensure_pool()
+            pool = self._ensure_pool_locked()
         if on_progress is not None:
             job.add_progress_watcher(on_progress)
         pool.submit(self._run_job, job, digest)
@@ -391,13 +432,13 @@ class Session:
         sweep.
         """
         with self._lock:
-            self._sweep_jobs()
+            self._sweep_jobs_locked()
             return self._jobs_by_id.get(job_id)
 
     def jobs(self) -> list[Job]:
         """Every retained job, in submission order (TTL sweep applied)."""
         with self._lock:
-            self._sweep_jobs()
+            self._sweep_jobs_locked()
             return list(self._jobs_by_id.values())
 
     # ------------------------------------------------------------------
@@ -497,7 +538,7 @@ class Session:
         except Exception:
             return None               # progress simply reports no total
 
-    def _sweep_jobs(self, incoming: int = 0) -> None:
+    def _sweep_jobs_locked(self, incoming: int = 0) -> None:
         """Drop expired/excess *terminal* jobs (caller holds the lock).
 
         Two passes over the table in insertion (= submission) order: first
@@ -524,7 +565,7 @@ class Session:
                 del self._jobs_by_id[job_id]
                 excess -= 1
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
+    def _ensure_pool_locked(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._workers, thread_name_prefix="repro-session")

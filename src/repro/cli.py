@@ -31,6 +31,11 @@ Six subcommands cover the whole harness without writing Python:
   long-polls until the job finishes and prints the report.
 * ``python -m repro status JOB_ID [--server URL] [--wait S] [--json PATH]``
   — fetch one job's status/report from a running server.
+* ``python -m repro lint [paths] [--rule R] [--json [PATH]]
+  [--update-baseline [--force]]`` — run the AST-based invariant linter
+  (:mod:`repro.lint`): determinism, lock discipline, wire-schema freeze,
+  snapshot coverage, plus the docs/docstring gates.  Exits 1 on findings;
+  see ``docs/linting.md``.
 
 Caching follows the library defaults: enabled when ``$REPRO_CACHE_DIR`` is
 set, unless forced with ``--cache`` / ``--no-cache`` / ``--cache-dir``.
@@ -140,6 +145,32 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--stats", action="store_true",
                         help="with --wait: also print the occupancy/"
                              "utilization table when the report carries one")
+
+    lint = sub.add_parser(
+        "lint", help="run the AST-based invariant linter (see docs/linting.md)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: src/)")
+    lint.add_argument("--rule", action="append", metavar="RULE",
+                      dest="rules",
+                      help="run only this rule (repeatable; see --list-rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.add_argument("--json", nargs="?", const="-", default=None,
+                      metavar="PATH", dest="json_path",
+                      help="emit the findings report as JSON to PATH "
+                           "(default '-': stdout)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="wire-schema baseline path (default "
+                           "scripts/schema_baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="regenerate the wire-schema baseline from the "
+                           "current schema module and exit")
+    lint.add_argument("--force", action="store_true",
+                      help="with --update-baseline: proceed despite "
+                           "uncommitted schema edits or a missing version "
+                           "bump")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help=argparse.SUPPRESS)  # test hook: lint another tree
 
     status = sub.add_parser(
         "status", help="query a job on a running `repro serve`")
@@ -421,6 +452,46 @@ def _cmd_submit(args) -> int:
     return 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import runner as lint_runner
+
+    if args.list_rules:
+        from repro.lint.base import all_checkers
+
+        width = max(len(checker.name) for checker in all_checkers())
+        for checker in all_checkers():
+            print(f"  {checker.name:<{width}}  [{checker.scope}] "
+                  f"{checker.description}")
+        return 0
+
+    if args.update_baseline:
+        try:
+            path = lint_runner.update_baseline(
+                args.root,
+                baseline=args.baseline or lint_runner.DEFAULT_BASELINE,
+                force=args.force)
+        except lint_runner.LintUsageError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}", file=sys.stderr)
+        return 0
+
+    try:
+        findings = lint_runner.run_lint(
+            args.paths or None, rules=args.rules, root=args.root,
+            baseline=args.baseline)
+    except lint_runner.LintUsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json_path:
+        _write_artifact(lint_runner.format_json(findings), args.json_path)
+        if args.json_path != "-" and findings:
+            print(lint_runner.format_text(findings), file=sys.stderr)
+    else:
+        print(lint_runner.format_text(findings))
+    return 1 if findings else 0
+
+
 def _cmd_status(args) -> int:
     import time
 
@@ -467,6 +538,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_cache(args)
 
 

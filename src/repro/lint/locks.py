@@ -1,0 +1,161 @@
+"""The ``lock-discipline`` checker: guarded attributes stay under the lock.
+
+The threaded classes (:class:`repro.api.session.Session`/``Job``,
+:class:`repro.api.fleet.FleetBroker`/``FleetExecutor``) declare which of
+their attributes the instance lock protects::
+
+    class Session:
+        _GUARDED_BY_LOCK = ("_jobs_by_id", "_inflight", "_closed", ...)
+
+Within such a class, every ``self.<attr>`` read or write of a guarded
+attribute must happen either
+
+* lexically inside a ``with self._lock:`` block, or
+* inside a private method whose name ends in ``_locked`` (the repo's
+  convention for "caller holds the lock"), or
+* inside ``__init__`` (the instance is not yet shared).
+
+Code inside a nested function or lambda is treated as *outside* any
+enclosing ``with self._lock:`` — a closure can run long after the lock was
+released — so guarded accesses there are flagged too.
+
+Example-based tests can only cover races someone imagined; this checker
+covers the whole class of "read a shared field without the lock" bugs at
+the 40+ ``_lock`` sites in the session and fleet layers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import (
+    Checker,
+    FileContext,
+    Finding,
+    register_checker,
+    string_tuple,
+)
+
+#: The class-level annotation naming the guarded attributes.
+GUARD_ANNOTATION = "_GUARDED_BY_LOCK"
+
+#: The lock attribute the ``with`` blocks must hold.
+LOCK_ATTR = "_lock"
+
+
+def guarded_attributes(class_node: ast.ClassDef) -> tuple[str, ...] | None:
+    """The class's ``_GUARDED_BY_LOCK`` tuple, or None when absent."""
+    for stmt in class_node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == GUARD_ANNOTATION:
+                    return string_tuple(stmt.value) or ()
+        elif (isinstance(stmt, ast.AnnAssign) and stmt.value is not None
+              and isinstance(stmt.target, ast.Name)
+              and stmt.target.id == GUARD_ANNOTATION):
+            return string_tuple(stmt.value) or ()
+    return None
+
+
+def _holds_lock(with_node: ast.With) -> bool:
+    """Whether one ``with`` statement acquires ``self._lock``."""
+    for item in with_node.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Attribute) and expr.attr == LOCK_ATTR
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"):
+            return True
+    return False
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking whether ``self._lock`` is held."""
+
+    def __init__(self, ctx: FileContext, class_name: str, method_name: str,
+                 guarded: frozenset[str], findings: list[Finding]):
+        self._ctx = ctx
+        self._class_name = class_name
+        self._method_name = method_name
+        self._guarded = guarded
+        self._findings = findings
+        self._lock_depth = 0
+
+    def visit_With(self, node: ast.With) -> None:
+        """Enter a ``with`` block, noting whether it takes the lock."""
+        held = _holds_lock(node)
+        for item in node.items:
+            self.visit(item.context_expr)    # the lock expr itself is exempt
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if held:
+            self._lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if held:
+            self._lock_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """A nested def may outlive the lock: scan its body as unlocked."""
+        self._visit_unlocked_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async nested defs get the same escape treatment."""
+        self._visit_unlocked_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Lambdas may outlive the lock too."""
+        self._visit_unlocked_scope(node)
+
+    def _visit_unlocked_scope(self, node: ast.AST) -> None:
+        depth, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = depth
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """Flag a guarded ``self.<attr>`` access outside the lock."""
+        if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                and node.attr in self._guarded and self._lock_depth == 0):
+            access = ("write" if isinstance(node.ctx, (ast.Store, ast.Del))
+                      else "read")
+            self._findings.append(self._ctx.finding(
+                node,
+                f"{self._class_name}.{node.attr} is declared in "
+                f"{GUARD_ANNOTATION} but {self._method_name}() {access}s it "
+                f"outside `with self.{LOCK_ATTR}:`; hold the lock, or move "
+                f"the access into a *_locked method",
+                LockDisciplineChecker.name))
+        self.generic_visit(node)
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    """Enforce ``_GUARDED_BY_LOCK`` access discipline per class."""
+
+    name = "lock-discipline"
+    description = ("attributes listed in _GUARDED_BY_LOCK may only be "
+                   "touched under `with self._lock:` or in *_locked methods")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        """Check every annotated class in one file."""
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                guarded = guarded_attributes(node)
+                if guarded:
+                    self._check_class(ctx, node, frozenset(guarded), findings)
+        return findings
+
+    @staticmethod
+    def _check_class(ctx: FileContext, class_node: ast.ClassDef,
+                     guarded: frozenset[str],
+                     findings: list[Finding]) -> None:
+        for stmt in class_node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__" or stmt.name.endswith("_locked"):
+                continue                 # unshared instance / lock-held helper
+            visitor = _MethodVisitor(ctx, class_node.name, stmt.name,
+                                     guarded, findings)
+            for inner in stmt.body:
+                visitor.visit(inner)
