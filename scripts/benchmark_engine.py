@@ -73,6 +73,7 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "benchmarks" / "result
 SCALE_SWEEP_OUTPUT = DEFAULT_OUTPUT.parent / "scale_sweep_specint.txt"
 BENCH_ENGINE_JSON = DEFAULT_OUTPUT.parent / "BENCH_engine.json"
 BENCH_CYCLE_LOOP_JSON = DEFAULT_OUTPUT.parent / "BENCH_cycle_loop.json"
+BENCH_BACKENDS_JSON = DEFAULT_OUTPUT.parent / "BENCH_backends.json"
 
 
 class CycleLoopProbe:
@@ -151,13 +152,14 @@ def calibrate(repeats: int = 3) -> float:
     return best
 
 
-def run_sweep(workloads, scale, jobs, cache):
+def run_sweep(workloads, scale, jobs, cache, backend=None):
     """Run every figure experiment once; returns (reports, seconds)."""
     reports = {}
     start = time.perf_counter()
     for name in FIGURES:
         reports[name] = run_experiment(name, suite="specint", workloads=workloads,
-                                       scale=scale, jobs=jobs, cache=cache)
+                                       scale=scale, jobs=jobs, cache=cache,
+                                       backend=backend)
     return reports, time.perf_counter() - start
 
 
@@ -177,13 +179,17 @@ def check_reports_identical(reference, candidate, label) -> None:
             )
 
 
-def time_fig8(workloads, jobs, repeats: int = 3):
+def time_fig8(workloads, jobs, repeats: int = 3, backend=None):
     """Best-of-N fig8 sweep wall-clock plus in-sim cycle-loop time.
 
     Returns ``(sweep_s, loop_s, committed_instructions)`` — the instruction
     total is per single sweep (identical across repeats), so
     ``instructions / loop_s`` is the committed-instructions-per-second
-    figure the perf-smoke gate normalises against.
+    figure the perf-smoke gate normalises against.  ``backend`` selects the
+    cycle-loop backend (see :mod:`repro.uarch.backend`); for the compiled
+    backend the probe still wraps ``Pipeline.run``, so marshalling costs
+    are inside the measurement — the number is honest end-to-end loop
+    throughput, not kernel-only time.
     """
     best_sweep = float("inf")
     best_loop = float("inf")
@@ -193,7 +199,7 @@ def time_fig8(workloads, jobs, repeats: int = 3):
         start = time.perf_counter()
         with probe:
             run_experiment("fig8", suite="specint", workloads=workloads,
-                           scale=1, jobs=jobs, cache=False)
+                           scale=1, jobs=jobs, cache=False, backend=backend)
         sweep = time.perf_counter() - start
         best_sweep = min(best_sweep, sweep)
         best_loop = min(best_loop, probe.seconds)
@@ -201,16 +207,66 @@ def time_fig8(workloads, jobs, repeats: int = 3):
     return best_sweep, best_loop, instructions
 
 
-def time_scale_sweep(workloads, jobs, cache_dir):
+def time_backends(workloads, repeats: int = 3):
+    """Fig8 cycle-loop probe once per registered backend.
+
+    Unavailable backends (no C toolchain, ``REPRO_NO_CC=1``) get an
+    ``{"available": False}`` row instead of a measurement, so the artifact
+    records *why* a backend has no number.  Every available backend's fig8
+    report is compared against the ``python`` reference in ``to_dict``
+    form — backends must be a pure speedup, so any difference is a hard
+    failure, exactly like the engine-sweep comparison.
+
+    Returns ``{backend_name: row_dict}`` with ``instructions_per_second``
+    and ``speedup_vs_python`` filled in for available backends.
+    """
+    from repro.uarch.backend import backend_names, get_backend
+
+    rows = {}
+    reports = {}
+    for name in backend_names():
+        if not get_backend(name).available():
+            rows[name] = {"available": False}
+            continue
+        reports[name] = run_experiment("fig8", suite="specint",
+                                       workloads=workloads, scale=1, jobs=1,
+                                       cache=False, backend=name)
+        _, loop_s, instructions = time_fig8(workloads, jobs=1,
+                                            repeats=repeats, backend=name)
+        rows[name] = {
+            "available": True,
+            "cycle_loop_s": round(loop_s, 4),
+            "committed_instructions": instructions,
+            "instructions_per_second": round(instructions / loop_s, 1),
+        }
+    reference = reports["python"]
+    for name, report in reports.items():
+        if report.to_dict() != reference.to_dict():
+            raise SystemExit(
+                f"FAIL: fig8 report differs between the python and {name} "
+                f"backends;\npython: {reference.to_dict()}"
+                f"\n{name}: {report.to_dict()}"
+            )
+    python_ips = rows["python"]["instructions_per_second"]
+    for name, row in rows.items():
+        if row.get("available") and name != "python":
+            row["speedup_vs_python"] = round(
+                row["instructions_per_second"] / python_ips, 2)
+    return rows
+
+
+def time_scale_sweep(workloads, jobs, cache_dir, backend=None):
     """Cold/warm scale-sweep timings; returns (report, cold_s, warm_s)."""
     cache = SimulationCache(cache_dir)
     start = time.perf_counter()
     cold_report = run_scale_sweep("specint", workloads=workloads,
-                                  scales=SCALES, jobs=jobs, cache=cache)
+                                  scales=SCALES, jobs=jobs, cache=cache,
+                                  backend=backend)
     cold_s = time.perf_counter() - start
     start = time.perf_counter()
     warm_report = run_scale_sweep("specint", workloads=workloads,
-                                  scales=SCALES, jobs=jobs, cache=cache)
+                                  scales=SCALES, jobs=jobs, cache=cache,
+                                  backend=backend)
     warm_s = time.perf_counter() - start
     if cold_report.to_dict() != warm_report.to_dict():
         raise SystemExit(
@@ -218,6 +274,57 @@ def time_scale_sweep(workloads, jobs, cache_dir):
             f"\ncold: {cold_report.to_dict()}\nwarm: {warm_report.to_dict()}"
         )
     return cold_report, cold_s, warm_s
+
+
+def backend_comparison(args) -> int:
+    """The ``--backend all`` mode: per-backend fig8 probe + artifact.
+
+    Probes the fig8 cycle loop once per registered backend (skipping
+    unavailable ones), prints the comparison table, and writes
+    ``BENCH_backends.json`` next to ``--output`` — the per-backend
+    committed baselines ``scripts/perf_smoke.py`` gates each *available*
+    backend against.
+    """
+    rows = time_backends(args.workloads, repeats=args.repeats)
+    calibration_s = calibrate(args.repeats)
+
+    lines = [
+        "Cycle-loop backends: fig8 in-sim probe per registered backend",
+        f"workloads: {', '.join(args.workloads)} (best of {args.repeats})",
+        "",
+        f"{'backend':<12}{'cycle loop':>12}{'instr/s':>14}{'vs python':>11}",
+        "-" * 49,
+    ]
+    for name, row in sorted(rows.items()):
+        if not row.get("available"):
+            lines.append(f"{name:<12}{'unavailable':>12}{'—':>14}{'—':>11}")
+            continue
+        speedup = row.get("speedup_vs_python", 1.0)
+        lines.append(f"{name:<12}{row['cycle_loop_s']:>11.3f}s"
+                     f"{row['instructions_per_second']:>14,.0f}"
+                     f"{speedup:>10.2f}x")
+    lines.append("")
+    lines.append("fig8 reports identical across all available backends: yes")
+    print("\n".join(lines))
+
+    payload = {
+        "schema": "repro-bench-backends/1",
+        "workloads": list(args.workloads),
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "calibration": {
+            "version": CALIBRATION_VERSION,
+            "iterations": CALIBRATION_ITERATIONS,
+            "seconds": round(calibration_s, 5),
+        },
+        "backends": rows,
+        "reports_identical": True,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    bench_backends_json = args.output.parent / BENCH_BACKENDS_JSON.name
+    bench_backends_json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nmachine-readable: {bench_backends_json}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -237,17 +344,29 @@ def main(argv=None) -> int:
                         help="PR 3 fig8 cycle-loop seconds (speedup baseline)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="best-of-N repetitions for the fig8 probes")
+    parser.add_argument("--backend", default=None, metavar="NAME|all",
+                        help="cycle-loop backend for every measurement "
+                             "(python|compiled), or 'all' to run only the "
+                             "per-backend fig8 probe and write "
+                             "BENCH_backends.json")
     args = parser.parse_args(argv)
+
+    if args.backend == "all":
+        return backend_comparison(args)
 
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-engine-timing-"))
     scale_cache_dir = Path(tempfile.mkdtemp(prefix="repro-scale-timing-"))
     try:
         cache = SimulationCache(cache_dir)
 
-        serial_reports, serial_s = run_sweep(args.workloads, args.scale, 1, False)
-        cold_reports, cold_s = run_sweep(args.workloads, args.scale, args.jobs, cache)
-        warm_reports, warm_s = run_sweep(args.workloads, args.scale, args.jobs, cache)
-        auto_reports, auto_s = run_sweep(args.workloads, args.scale, "auto", False)
+        serial_reports, serial_s = run_sweep(args.workloads, args.scale, 1, False,
+                                             backend=args.backend)
+        cold_reports, cold_s = run_sweep(args.workloads, args.scale, args.jobs,
+                                         cache, backend=args.backend)
+        warm_reports, warm_s = run_sweep(args.workloads, args.scale, args.jobs,
+                                         cache, backend=args.backend)
+        auto_reports, auto_s = run_sweep(args.workloads, args.scale, "auto", False,
+                                         backend=args.backend)
 
         check_reports_identical(serial_reports, cold_reports, "parallel/cold")
         check_reports_identical(serial_reports, warm_reports, "parallel/warm")
@@ -255,11 +374,11 @@ def main(argv=None) -> int:
         entries = len(cache)
 
         fig8_s, cycle_loop_s, loop_instructions = time_fig8(
-            args.workloads, jobs=1, repeats=args.repeats)
+            args.workloads, jobs=1, repeats=args.repeats, backend=args.backend)
         fig8_auto_s, _, _ = time_fig8(args.workloads, jobs="auto",
-                                      repeats=args.repeats)
+                                      repeats=args.repeats, backend=args.backend)
         scale_report, scale_cold_s, scale_warm_s = time_scale_sweep(
-            args.workloads, args.jobs, scale_cache_dir)
+            args.workloads, args.jobs, scale_cache_dir, backend=args.backend)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
         shutil.rmtree(scale_cache_dir, ignore_errors=True)

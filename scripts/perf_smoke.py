@@ -92,6 +92,7 @@ def main(argv=None) -> int:
     calibrated = recorded.get("version") == CALIBRATION_VERSION \
         and recorded.get("seconds", 0) > 0
     expected_ips = baseline_ips
+    local_calibration_s = None
     if calibrated:
         local_calibration_s = calibrate(args.repeats)
         speed_ratio = recorded["seconds"] / local_calibration_s
@@ -138,8 +139,68 @@ def main(argv=None) -> int:
               f"slower than the calibrated baseline expectation",
               file=sys.stderr)
         return 1
+
+    failures = gate_backends(args, factor, local_calibration_s)
+    if failures:
+        return 1
     print("perf smoke: ok")
     return 0
+
+
+def gate_backends(args, factor: float, local_calibration_s: float | None) -> int:
+    """Gate each *available* backend against ``BENCH_backends.json``.
+
+    The per-backend baselines come from ``benchmark_engine.py --backend
+    all``; a backend that is unavailable on this runner (no C toolchain,
+    ``REPRO_NO_CC=1``) is **skipped, not failed** — the toolchain-absent CI
+    leg must pass on the python gate alone.  The ``python`` row is skipped
+    too: the primary gate above already measured it.  Returns the number
+    of failing backends.
+    """
+    from benchmark_engine import CALIBRATION_VERSION, calibrate, time_fig8
+    from repro.uarch.backend import backend_names, get_backend
+
+    backends_path = args.baseline.parent / "BENCH_backends.json"
+    if not backends_path.exists():
+        print("perf smoke: no BENCH_backends.json baseline; "
+              "per-backend gates skipped")
+        return 0
+    payload = json.loads(backends_path.read_text())
+    recorded = payload.get("calibration") or {}
+    speed_ratio = 1.0
+    if (recorded.get("version") == CALIBRATION_VERSION
+            and recorded.get("seconds", 0) > 0):
+        if local_calibration_s is None:
+            local_calibration_s = calibrate(args.repeats)
+        speed_ratio = recorded["seconds"] / local_calibration_s
+
+    registered = set(backend_names())
+    failures = 0
+    for name, row in sorted(payload.get("backends", {}).items()):
+        if name == "python":
+            continue
+        if not row.get("available"):
+            print(f"perf smoke: backend {name}: no committed baseline "
+                  f"measurement; skipped")
+            continue
+        if name not in registered or not get_backend(name).available():
+            print(f"perf smoke: backend {name}: unavailable on this runner; "
+                  f"skipped")
+            continue
+        _, loop_s, instructions = time_fig8(
+            payload["workloads"], jobs=1, repeats=args.repeats, backend=name)
+        measured = instructions / loop_s
+        expected = row["instructions_per_second"] * speed_ratio
+        floor = expected / factor
+        print(f"perf smoke: backend {name}: measured {measured:,.0f} instr/s, "
+              f"expected {expected:,.0f}, floor {floor:,.0f} "
+              f"(factor {factor:.2f}x)")
+        if measured < floor:
+            print(f"perf smoke: FAIL — {name} backend is more than "
+                  f"{factor:.2f}x slower than its calibrated baseline",
+                  file=sys.stderr)
+            failures += 1
+    return failures
 
 
 if __name__ == "__main__":

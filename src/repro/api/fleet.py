@@ -1035,6 +1035,7 @@ class FleetExecutor:
                         "collect_timing": task.collect_timing,
                         "record_stats": task.record_stats,
                         "max_instructions": task.max_instructions,
+                        "backend": task.backend,
                         "outcome_key": key,
                         "cache_root": cache_root,
                         "checkpoint_path": str(

@@ -266,6 +266,12 @@ class Session:
             ``$REPRO_CACHE_DIR`` environment like the library defaults do.
         executor: Explicit default :class:`~repro.harness.executors.Executor`
             (overrides ``jobs``).
+        backend: Default cycle-loop backend name for this session's runs
+            (``"python"``, ``"compiled"``; see :mod:`repro.uarch.backend`),
+            or None to defer to ``$REPRO_BACKEND``/``python`` per
+            simulation.  Results are backend-independent, so this is pure
+            provenance + speed — it never changes request digests,
+            coalescing, or outcome-cache keys.
         workers: Worker threads for asynchronously submitted jobs.  Grids
             are CPU-bound, so a small number only orders queued jobs; the
             process-pool executors below provide the real parallelism.
@@ -300,6 +306,7 @@ class Session:
         jobs: int | str | None = None,
         cache: SimulationCache | bool | str | None = None,
         executor: Executor | None = None,
+        backend: str | None = None,
         workers: int = 2,
         max_retained_jobs: int = 256,
         job_ttl_s: float | None = 3600.0,
@@ -313,6 +320,7 @@ class Session:
         self._jobs_arg = jobs
         self._cache_arg = cache
         self._executor_arg = executor
+        self._backend_arg = backend
         self._workers = max(1, workers)
         self._max_retained_jobs = max_retained_jobs
         self._job_ttl_s = job_ttl_s
@@ -455,6 +463,7 @@ class Session:
         jobs: int | str | None = None,
         cache: SimulationCache | bool | str | None = None,
         executor: Executor | None = None,
+        backend: str | None = None,
         progress=None,
         cancel=None,
         **params,
@@ -473,10 +482,12 @@ class Session:
             jobs, executor = self._jobs_arg, self._executor_arg
         if cache is None:
             cache = self._cache_arg
+        if backend is None:
+            backend = self._backend_arg
         return get_experiment(name).run(
             suite=suite, workloads=workloads, scale=scale, jobs=jobs,
             cache=cache, executor=executor, progress=progress, cancel=cancel,
-            **params,
+            backend=backend, **params,
         )
 
     # ------------------------------------------------------------------

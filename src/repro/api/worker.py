@@ -86,6 +86,12 @@ class FleetWorker:
         poll_wait_s: Long-poll window per lease request.
         max_cells: Optional bound on cells to execute before exiting
             cleanly (tests and batch-style deployments).
+        backend: Cycle-loop backend override for every cell this worker
+            runs (see :mod:`repro.uarch.backend`).  None uses the backend
+            the lease's cell payload asked for (which is what the
+            submitting session requested); either way an unavailable
+            backend degrades silently to ``python``, and results are
+            identical regardless.
     """
 
     def __init__(
@@ -95,12 +101,14 @@ class FleetWorker:
         *,
         poll_wait_s: float = 5.0,
         max_cells: int | None = None,
+        backend: str | None = None,
     ):
         """Create the worker (no network traffic until :meth:`run`)."""
         self.server_url = server_url.rstrip("/")
         self.worker_id = worker_id or f"worker-{os.getpid()}"
         self.poll_wait_s = poll_wait_s
         self.max_cells = max_cells
+        self.backend = backend
         self.heartbeat_every_s = 2.0
         self.cells_done = 0
         self._failures = 0
@@ -280,6 +288,7 @@ class FleetWorker:
             program, functional.trace, machine, renamer=renamer,
             collect_timing=bool(cell["collect_timing"]),
             record_stats=bool(cell.get("record_stats", False)),
+            backend=self.backend or cell.get("backend"),
         )
 
         checkpoint = Path(cell["checkpoint_path"])
@@ -328,10 +337,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="long-poll window per lease request (seconds)")
     parser.add_argument("--max-cells", type=int, default=None,
                         help="exit cleanly after this many cells")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="cycle-loop backend for every cell (python|"
+                             "compiled; default: what each lease asks for)")
     options = parser.parse_args(argv)
     worker = FleetWorker(options.server, options.worker_id,
                          poll_wait_s=options.poll_wait,
-                         max_cells=options.max_cells)
+                         max_cells=options.max_cells,
+                         backend=options.backend)
     return worker.run()
 
 

@@ -86,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", default=None, metavar="N|auto",
                      help="worker processes: an integer or 'auto' (adaptive; "
                           "the default)")
+    run.add_argument("--backend", default=None, metavar="NAME",
+                     help="cycle-loop backend: python|compiled (default: "
+                          "$REPRO_BACKEND, else python; an unavailable "
+                          "backend degrades to python with identical "
+                          "results)")
     _add_cache_flags(run)
     run.add_argument("--json", metavar="PATH", dest="json_path",
                      help="write the report as a JSON artifact to PATH "
@@ -119,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 = in-process execution, the default)")
     serve.add_argument("--session-workers", type=int, default=2,
                        help="concurrent jobs the session runs (default 2)")
+    serve.add_argument("--backend", default=None, metavar="NAME",
+                       help="cycle-loop backend for every run this service "
+                            "executes: python|compiled (default: "
+                            "$REPRO_BACKEND, else python)")
     _add_cache_flags(serve)
 
     worker = sub.add_parser(
@@ -131,6 +140,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="long-poll window per lease request (default 5s)")
     worker.add_argument("--max-cells", type=int, default=None, metavar="N",
                         help="exit cleanly after N cells (default: unbounded)")
+    worker.add_argument("--backend", default=None, metavar="NAME",
+                        help="cycle-loop backend for every leased cell: "
+                             "python|compiled (default: what each lease "
+                             "asks for)")
 
     submit = sub.add_parser(
         "submit", help="submit an experiment to a running `repro serve`")
@@ -253,6 +266,7 @@ def _cmd_run(args) -> int:
             scale=scale,
             jobs=args.jobs,
             cache=_resolve_cache_arg(args),
+            backend=args.backend,
             **params,
         )
     except (KeyError, ValueError) as error:
@@ -316,7 +330,7 @@ def _cmd_serve(args) -> int:
 
         executor = FleetExecutor(workers=args.workers)
     session = Session(jobs=args.jobs, cache=_resolve_cache_arg(args),
-                      executor=executor,
+                      executor=executor, backend=args.backend,
                       workers=max(1, args.session_workers))
     return serve(
         host=args.host if args.host is not None else DEFAULT_HOST,
@@ -330,7 +344,8 @@ def _cmd_worker(args) -> int:
 
     worker = FleetWorker(args.server, args.worker_id,
                          poll_wait_s=args.poll_wait,
-                         max_cells=args.max_cells)
+                         max_cells=args.max_cells,
+                         backend=args.backend)
     return worker.run()
 
 

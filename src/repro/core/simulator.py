@@ -68,6 +68,7 @@ def simulate(
     record_stats: bool = False,
     max_instructions: int = 2_000_000,
     verify: bool = True,
+    backend: str | None = None,
 ) -> SimulationOutcome:
     """Run ``program`` through the functional and timing simulators.
 
@@ -85,6 +86,10 @@ def simulate(
         max_instructions: Functional-simulation budget.
         verify: Check that the timing simulator's final architectural state
             matches the functional simulator's.
+        backend: Cycle-loop backend name for the timing run (``"python"``,
+            ``"compiled"``), or None to consult ``$REPRO_BACKEND`` and
+            default to ``python`` — see :mod:`repro.uarch.backend`.
+            Results are backend-independent; only speed changes.
 
     Returns:
         A :class:`SimulationOutcome`.
@@ -99,6 +104,7 @@ def simulate(
         renamer=renamer,
         collect_timing=collect_timing,
         record_stats=record_stats,
+        backend=backend,
     )
     timing = pipeline.run()
     if verify:

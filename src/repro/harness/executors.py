@@ -60,6 +60,7 @@ from repro.harness.cache import (
     program_digest,
     resolve_cache,
 )
+from repro.uarch.backend import DEFAULT_BACKEND, resolve_backend
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload
 
@@ -134,6 +135,10 @@ class WorkloadTask:
     max_instructions: int
     cache_root: str | None
     record_stats: bool = False
+    #: Cycle-loop backend name (see :mod:`repro.uarch.backend`); None defers
+    #: to ``$REPRO_BACKEND``/``python`` at simulation time.  Never part of
+    #: the outcome-cache key — results are backend-independent.
+    backend: str | None = None
 
     @property
     def cells(self) -> int:
@@ -232,6 +237,7 @@ def run_workload_block(
                 collect_timing=task.collect_timing,
                 record_stats=task.record_stats,
                 max_instructions=task.max_instructions,
+                backend=task.backend,
             )
             if cache is not None:
                 cache.put(key, outcome)
@@ -298,6 +304,7 @@ def build_tasks(
     record_stats: bool = False,
     max_instructions: int = 2_000_000,
     cache_root: str | None = None,
+    backend: str | None = None,
 ) -> list[WorkloadTask]:
     """One :class:`WorkloadTask` per workload, covering the full grid."""
     return [
@@ -310,6 +317,7 @@ def build_tasks(
             max_instructions=max_instructions,
             cache_root=cache_root,
             record_stats=record_stats,
+            backend=backend,
         )
         for workload in workloads
     ]
@@ -346,22 +354,51 @@ class CostModel:
 
     @staticmethod
     def key(task: WorkloadTask) -> str:
-        """The store key for one workload task (outcome-cache style)."""
+        """The store key for one workload task (outcome-cache style).
+
+        Includes the *resolved* cycle-loop backend name — ``task.backend``
+        run through :func:`repro.uarch.backend.resolve_backend`, so a
+        requested-but-unavailable ``compiled`` keys as ``python``, matching
+        the loop that will actually run.  Compiled-backend timings are an
+        order of magnitude off python-backend ones; sharing entries would
+        poison the pool-or-serial decision for whichever backend reads a
+        cost the other wrote.
+        """
+        backend = resolve_backend(task.backend).name
         return (f"{task.workload.name}|scale={task.scale}"
                 f"|timing={int(task.collect_timing)}"
                 f"|stats={int(task.record_stats)}"
-                f"|budget={task.max_instructions}")
+                f"|budget={task.max_instructions}"
+                f"|backend={backend}")
 
     def load(self) -> dict[str, float]:
-        """All recorded costs (empty on a missing or unreadable store)."""
+        """All recorded costs (empty on a missing or unreadable store).
+
+        Version-1 stores (written before backends existed) lack the
+        ``|backend=`` key component; every v1 timing was measured on the
+        python reference loop, so such keys are read as
+        ``|backend=python`` entries.  The migration is pure-read — the
+        file itself upgrades on the next :meth:`record`, and a v1 key never
+        shadows a real v2 entry.
+        """
         try:
             payload = json.loads(self.path.read_text())
         except (OSError, ValueError):
             return {}
         if not isinstance(payload, dict):
             return {}
-        return {key: float(value) for key, value in payload.items()
-                if isinstance(value, (int, float))}
+        costs: dict[str, float] = {}
+        migrated: dict[str, float] = {}
+        for key, value in payload.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if "|backend=" in key:
+                costs[key] = float(value)
+            else:
+                migrated[f"{key}|backend={DEFAULT_BACKEND}"] = float(value)
+        for key, value in migrated.items():
+            costs.setdefault(key, value)
+        return costs
 
     def record(self, task: WorkloadTask, seconds_per_cell: float) -> None:
         """Merge one measured cost into the store (atomic, best-effort).
@@ -698,6 +735,7 @@ def execute_grid(
     executor: Executor | None = None,
     progress: ProgressFn | None = None,
     cancel: CancelFn | None = None,
+    backend: str | None = None,
 ) -> dict[GridKey, SimulationOutcome]:
     """Run the full grid and return outcomes in deterministic grid order.
 
@@ -721,6 +759,11 @@ def execute_grid(
             a :class:`repro.api.session.Session`.
         cancel: Optional cancellation probe (:data:`CancelFn`); a True
             return aborts the grid with :class:`ExecutionCancelled`.
+        backend: Cycle-loop backend name for every simulation in the grid
+            (see :mod:`repro.uarch.backend`); None defers to
+            ``$REPRO_BACKEND``/``python``.  Provenance only — outcome-cache
+            keys do not include it, because results are
+            backend-independent.
 
     Returns:
         ``{(workload name, machine label, reno label): outcome}`` ordered
@@ -741,6 +784,7 @@ def execute_grid(
         record_stats=record_stats,
         max_instructions=max_instructions,
         cache_root=cache_root,
+        backend=backend,
     )
     blocks = _delegate(executor, tasks, cache, progress, cancel) if tasks else []
     outcomes: dict[GridKey, SimulationOutcome] = {}

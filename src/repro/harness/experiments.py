@@ -608,6 +608,7 @@ def run_scale_sweep(
     executor=None,
     progress=None,
     cancel=None,
+    backend=None,
 ) -> ExperimentReport:
     """Baseline-vs-RENO behaviour as the workloads scale up.
 
@@ -631,6 +632,8 @@ def run_scale_sweep(
             (:data:`~repro.harness.executors.ProgressFn`).
         cancel: Cooperative cancellation probe
             (:data:`~repro.harness.executors.CancelFn`).
+        backend: Cycle-loop backend name for every grid (see
+            :func:`repro.harness.run_matrix`).
     """
     names = _workload_list(suite, workloads)
     machines = {"4wide": MachineConfig.default_4wide()}
@@ -644,7 +647,7 @@ def run_scale_sweep(
         matrix = run_matrix(names, machines, renos, scale=scale, jobs=jobs,
                             cache=cache, max_instructions=max_instructions,
                             executor=executor, progress=progress,
-                            cancel=cancel)
+                            cancel=cancel, backend=backend)
         speedup_sum = 0.0
         for name in matrix.workloads:
             base = matrix.get(name, "4wide", SPEEDUP_BASELINE)

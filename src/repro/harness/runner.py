@@ -134,6 +134,7 @@ def run_matrix(
     executor: Executor | None = None,
     progress: ProgressFn | None = None,
     cancel: CancelFn | None = None,
+    backend: str | None = None,
 ) -> MatrixResult:
     """Simulate every (workload, machine, RENO config) combination.
 
@@ -177,6 +178,11 @@ def run_matrix(
             (:data:`~repro.harness.executors.ProgressFn`).
         cancel: Cooperative cancellation probe
             (:data:`~repro.harness.executors.CancelFn`).
+        backend: Cycle-loop backend name for every simulation (``"python"``,
+            ``"compiled"``; see :mod:`repro.uarch.backend`), or None to
+            defer to ``$REPRO_BACKEND``/``python``.  Results are identical
+            for every backend — this only changes how fast cells compute —
+            so it never enters spec digests or outcome-cache keys.
     """
     resolved = _resolve_workloads(workloads)
     machines = _normalize_axis(machines, "machine")
@@ -194,6 +200,7 @@ def run_matrix(
         executor=executor,
         progress=progress,
         cancel=cancel,
+        backend=backend,
     )
     return MatrixResult(
         outcomes=outcomes,

@@ -212,12 +212,16 @@ class SweepSpec:
         executor: Executor | None = None,
         progress: ProgressFn | None = None,
         cancel: CancelFn | None = None,
+        backend: str | None = None,
     ) -> MatrixResult:
         """Run the grid through the experiment engine.
 
-        ``jobs``/``cache``/``executor``/``progress``/``cancel`` take the
-        same forms as :func:`~repro.harness.runner.run_matrix`; the spec
-        contributes everything else.
+        ``jobs``/``cache``/``executor``/``progress``/``cancel``/``backend``
+        take the same forms as :func:`~repro.harness.runner.run_matrix`; the
+        spec contributes everything else.  ``backend`` is deliberately a
+        run-time argument and **not** a spec field: results are
+        backend-independent, so it must never perturb :meth:`to_dict` or
+        :meth:`digest` (and with them the outcome-cache identity of a grid).
         """
         return run_matrix(
             list(self.workloads),
@@ -232,6 +236,7 @@ class SweepSpec:
             executor=executor,
             progress=progress,
             cancel=cancel,
+            backend=backend,
         )
 
 
@@ -276,6 +281,7 @@ class Experiment:
         executor: Executor | None = None,
         progress: ProgressFn | None = None,
         cancel: CancelFn | None = None,
+        backend: str | None = None,
         **params,
     ):
         """Build the spec, run the grid, reduce to an ``ExperimentReport``.
@@ -297,6 +303,8 @@ class Experiment:
                 hooks["progress"] = progress
             if cancel is not None:
                 hooks["cancel"] = cancel
+            if backend is not None:
+                hooks["backend"] = backend
             report = self.run_fn(
                 suite, workloads=workloads, scale=scale, jobs=jobs,
                 cache=cache, executor=executor, **hooks, **params,
@@ -315,11 +323,12 @@ class Experiment:
                     record_stats=spec.record_stats,
                     max_instructions=spec.max_instructions,
                     jobs=jobs, cache=cache, executor=executor,
-                    progress=progress, cancel=cancel,
+                    progress=progress, cancel=cancel, backend=backend,
                 )
             else:
                 matrix = spec.run(jobs=jobs, cache=cache, executor=executor,
-                                  progress=progress, cancel=cancel)
+                                  progress=progress, cancel=cancel,
+                                  backend=backend)
             report = self.reduce(matrix, spec)
             spec_dict = spec.to_dict()
         report.experiment = self.name

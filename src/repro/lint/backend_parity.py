@@ -1,0 +1,194 @@
+"""The ``backend-parity`` checker: the compiled kernel's ABI tracks the window.
+
+The compiled cycle-loop backend marshals
+:class:`repro.uarch.inflight.InFlightWindow` into flat C arrays whose
+layout is declared by ``WINDOW_FIELDS`` in
+:mod:`repro.uarch.compiled.emit`.  A new field added to the class and
+forgotten in the table would silently bypass the compiled backend: the
+kernel would run without that state and marshal-out would restore a stale
+value — no crash, just divergence the equivalence tests may or may not
+catch depending on the workload.
+
+This checker closes that gap structurally, with the same
+reviewed-exemption pattern as ``snapshot-coverage``:
+
+* every ``self.<attr>`` assigned in ``InFlightWindow.__init__`` must
+  appear in ``WINDOW_FIELDS`` (fields the marshaller deliberately skips
+  are still listed there and named in ``WINDOW_EXEMPT``, each with a
+  justification comment — an exemption is a reviewed decision, not a
+  default);
+* every ``WINDOW_FIELDS`` entry must be assigned in ``__init__`` (stale
+  or typo'd entries would emit a C struct slot nothing populates);
+* ``WINDOW_FIELDS`` must match the class's ``__slots__`` order exactly —
+  the tuple's position *is* the generated struct layout;
+* ``WINDOW_EXEMPT`` may only name ``WINDOW_FIELDS`` entries.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.base import Checker, Finding, register_checker, string_tuple
+from repro.lint.snapshot import _init_assigned_attrs
+
+#: Repo-relative module defining the window class.
+WINDOW_MODULE = "src/repro/uarch/inflight.py"
+
+#: Repo-relative module defining the kernel ABI tables.
+EMIT_MODULE = "src/repro/uarch/compiled/emit.py"
+
+#: The structure-of-arrays class the compiled backend marshals.
+WINDOW_CLASS = "InFlightWindow"
+
+#: The emitter's ordered field table (drives the generated struct layout).
+FIELDS_CONSTANT = "WINDOW_FIELDS"
+
+#: The reviewed not-marshalled exemption set.
+EXEMPT_CONSTANT = "WINDOW_EXEMPT"
+
+
+def _module_assign(tree: ast.Module, name: str) -> ast.Assign | None:
+    """The module-level ``NAME = ...`` statement, or None when absent."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+        elif (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == name and stmt.value is not None):
+            # Re-shape so callers see one node kind either way.
+            shim = ast.Assign(targets=[stmt.target], value=stmt.value)
+            shim.lineno = stmt.lineno
+            return shim
+    return None
+
+
+def _string_collection(node: ast.expr) -> tuple[str, ...] | None:
+    """String names from a tuple/list/set literal or a ``frozenset({...})``
+    call, preserving source order; None for any other shape."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set") and len(node.args) == 1:
+        node = node.args[0]
+    if isinstance(node, ast.Set):
+        elements = node.elts
+    elif isinstance(node, (ast.Tuple, ast.List)):
+        return string_tuple(node)
+    else:
+        return None
+    names = []
+    for element in elements:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        names.append(element.value)
+    return tuple(names)
+
+
+def _find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    """The top-level class definition called ``name``, or None."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _class_slots(class_node: ast.ClassDef) -> tuple[str, ...] | None:
+    """The class's ``__slots__`` tuple of names, or None when absent."""
+    for stmt in class_node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return string_tuple(stmt.value)
+    return None
+
+
+@register_checker
+class BackendParityChecker(Checker):
+    """Cross-check ``InFlightWindow`` against the emitter's field table."""
+
+    name = "backend-parity"
+    description = ("emit.WINDOW_FIELDS/WINDOW_EXEMPT must exactly track "
+                   "InFlightWindow.__init__ and __slots__, so a new window "
+                   "field cannot silently bypass the compiled backend")
+    scope = "project"
+
+    def check_project(self, root: Path) -> list[Finding]:
+        """Diff the window class under ``root`` against the ABI tables."""
+        window_path = root / WINDOW_MODULE
+        emit_path = root / EMIT_MODULE
+        if not window_path.is_file() or not emit_path.is_file():
+            return []                   # fixture trees without the backend
+
+        findings: list[Finding] = []
+
+        def flag(path: str, line: int, message: str) -> None:
+            findings.append(Finding(path=path, line=line, rule=self.name,
+                                    message=message))
+
+        window_tree = ast.parse(window_path.read_text())
+        emit_tree = ast.parse(emit_path.read_text())
+
+        class_node = _find_class(window_tree, WINDOW_CLASS)
+        if class_node is None:
+            flag(WINDOW_MODULE, 1,
+                 f"class {WINDOW_CLASS} not found; the compiled backend's "
+                 f"ABI tables in {EMIT_MODULE} track it and must move with "
+                 f"it")
+            return findings
+
+        fields_stmt = _module_assign(emit_tree, FIELDS_CONSTANT)
+        fields = _string_collection(fields_stmt.value) \
+            if fields_stmt is not None else None
+        if fields is None:
+            flag(EMIT_MODULE, getattr(fields_stmt, "lineno", 1),
+                 f"{FIELDS_CONSTANT} must be a literal tuple of field-name "
+                 f"strings; the backend-parity checker cannot verify the "
+                 f"kernel ABI without it")
+            return findings
+
+        exempt_stmt = _module_assign(emit_tree, EXEMPT_CONSTANT)
+        exempt = _string_collection(exempt_stmt.value) \
+            if exempt_stmt is not None else None
+        if exempt is None:
+            flag(EMIT_MODULE, getattr(exempt_stmt, "lineno", 1),
+                 f"{EXEMPT_CONSTANT} must be a literal frozenset of "
+                 f"field-name strings (empty is fine); each entry is a "
+                 f"reviewed not-marshalled decision")
+            exempt = ()
+
+        assigned = _init_assigned_attrs(class_node)
+        fields_line = fields_stmt.lineno
+        for attr, line in sorted(assigned.items()):
+            if attr not in fields:
+                flag(WINDOW_MODULE, line,
+                     f"{WINDOW_CLASS}.__init__ assigns self.{attr} but "
+                     f"{FIELDS_CONSTANT} in {EMIT_MODULE} does not list it; "
+                     f"the compiled backend would silently run without that "
+                     f"state (add it to {FIELDS_CONSTANT}, and to "
+                     f"{EXEMPT_CONSTANT} only with a justification comment)")
+        for attr in fields:
+            if attr not in assigned:
+                flag(EMIT_MODULE, fields_line,
+                     f"{FIELDS_CONSTANT} lists {attr!r} but "
+                     f"{WINDOW_CLASS}.__init__ never assigns it; the "
+                     f"generated struct would carry a slot nothing "
+                     f"populates (stale or typo'd entry)")
+
+        slots = _class_slots(class_node)
+        if slots is not None and fields != slots \
+                and set(fields) == set(slots):
+            flag(EMIT_MODULE, fields_line,
+                 f"{FIELDS_CONSTANT} lists the same names as "
+                 f"{WINDOW_CLASS}.__slots__ but in a different order; the "
+                 f"tuple position is the generated struct layout, so the "
+                 f"order must match exactly")
+
+        for attr in sorted(set(exempt) - set(fields)):
+            flag(EMIT_MODULE,
+                 exempt_stmt.lineno if exempt_stmt is not None else 1,
+                 f"{EXEMPT_CONSTANT} names {attr!r} which is not in "
+                 f"{FIELDS_CONSTANT}; exemptions may only cover listed "
+                 f"fields")
+        return findings

@@ -21,6 +21,7 @@ from pathlib import Path
 
 # Importing the checker modules registers them; keep the imports explicit
 # so a partial import cannot silently drop a gate.
+import repro.lint.backend_parity  # noqa: F401  (registration import)
 import repro.lint.determinism   # noqa: F401  (registration import)
 import repro.lint.docs          # noqa: F401  (registration import)
 import repro.lint.docstrings    # noqa: F401  (registration import)

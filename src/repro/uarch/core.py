@@ -66,6 +66,7 @@ from repro.isa.opcodes import Opcode
 from repro.isa.program import DATA_BASE, STACK_BASE, Program
 from repro.isa.registers import NUM_LOGICAL_REGS, RegisterNames
 from repro.isa.semantics import MASK64, alu_eval, branch_taken, mask64, sign_extend
+from repro.uarch.backend import CycleLoopBackend, resolve_backend
 from repro.uarch.branch import BranchUnit
 from repro.uarch.cache import CacheHierarchy
 from repro.uarch.config import MachineConfig
@@ -151,6 +152,7 @@ class Pipeline:
         record_stats: bool = False,
         timeline_stride: int = 0,
         timeline_capacity: int = DEFAULT_TIMELINE_CAPACITY,
+        backend: "str | CycleLoopBackend | None" = None,
     ):
         """Create a pipeline for one program run.
 
@@ -163,6 +165,12 @@ class Pipeline:
                 enable RENO.
             collect_timing: If True, keep a per-retired-instruction timing
                 record for critical-path analysis (costs memory).
+            backend: Which cycle-loop implementation runs the simulation —
+                a registered backend name (``"python"``, ``"compiled"``), a
+                :class:`~repro.uarch.backend.CycleLoopBackend` object, or
+                None to consult ``REPRO_BACKEND`` and default to
+                ``python``.  Backends are cycle-exact: the choice affects
+                wall-clock speed, never results.
             record_stats: If True, accumulate per-structure occupancy
                 histograms and issue-port utilization
                 (:class:`~repro.uarch.observe.OccupancyStats`, surfaced as
@@ -246,7 +254,19 @@ class Pipeline:
         # Loads currently being held back because of an ordering violation.
         self._violated_loads: set[int] = set()
 
+        #: The cycle-loop implementation (see :mod:`repro.uarch.backend`).
+        #: Resolved once at construction; deliberately outside the snapshot
+        #: so a pipeline restored on another host keeps its own backend —
+        #: that is what makes a mid-run backend switch a pure
+        #: snapshot/restore hand-off.
+        self.backend = resolve_backend(backend)
+        #: The resolved backend's registry name (``"python"`` after a
+        #: silent fallback, whatever was requested otherwise) — recorded in
+        #: result provenance by the harness layers.
+        self.backend_name = self.backend.name
+
         self._bind_aliases()
+        self.backend.prepare(self)
 
     def _bind_aliases(self) -> None:
         """(Re)derive the hot-loop aliases from the primary components.
@@ -322,7 +342,7 @@ class Pipeline:
         if gc_was_enabled:
             gc.disable()
         try:
-            self._run_cycles(stop_cycle)
+            self.backend.run_cycles(self, stop_cycle)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -381,7 +401,7 @@ class Pipeline:
         "timeline_stride", "_trace_length", "_decoded", "_trace_ops",
         "_sched_latency", "_commit_width", "_retire_dcache_ports",
         "_rename_width", "_taken_branch_limit", "_fetch_block_bytes",
-        "_front_end_depth", "_rob_capacity",
+        "_front_end_depth", "_rob_capacity", "backend", "backend_name",
     )
 
     def snapshot(self) -> PipelineSnapshot:

@@ -247,3 +247,41 @@ def test_reference_queue_actually_diverges_when_abused():
     dispatch = {r.seq: r.dispatch_cycle for r in result.timing_records}
     assert all(schedule[seq] > dispatch[seq] for seq in schedule
                if schedule[seq] >= 0)
+
+
+# ---------------------------------------------------------------------------
+# Backend-vs-backend: the compiled kernel joins the equivalence panel
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    not __import__("repro.uarch.backend", fromlist=["get_backend"])
+        .get_backend("compiled").available(),
+    reason="no C toolchain on this runner")
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("machine_name", list(MACHINES))
+def test_compiled_backend_matches_the_event_driven_loop(machine_name,
+                                                        config_name):
+    """Three-way closure: the object-model reference pins the event-driven
+    python loop (tests above), and the compiled kernel must match that loop
+    on statistics and final architectural state — so all three agree.
+    (Timing records stay python-only: the kernel's ``supports()`` hands
+    ``collect_timing`` pipelines to the reference loop, see
+    ``tests/uarch/test_backends.py``.)"""
+    program = random_program(31415).assemble()
+    trace = FunctionalSimulator(program).run().trace
+    machine = MACHINES[machine_name]
+    reno = CONFIGS[config_name]
+
+    def run(backend):
+        renamer = RenoRenamer(machine.num_physical_regs, reno) \
+            if reno is not None else None
+        pipeline = Pipeline(program, trace, machine, renamer=renamer,
+                            backend=backend)
+        assert pipeline.backend_name == backend
+        return pipeline.run()
+
+    compiled = run("compiled")
+    python = run("python")
+    assert stats_dict(compiled) == stats_dict(python)
+    assert compiled.final_registers == python.final_registers
