@@ -21,6 +21,11 @@ library internals that may change between versions.  It has four pieces:
   wire messages :class:`~repro.api.schema.WorkerHello`,
   :class:`~repro.api.schema.TaskLease`,
   :class:`~repro.api.schema.TaskResult`).
+* The shared result store — every ``cache=`` argument accepts a
+  :class:`~repro.store.base.ResultStore` instance or a locator string
+  (path, ``sqlite://…``, ``http(s)://…``); the tiers and
+  :func:`~repro.store.base.open_store` are re-exported from
+  :mod:`repro.store`.
 
 Quick start::
 
@@ -56,6 +61,14 @@ from repro.api.schema import (
 )
 from repro.api.service import make_server, serve
 from repro.api.worker import FleetWorker
+from repro.store import (
+    DiskStore,
+    HTTPStore,
+    ResultStore,
+    SqliteStore,
+    open_store,
+    store_locator,
+)
 from repro.api.session import (
     Job,
     JobCancelled,
@@ -96,4 +109,10 @@ __all__ = [
     "WorkerRejected",
     "make_fleet_server",
     "shared_fleet",
+    "ResultStore",
+    "DiskStore",
+    "SqliteStore",
+    "HTTPStore",
+    "open_store",
+    "store_locator",
 ]

@@ -73,6 +73,7 @@ from repro.harness.executors import (
     _delegate,
     _progress_emitter,
 )
+from repro.store.base import open_store, store_locator
 
 #: Default seconds a lease stays valid without a heartbeat.
 DEFAULT_LEASE_TTL_S = 10.0
@@ -794,9 +795,13 @@ class FleetExecutor:
         port: TCP port (0 = ephemeral).
         lease_ttl_s / max_attempts / max_queue_depth / slice_cycles:
             Broker policy knobs (see :class:`FleetBroker`).
-        cache: Default shared outcome cache root for runs that supply
-            none (the fleet *requires* a shared cache for result
-            transport; None creates a private temp-dir cache).
+        cache: Default shared result store for runs that supply none —
+            a store instance or any locator (directory path,
+            ``sqlite://<path>``, ``http://host:port`` of a ``repro
+            store-serve``).  The fleet *requires* a shared store for
+            result transport; with an HTTP locator workers need no
+            shared filesystem at all.  None creates a private temp-dir
+            disk cache.
         respawn: Keep the worker pool at ``workers`` by respawning dead
             processes (the chaos harness disables this to control the
             population itself).
@@ -1007,8 +1012,13 @@ class FleetExecutor:
         outcomes: dict[tuple, object] = {}
         keys: dict[tuple, str] = {}
         pending: list[tuple[tuple, dict]] = []
-        cache_root = str(cache.root)
-        checkpoint_dir = str(cache.root / "fleet-ckpt")
+        cache_root = store_locator(cache)
+        # Checkpoints resume long cells across preemption — meaningful
+        # only when broker and workers share a filesystem.  Shared-tier
+        # runs (sqlite/http locators) leave the path empty; the worker
+        # falls back to a private temp checkpoint (resume stays local).
+        disk_root = getattr(cache, "root", None)
+        checkpoint_dir = str(disk_root / "fleet-ckpt") if disk_root is not None else ""
         for task in tasks:
             program = task.workload.build(task.scale)
             digest = program_digest(program)
@@ -1038,8 +1048,9 @@ class FleetExecutor:
                         "backend": task.backend,
                         "outcome_key": key,
                         "cache_root": cache_root,
-                        "checkpoint_path": str(
-                            Path(checkpoint_dir) / f"{key}.ckpt"),
+                        "checkpoint_path": (
+                            str(Path(checkpoint_dir) / f"{key}.ckpt")
+                            if checkpoint_dir else ""),
                         "slice_cycles": self.broker.slice_cycles,
                     }))
 
@@ -1114,11 +1125,14 @@ class FleetExecutor:
         return True
 
     def _default_cache(self) -> SimulationCache:
-        """The executor's fallback shared cache (runs that supply none)."""
+        """The executor's fallback shared store (runs that supply none).
+
+        Accepts any result-store instance or locator — a directory path,
+        ``sqlite://<path>``, or the ``http://host:port`` of a ``repro
+        store-serve`` (workers then need no shared filesystem at all).
+        """
         if self._cache_arg is not None:
-            if isinstance(self._cache_arg, SimulationCache):
-                return self._cache_arg
-            return SimulationCache(self._cache_arg)
+            return open_store(self._cache_arg)
         with self._lock:
             if self._own_cache_dir is None:
                 self._own_cache_dir = tempfile.mkdtemp(

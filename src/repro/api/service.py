@@ -17,6 +17,10 @@ GET       ``/jobs/<id>``           job status incl. per-cell progress and,
 POST      ``/jobs/<id>/cancel``    cooperative cancellation
 GET       ``/fleet``               broker stats when the session executes
                                    on a worker fleet (404 otherwise)
+GET       ``/store/stats``         result-store counters (hits, misses,
+                                   evictions, bytes — see ``docs/store.md``)
+                                   when the session has a store (404
+                                   otherwise)
 ========  =======================  ==========================================
 
 When the session runs on a :class:`~repro.api.fleet.FleetExecutor`, a
@@ -28,7 +32,10 @@ HTTP edge.
 Requests are handled on one thread each (``ThreadingHTTPServer``), the
 CPU-heavy work lives on the session's workers, and identical concurrent
 submissions execute once: in-flight requests via the session's
-content-addressed coalescing, repeats via the on-disk outcome cache.
+content-addressed coalescing, repeats via the result store.  Two *separate*
+``repro serve`` processes sharing a store (``--store sqlite://…`` or an
+HTTP store URL) coalesce across processes too — the store carries the
+in-flight claim markers (see ``docs/store.md``).
 """
 
 from __future__ import annotations
@@ -107,7 +114,8 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """GET router: ``/healthz``, ``/experiments``, ``/jobs/<id>``."""
+        """GET router: ``/healthz``, ``/experiments``, ``/jobs/<id>``,
+        ``/fleet``, ``/store/stats``."""
         path, _, query = self.path.partition("?")
         if path == "/healthz":
             self._reply(200, {"schema_version": WIRE_SCHEMA_VERSION, "ok": True})
@@ -133,6 +141,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                                  "--workers N`")
                 return
             self._reply(200, broker.stats())
+            return
+        if path == "/store/stats":
+            store = self.server.session.cache
+            if store is None:
+                self._error(404, "this session has no result store; start "
+                                 "one with `repro serve --cache-dir DIR` or "
+                                 "`--store URL`")
+                return
+            self._reply(200, store.stats_payload())
             return
         if path.startswith("/jobs/"):
             job_id = unquote(path[len("/jobs/"):])

@@ -23,6 +23,7 @@ repro serve`` (:mod:`repro.api.service`) maps it onto HTTP.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -36,6 +37,18 @@ from repro.harness.executors import (
     resolve_executor,
 )
 from repro.harness.spec import Experiment, get_experiment
+
+#: How long a session's cross-session request claim stays live without
+#: renewal.  A holder that crashes without releasing blocks identical
+#: requests elsewhere only until this expires; a takeover after expiry
+#: merely recomputes — conditional puts keep the store consistent.
+REQUEST_CLAIM_TTL_S = 60.0
+
+#: Poll interval while waiting on another session's identical request.
+REQUEST_CLAIM_POLL_S = 0.05
+
+#: Sentinel distinguishing "cache not resolved yet" from a resolved None.
+_UNRESOLVED = object()
 
 
 class JobCancelled(RuntimeError):
@@ -260,10 +273,15 @@ class Session:
         jobs: Default execution backend selector for this session's runs —
             an int, ``"auto"``, or None (read ``$REPRO_JOBS``; unset means
             auto), exactly as :func:`repro.harness.runner.run_matrix` takes.
-        cache: Default outcome cache, in any form
-            :func:`repro.harness.cache.resolve_cache` accepts.  The session
-            resolves it lazily per run, so ``None`` keeps tracking the
-            ``$REPRO_CACHE_DIR`` environment like the library defaults do.
+        cache: Default result store, in any form
+            :func:`repro.harness.cache.resolve_cache` accepts — a store
+            instance, a locator (path, ``sqlite://<path>``,
+            ``http://host:port``), or a bool.  The session resolves it
+            lazily per run, so ``None`` keeps tracking the
+            ``$REPRO_STORE`` / ``$REPRO_CACHE_DIR`` environment like the
+            library defaults do.  A claim-capable store also coalesces
+            identical requests *across* sessions and hosts (see
+            :meth:`Session._claim_request`).
         executor: Explicit default :class:`~repro.harness.executors.Executor`
             (overrides ``jobs``).
         backend: Default cycle-loop backend name for this session's runs
@@ -319,6 +337,7 @@ class Session:
             raise ValueError(f"job_ttl_s must be positive or None, got {job_ttl_s}")
         self._jobs_arg = jobs
         self._cache_arg = cache
+        self._cache_resolved: SimulationCache | None | object = _UNRESOLVED
         self._executor_arg = executor
         self._backend_arg = backend
         self._workers = max(1, workers)
@@ -338,8 +357,20 @@ class Session:
 
     @property
     def cache(self) -> SimulationCache | None:
-        """The session's outcome cache (resolved from the constructor arg)."""
-        return resolve_cache(self._cache_arg)
+        """The session's result store (resolved from the constructor arg).
+
+        Any :class:`repro.store.base.ResultStore` tier, not just the
+        disk one — locators like ``sqlite://…`` and ``http://…`` open
+        the shared tiers.  The resolution is memoized: a locator opens
+        exactly one store instance per session, so its hit/store
+        counters (``/store/stats`` on a serving session) accumulate
+        instead of resetting on every access.
+        """
+        if self._cache_resolved is _UNRESOLVED:
+            with self._lock:
+                if self._cache_resolved is _UNRESOLVED:
+                    self._cache_resolved = resolve_cache(self._cache_arg)
+        return self._cache_resolved
 
     @property
     def executor(self) -> Executor:
@@ -348,9 +379,9 @@ class Session:
 
     @property
     def cost_model(self) -> CostModel | None:
-        """The cross-run cost model next to the cache (None without a cache)."""
+        """The cross-run cost model in the cache's store (None without one)."""
         cache = self.cache
-        return CostModel(cache.root) if cache is not None else None
+        return CostModel(cache) if cache is not None else None
 
     # ------------------------------------------------------------------
     # Submission
@@ -481,7 +512,13 @@ class Session:
         if jobs is None and executor is None:
             jobs, executor = self._jobs_arg, self._executor_arg
         if cache is None:
-            cache = self._cache_arg
+            # Forward the memoized store *instance*, not the constructor
+            # arg: a locator would re-open a fresh store (new connection,
+            # zeroed counters) on every run.  False (caching explicitly
+            # off) resolves to None and must stay False downstream.
+            cache = self.cache
+            if cache is None:
+                cache = self._cache_arg
         if backend is None:
             backend = self._backend_arg
         return get_experiment(name).run(
@@ -582,18 +619,63 @@ class Session:
                 max_workers=self._workers, thread_name_prefix="repro-session")
         return self._pool
 
+    @property
+    def _claim_owner(self) -> str:
+        """This session's store-wide identity for request claims."""
+        return f"session-{os.getpid()}-{id(self):x}"
+
+    def _claim_request(self, store, token: str, cancel) -> bool:
+        """Acquire the cross-session coalescing marker for one request.
+
+        In-process coalescing (the ``_inflight`` table) cannot see an
+        identical request running in *another* session or host, so the
+        store carries an in-flight marker too: whoever claims
+        ``request/<digest>`` runs; everyone else waits, then finds the
+        outcomes already stored and replays them as pure cache hits.
+
+        Returns whether a claim was taken (and must be released).  A
+        session without a claim-capable store — or whose store errors —
+        runs uncoalesced: the marker is an optimisation, never a
+        correctness gate.
+        """
+        if store is None or not hasattr(store, "claim"):
+            return False
+        owner = self._claim_owner
+        while True:
+            try:
+                granted = store.claim(token, owner, REQUEST_CLAIM_TTL_S)
+            except Exception:     # noqa: BLE001 - degrade to uncoalesced
+                return False
+            if granted:
+                return True
+            if cancel is not None and cancel():
+                raise ExecutionCancelled(
+                    "cancelled while waiting on an identical in-flight "
+                    "request in another session")
+            time.sleep(REQUEST_CLAIM_POLL_S)
+
     def _execute(self, request: ExperimentRequest,
                  progress=None, cancel=None):
         """Run one coerced request through the engine with session defaults."""
-        return self.run_experiment(
-            request.experiment,
-            suite=request.suite,
-            workloads=list(request.workloads) if request.workloads is not None else None,
-            scale=request.scale,
-            progress=progress,
-            cancel=cancel,
-            **request.params,
-        )
+        store = self.cache
+        token = f"request/{request.digest()}"
+        claimed = self._claim_request(store, token, cancel)
+        try:
+            return self.run_experiment(
+                request.experiment,
+                suite=request.suite,
+                workloads=list(request.workloads) if request.workloads is not None else None,
+                scale=request.scale,
+                progress=progress,
+                cancel=cancel,
+                **request.params,
+            )
+        finally:
+            if claimed:
+                try:
+                    store.release(token, self._claim_owner)
+                except Exception:   # noqa: BLE001 - advisory marker only
+                    pass
 
     def _run_job(self, job: Job, digest: str) -> None:
         """Worker-thread body for one submitted job."""

@@ -4,9 +4,12 @@ One worker process serves one broker (:mod:`repro.api.fleet`): it says
 hello (wire-schema negotiation), long-polls ``/fleet/lease`` for cells,
 simulates each cell and posts a :class:`~repro.api.schema.TaskResult`.
 Everything result-shaped travels through the shared content-addressed
-outcome cache — the wire carries only the ``outcome_key`` — so the broker
-side reads outcomes exactly as a warm cache hit and late/duplicate results
-cost nothing.
+result store (:mod:`repro.store`) — the wire carries only the
+``outcome_key`` — so the broker side reads outcomes exactly as a warm
+cache hit and late/duplicate results cost nothing.  Each cell quotes its
+store locator; ``--store http://host:port`` (with ``--store-token`` /
+``$REPRO_STORE_TOKEN``) overrides it so cross-host workers need no
+shared filesystem.
 
 Failure-tolerance mechanics (what the chaos harness exercises):
 
@@ -36,6 +39,7 @@ import http.client
 import json
 import os
 import sys
+import tempfile
 import threading
 import time
 import urllib.error
@@ -53,8 +57,8 @@ from repro.core.config import RenoConfig
 from repro.core.renamer import RenoRenamer
 from repro.core.simulator import SimulationOutcome
 from repro.functional.simulator import FunctionalSimulator
-from repro.harness.cache import SimulationCache
 from repro.api.checkpoint import run_sliced
+from repro.store.base import open_store
 from repro.uarch.config import MachineConfig
 from repro.uarch.core import Pipeline
 from repro.uarch.snapshot import PipelineSnapshot, SnapshotError
@@ -92,6 +96,13 @@ class FleetWorker:
             submitting session requested); either way an unavailable
             backend degrades silently to ``python``, and results are
             identical regardless.
+        store: Result-store locator override for every cell
+            (``--store``).  None opens whatever locator each cell
+            payload carries; a cross-host worker whose broker quoted a
+            path on a filesystem it cannot see points this at the
+            fleet's ``repro store-serve`` URL instead.
+        store_token: Bearer token for HTTP store tiers (defaults to
+            ``$REPRO_STORE_TOKEN``).
     """
 
     def __init__(
@@ -102,6 +113,8 @@ class FleetWorker:
         poll_wait_s: float = 5.0,
         max_cells: int | None = None,
         backend: str | None = None,
+        store: str | None = None,
+        store_token: str | None = None,
     ):
         """Create the worker (no network traffic until :meth:`run`)."""
         self.server_url = server_url.rstrip("/")
@@ -109,10 +122,13 @@ class FleetWorker:
         self.poll_wait_s = poll_wait_s
         self.max_cells = max_cells
         self.backend = backend
+        self.store = store
+        self.store_token = store_token
         self.heartbeat_every_s = 2.0
         self.cells_done = 0
         self._failures = 0
         self._traces: dict[tuple, object] = {}
+        self._stores: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Transport
@@ -265,10 +281,41 @@ class FleetWorker:
         self._traces[memo_key] = (program, functional)
         return program, functional
 
+    def _store_for(self, locator: str):
+        """Open (and memoise) the result store a cell's outcomes go to.
+
+        A ``--store`` override wins over the locator quoted in the cell
+        payload — that is how a worker on another host replaces a broker
+        path it cannot see with the fleet's ``repro store-serve`` URL.
+        """
+        locator = self.store or locator
+        store = self._stores.get(locator)
+        if store is None:
+            store = open_store(locator, token=self.store_token)
+            self._stores[locator] = store
+        return store
+
+    def _checkpoint_for(self, cell: dict) -> Path:
+        """Where this cell parks its mid-simulation snapshot.
+
+        Cells carry a path inside the shared cache directory when the
+        fleet runs on one filesystem.  Shared-tier runs (sqlite/HTTP
+        store) quote no path, so the worker parks snapshots in a private
+        temp directory — resume then only helps when *this* worker
+        reclaims the cell, which is a pure optimisation; restarting is
+        always correct.
+        """
+        quoted = cell.get("checkpoint_path") or ""
+        if quoted:
+            return Path(quoted)
+        local_dir = Path(tempfile.gettempdir()) / f"repro-ckpt-{self.worker_id}"
+        local_dir.mkdir(parents=True, exist_ok=True)
+        return local_dir / f"{cell['outcome_key']}.ckpt"
+
     def _run_cell(self, lease: TaskLease, abandon: threading.Event) -> TaskResult:
-        """Simulate one cell; outcomes go to the shared cache, not the wire."""
+        """Simulate one cell; outcomes go to the shared store, not the wire."""
         cell = lease.cell
-        cache = SimulationCache(cell["cache_root"])
+        cache = self._store_for(cell["cache_root"])
         key = cell["outcome_key"]
         if cache.get(key) is not None:
             # Someone (an earlier attempt, a sibling worker) already stored
@@ -291,7 +338,7 @@ class FleetWorker:
             backend=self.backend or cell.get("backend"),
         )
 
-        checkpoint = Path(cell["checkpoint_path"])
+        checkpoint = self._checkpoint_for(cell)
         if checkpoint.exists():
             # A previous owner of this cell died mid-simulation; resume its
             # parked state.  Junk or mismatched checkpoints are discarded —
@@ -340,11 +387,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backend", default=None, metavar="NAME",
                         help="cycle-loop backend for every cell (python|"
                              "compiled; default: what each lease asks for)")
+    parser.add_argument("--store", default=None, metavar="LOCATOR",
+                        help="result-store override for every cell (path, "
+                             "sqlite://PATH or http://host:port of a repro "
+                             "store-serve; default: what each cell quotes)")
+    parser.add_argument("--store-token", default=None, metavar="TOKEN",
+                        help="bearer token for an HTTP store "
+                             "(default: $REPRO_STORE_TOKEN)")
     options = parser.parse_args(argv)
     worker = FleetWorker(options.server, options.worker_id,
                          poll_wait_s=options.poll_wait,
                          max_cells=options.max_cells,
-                         backend=options.backend)
+                         backend=options.backend,
+                         store=options.store,
+                         store_token=options.store_token)
     return worker.run()
 
 

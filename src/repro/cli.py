@@ -22,10 +22,18 @@ Six subcommands cover the whole harness without writing Python:
   ``--workers N`` (N > 0) executes grids on a distributed fleet of N
   worker *processes* behind a lease broker (:mod:`repro.api.fleet`);
   the default 0 keeps the in-process executors.
-* ``python -m repro worker --server URL [--worker-id ID]`` — run one fleet
-  worker pulling cell leases from a broker (:mod:`repro.api.worker`);
-  normally spawned by the fleet itself, but startable by hand to attach
-  extra capacity to a running ``serve --workers`` broker.
+* ``python -m repro worker --server URL [--worker-id ID] [--store LOCATOR
+  --store-token T]`` — run one fleet worker pulling cell leases from a
+  broker (:mod:`repro.api.worker`); normally spawned by the fleet itself,
+  but startable by hand to attach extra capacity to a running ``serve
+  --workers`` broker.  ``--store http://host:port`` commits outcomes to a
+  shared result store instead of a filesystem path, so cross-host workers
+  need no shared directory.
+* ``python -m repro store-serve [--host H] [--port P] [--db PATH]
+  [--token T] [--max-bytes N] [--ttl S]`` — run the shared
+  content-addressed result store (:mod:`repro.store.http`) that sessions,
+  services and fleet workers point at with ``--store`` /
+  ``$REPRO_STORE``; see ``docs/store.md``.
 * ``python -m repro submit fig8 [grid flags] [--server URL] [--wait]
   [--json PATH]`` — POST a request to a running server; ``--wait``
   long-polls until the job finishes and prints the report.
@@ -37,8 +45,9 @@ Six subcommands cover the whole harness without writing Python:
   snapshot coverage, plus the docs/docstring gates.  Exits 1 on findings;
   see ``docs/linting.md``.
 
-Caching follows the library defaults: enabled when ``$REPRO_CACHE_DIR`` is
-set, unless forced with ``--cache`` / ``--no-cache`` / ``--cache-dir``.
+Caching follows the library defaults: enabled when ``$REPRO_STORE`` or
+``$REPRO_CACHE_DIR`` is set, unless forced with ``--cache`` /
+``--no-cache`` / ``--cache-dir`` / ``--store``.
 """
 
 from __future__ import annotations
@@ -50,7 +59,7 @@ from pathlib import Path
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
-    """The shared --cache / --no-cache / --cache-dir flag group."""
+    """The shared --cache / --no-cache / --cache-dir / --store flag group."""
     cache_group = parser.add_mutually_exclusive_group()
     cache_group.add_argument("--cache", action="store_true",
                              help="force the default-location outcome cache on")
@@ -58,6 +67,10 @@ def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
                              help="force the outcome cache off")
     cache_group.add_argument("--cache-dir", metavar="DIR",
                              help="use an outcome cache rooted at DIR")
+    cache_group.add_argument("--store", metavar="LOCATOR",
+                             help="use a shared result store: sqlite://PATH "
+                                  "or http://host:port of a `repro "
+                                  "store-serve` (see docs/store.md)")
 
 
 def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
@@ -144,6 +157,33 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="cycle-loop backend for every leased cell: "
                              "python|compiled (default: what each lease "
                              "asks for)")
+    worker.add_argument("--store", default=None, metavar="LOCATOR",
+                        help="result-store override for every cell (path, "
+                             "sqlite://PATH or http://host:port; default: "
+                             "what each cell quotes)")
+    worker.add_argument("--store-token", default=None, metavar="TOKEN",
+                        help="bearer token for an HTTP store "
+                             "(default: $REPRO_STORE_TOKEN)")
+
+    store_serve = sub.add_parser(
+        "store-serve",
+        help="run the shared result-store HTTP server (see docs/store.md)")
+    store_serve.add_argument("--host", default=None,
+                             help="bind address (default 127.0.0.1)")
+    store_serve.add_argument("--port", type=int, default=None,
+                             help="TCP port (default 8878; 0 = any free port)")
+    store_serve.add_argument("--db", default=None, metavar="PATH",
+                             help="backing sqlite database (default: "
+                                  "store.sqlite3 in the cache directory)")
+    store_serve.add_argument("--token", default=None, metavar="TOKEN",
+                             help="require this bearer token "
+                                  "(default: $REPRO_STORE_TOKEN; empty = "
+                                  "no auth)")
+    store_serve.add_argument("--max-bytes", type=int, default=None,
+                             metavar="N",
+                             help="LRU-evict beyond N payload bytes")
+    store_serve.add_argument("--ttl", type=float, default=None, metavar="S",
+                             help="expire entries idle for S seconds")
 
     submit = sub.add_parser(
         "submit", help="submit an experiment to a running `repro serve`")
@@ -200,13 +240,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _resolve_cache_arg(args) -> object:
-    """Map the --cache/--no-cache/--cache-dir flags onto the library forms."""
+    """Map the cache/store flag group onto the library ``cache=`` forms."""
     if args.cache:
         return True
     if args.no_cache:
         return False
     if args.cache_dir:
         return args.cache_dir
+    if getattr(args, "store", None):
+        return args.store
     return None
 
 
@@ -345,8 +387,29 @@ def _cmd_worker(args) -> int:
     worker = FleetWorker(args.server, args.worker_id,
                          poll_wait_s=args.poll_wait,
                          max_cells=args.max_cells,
-                         backend=args.backend)
+                         backend=args.backend,
+                         store=args.store,
+                         store_token=args.store_token)
     return worker.run()
+
+
+def _cmd_store_serve(args) -> int:
+    from repro.store.http import main as store_serve_main
+
+    forwarded: list[str] = []
+    if args.host is not None:
+        forwarded += ["--host", args.host]
+    if args.port is not None:
+        forwarded += ["--port", str(args.port)]
+    if args.db is not None:
+        forwarded += ["--db", args.db]
+    if args.token is not None:
+        forwarded += ["--token", args.token]
+    if args.max_bytes is not None:
+        forwarded += ["--max-bytes", str(args.max_bytes)]
+    if args.ttl is not None:
+        forwarded += ["--ttl", str(args.ttl)]
+    return store_serve_main(forwarded)
 
 
 def _server_url(args) -> str:
@@ -549,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "store-serve":
+        return _cmd_store_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
     if args.command == "status":

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache for simulation outcomes.
+"""Content-addressed outcome caching: key material + the default tier.
 
 Every grid point of an experiment — one (workload program, machine
 configuration, RENO configuration, instruction budget) combination — is
@@ -15,116 +15,62 @@ runs.  The cache key is a SHA-256 over
   timing records were collected;
 * a cache format version (bumped whenever the stored payload shape changes).
 
-Stored payloads are *slim*: the timing result (statistics, final registers,
-optional timing records) plus a functional summary.  The program and the full
-dynamic trace are not stored — they are cheap to rebuild relative to the
-cycle-level simulation and would dominate the cache size.  A cache-loaded
-outcome therefore has ``outcome.program is None`` and
-``outcome.functional is None``; everything the experiment reports read
-(``stats``, ``cycles``, ``timing.timing_records``) is preserved byte-for-byte.
+Storage itself lives in :mod:`repro.store`: this module computes the keys
+(:func:`program_digest`, :func:`outcome_key`) and resolves the engine's
+``cache=`` argument onto a store tier.  :class:`SimulationCache` — the
+historical name every harness caller uses — *is* the local-disk tier
+(:class:`repro.store.disk.DiskStore`); the sqlite and HTTP tiers speak
+the same protocol and are selected by locator (``sqlite://<path>``,
+``http://host:port``) or by the ``$REPRO_STORE`` environment variable.
 
-The cache location defaults to ``~/.cache/repro-reno`` and is overridden by
+The disk tier defaults to ``~/.cache/repro-reno`` and is overridden by
 the ``REPRO_CACHE_DIR`` environment variable.  ``python -m
-repro.harness.cache`` prints the location and entry count; ``--clear`` wipes
-it.
+repro.harness.cache`` prints the location and entry count; ``--clear``
+wipes it.
 """
 
 from __future__ import annotations
 
-import contextlib
 import hashlib
 import os
-import pickle
-import tempfile
-import time
-import warnings
-from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.config import RenoConfig
-from repro.core.simulator import SimulationOutcome
 from repro.isa.program import Program
+from repro.store.base import (
+    CACHE_FORMAT_VERSION,
+    STORE_ENV,
+    StoreStats,
+    open_store,
+)
+from repro.store.disk import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    DiskStore,
+    default_cache_root,
+    file_lock,
+)
 from repro.uarch.config import MachineConfig
 
-#: Bump whenever the pickled payload layout or the key material changes.
-#: v2: ``SimResult`` gained the ``finished`` field (incremental runs).
-#: v3: ``SimStats`` gained ``occupancy`` and ``SimResult`` gained
-#:     ``timeline`` (observability); the key material gained the
-#:     ``record_stats`` mode.
-CACHE_FORMAT_VERSION = 3
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "STORE_ENV",
+    "SimulationCache",
+    "default_cache_root",
+    "file_lock",
+    "main",
+    "outcome_key",
+    "program_digest",
+    "resolve_cache",
+]
 
-#: Environment variable overriding the cache root directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Fallback cache root when the environment variable is unset.
-DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro-reno"
-
-
-def default_cache_root() -> Path:
-    """The active cache root: ``$REPRO_CACHE_DIR`` or the home-dir default."""
-    override = os.environ.get(CACHE_DIR_ENV)
-    return Path(override) if override else DEFAULT_CACHE_DIR
-
-
-try:
-    import fcntl as _fcntl
-except ImportError:                   # pragma: no cover - non-POSIX platform
-    _fcntl = None
-
-
-@contextlib.contextmanager
-def file_lock(path: str | Path, timeout: float = 10.0):
-    """Cross-process mutual exclusion for updates of ``path``.
-
-    Guards read-modify-write updates of shared files (the cost model's
-    ``costs.json``) against concurrent Sessions sharing one
-    ``$REPRO_CACHE_DIR``.  The lock is an ``fcntl.flock`` on a sibling
-    ``<path>.lock`` file: kernel advisory locks are released automatically
-    when the holder exits (cleanly or not), so there is no stale-lock state
-    to detect or break — the classic ``O_EXCL``-file failure mode (two
-    waiters racing to break a dead holder's file and both "acquiring") is
-    structurally impossible.  The empty ``.lock`` file itself is left in
-    place; it carries no state.
-
-    If the lock cannot be acquired within ``timeout`` seconds — or the
-    platform has no ``fcntl`` — the caller proceeds *unlocked*, consistent
-    with the cache's best-effort degradation: a lost cost entry can cost
-    wall-clock time, never correctness.
-
-    Yields True when the lock was actually held, False on the degraded
-    path.
-    """
-    lock_path = Path(str(path) + ".lock")
-    if _fcntl is None:                # pragma: no cover - non-POSIX platform
-        yield False
-        return
-    try:
-        lock_path.parent.mkdir(parents=True, exist_ok=True)
-        descriptor = os.open(str(lock_path), os.O_CREAT | os.O_WRONLY)
-    except OSError:
-        # Unwritable directory: same degradation as a store failure.
-        yield False
-        return
-    deadline = time.monotonic() + timeout
-    locked = False
-    try:
-        while True:
-            try:
-                _fcntl.flock(descriptor, _fcntl.LOCK_EX | _fcntl.LOCK_NB)
-                locked = True
-                break
-            except OSError:
-                if time.monotonic() >= deadline:
-                    break
-                time.sleep(0.01)
-        yield locked
-    finally:
-        if locked:
-            try:
-                _fcntl.flock(descriptor, _fcntl.LOCK_UN)
-            except OSError:
-                pass
-        os.close(descriptor)
+#: Historical names: the disk tier and its counters, re-exported so every
+#: pre-store import site (tests, harness internals) keeps working.
+SimulationCache = DiskStore
+CacheStats = StoreStats
 
 
 def program_digest(program: Program) -> str:
@@ -168,146 +114,35 @@ def outcome_key(
     return hashlib.sha256(material.encode()).hexdigest()
 
 
-@dataclass
-class CacheStats:
-    """Hit/miss/store counters for one :class:`SimulationCache` instance."""
-
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-
-
-class SimulationCache:
-    """A directory of pickled slim simulation outcomes, addressed by key."""
-
-    def __init__(self, root: str | Path | None = None):
-        self.root = Path(root) if root is not None else default_cache_root()
-        self.stats = CacheStats()
-        self._store_failure_warned = False
-
-    def path_for(self, key: str) -> Path:
-        """Where the entry for ``key`` lives (two-level fan-out, like git)."""
-        return self.root / key[:2] / f"{key}.pkl"
-
-    # ------------------------------------------------------------------
-
-    def get(self, key: str) -> SimulationOutcome | None:
-        """Load a cached outcome, or None on a miss (or an unreadable entry).
-
-        Any failure to read, unpickle or interpret an entry counts as a miss:
-        entries written by other versions of the codebase can fail in ways
-        well beyond ``UnpicklingError`` (e.g. ``ModuleNotFoundError`` for a
-        renamed class), and a corrupt cache must cost a recomputation, never
-        an experiment.
-        """
-        path = self.path_for(key)
-        try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
-            if payload.get("version") != CACHE_FORMAT_VERSION:
-                raise ValueError("cache format version mismatch")
-            outcome = SimulationOutcome(
-                program=None,
-                functional=None,
-                timing=payload["timing"],
-                reno_config=payload["reno_config"],
-                cached=True,
-            )
-        except Exception:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return outcome
-
-    def put(self, key: str, outcome: SimulationOutcome) -> None:
-        """Store a slim copy of ``outcome`` under ``key`` (atomic write).
-
-        Store failures (unwritable or uncreatable cache directory) degrade
-        to a one-time warning rather than an exception: the outcome was
-        already computed, and losing cache persistence must not lose the
-        experiment.
-        """
-        payload = {
-            "version": CACHE_FORMAT_VERSION,
-            "timing": outcome.timing,
-            "reno_config": outcome.reno_config,
-        }
-        path = self.path_for(key)
-        temp_name = None
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Write to a unique temporary file and rename it into place so
-            # concurrent workers computing the same point never see a torn
-            # entry.
-            descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temp_name, path)
-        except OSError as error:
-            if temp_name is not None:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-            if not self._store_failure_warned:
-                self._store_failure_warned = True
-                warnings.warn(
-                    f"simulation cache at {self.root} is not writable "
-                    f"({error}); results will not be cached",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            return
-        self.stats.stores += 1
-
-    # ------------------------------------------------------------------
-
-    def entries(self) -> list[Path]:
-        """All entry files currently in the cache."""
-        if not self.root.is_dir():
-            return []
-        return sorted(self.root.glob("*/*.pkl"))
-
-    def __len__(self) -> int:
-        return len(self.entries())
-
-    def size_bytes(self) -> int:
-        """Total on-disk size of all cache entries."""
-        return sum(path.stat().st_size for path in self.entries())
-
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
-        removed = 0
-        for path in self.entries():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
-
-
-def resolve_cache(cache) -> SimulationCache | None:
+def resolve_cache(cache):
     """Normalise the ``cache=`` argument accepted by the experiment engine.
 
-    * ``None`` (the default): caching is enabled only when ``REPRO_CACHE_DIR``
-      is set, so casual runs and the existing test suite touch no global
-      state.
-    * ``True`` / ``False``: force the default-location cache on or off.
-    * a path (``str`` / ``Path``): a cache rooted there.
-    * a :class:`SimulationCache`: used as-is.
+    * ``None`` (the default): a store is active only when ``$REPRO_STORE``
+      names one (any locator) or ``$REPRO_CACHE_DIR`` is set (the disk
+      tier there), so casual runs and the existing test suite touch no
+      global state.
+    * ``True`` / ``False``: force the default-location disk cache on or off.
+    * a locator (``str`` / ``Path``): a path opens the disk tier there;
+      ``sqlite://<path>`` and ``http(s)://host:port`` open the shared
+      tiers (see :func:`repro.store.base.open_store`).
+    * a store instance (:class:`SimulationCache` or any
+      :class:`repro.store.base.ResultStore`): used as-is.
     """
     if cache is None:
+        locator = os.environ.get(STORE_ENV)
+        if locator:
+            return open_store(locator)
         return SimulationCache() if os.environ.get(CACHE_DIR_ENV) else None
     if cache is False:
         return None
     if cache is True:
         return SimulationCache()
     if isinstance(cache, (str, Path)):
-        return SimulationCache(cache)
-    if isinstance(cache, SimulationCache):
+        return open_store(cache)
+    if hasattr(cache, "get") and hasattr(cache, "put"):
         return cache
-    raise TypeError(f"cache must be None, bool, path or SimulationCache, got {cache!r}")
+    raise TypeError(f"cache must be None, bool, a locator or a result store, "
+                    f"got {cache!r}")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -40,11 +40,9 @@ original ``run_matrix`` behaviour for callers that inspect
 from __future__ import annotations
 
 import inspect
-import json
 import multiprocessing
 import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -55,11 +53,11 @@ from repro.core.simulator import SimulationOutcome, simulate
 from repro.functional.simulator import FunctionalSimulator
 from repro.harness.cache import (
     SimulationCache,
-    file_lock,
     outcome_key,
     program_digest,
     resolve_cache,
 )
+from repro.store.base import open_store, store_locator
 from repro.uarch.backend import DEFAULT_BACKEND, resolve_backend
 from repro.uarch.config import MachineConfig
 from repro.workloads.base import Workload
@@ -133,6 +131,10 @@ class WorkloadTask:
     renos: tuple[tuple[str, RenoConfig | None], ...]
     collect_timing: bool
     max_instructions: int
+    #: Result-store locator (a path, ``sqlite://...`` or ``http://...``;
+    #: see :func:`repro.store.base.open_store`); None disables caching.
+    #: Named ``cache_root`` for wire/pickle compatibility with pre-store
+    #: payloads, where it was always a directory path.
     cache_root: str | None
     record_stats: bool = False
     #: Cycle-loop backend name (see :mod:`repro.uarch.backend`); None defers
@@ -180,9 +182,9 @@ def run_workload_block(
         task: The workload block description.
         slim: Strip programs/traces from computed outcomes (used by worker
             processes; the in-process path keeps them).
-        cache: Cache instance to use; defaults to one rooted at
-            ``task.cache_root`` (worker processes build their own so the
-            task stays cheap to pickle).
+        cache: Store instance to use; defaults to one opened from the
+            ``task.cache_root`` locator (worker processes build their own
+            so the task stays cheap to pickle).
         progress: Optional per-cell completion callback (see
             :data:`ProgressFn`).
         cancel: Optional cancellation probe, checked before every computed
@@ -194,7 +196,7 @@ def run_workload_block(
     workload = task.workload
     emit = _progress_emitter(progress)
     if cache is None and task.cache_root is not None:
-        cache = SimulationCache(task.cache_root)
+        cache = open_store(task.cache_root)
     if cancel is not None and cancel():
         raise ExecutionCancelled(f"cancelled before workload {workload.name}")
     program = workload.build(task.scale)
@@ -252,17 +254,18 @@ def run_workload_block(
 def _worker(task: WorkloadTask):
     """Pool entry point: slim outcomes plus the worker-local cache stats,
     which the parent merges so ``cache.stats`` is meaningful for pools."""
-    cache = SimulationCache(task.cache_root) if task.cache_root is not None else None
+    cache = open_store(task.cache_root)
     block = run_workload_block(task, slim=True, cache=cache)
     return block, (cache.stats if cache is not None else None)
 
 
 def _task_fully_cached(task: WorkloadTask, cache: SimulationCache) -> bool:
-    """Whether every grid point of ``task`` already has a cache entry.
+    """Whether every grid point of ``task`` already has a store entry.
 
-    Checks entry-file existence only (no unpickling, no hit/miss stats),
-    so the :class:`AutoExecutor` recall path can cheaply distinguish a warm
-    repeat run from a cold grid before committing to a worker pool.
+    Checks entry existence only (``contains``: no payload decode, no
+    hit/miss stats), so the :class:`AutoExecutor` recall path can cheaply
+    distinguish a warm repeat run from a cold grid before committing to a
+    worker pool.
     """
     program = task.workload.build(task.scale)
     digest = program_digest(program)
@@ -271,7 +274,7 @@ def _task_fully_cached(task: WorkloadTask, cache: SimulationCache) -> bool:
             key = outcome_key(digest, machine, reno,
                               task.max_instructions, task.collect_timing,
                               task.record_stats)
-            if not cache.path_for(key).exists():
+            if not cache.contains(key):
                 return False
     return True
 
@@ -331,26 +334,41 @@ def build_tasks(
 #: File name of the persisted cost model inside the outcome-cache root.
 COSTS_FILENAME = "costs.json"
 
+#: Meta-document name the cost model lives under in a result store (the
+#: disk tier maps it onto :data:`COSTS_FILENAME` in the store root).
+COSTS_META = "costs"
+
 
 class CostModel:
     """Cross-run store of measured per-workload cell timings.
 
-    Lives next to the outcome cache (``$REPRO_CACHE_DIR/costs.json``) and is
-    keyed per workload task — name, scale, timing collection and instruction
-    budget — mirroring how the outcome cache distinguishes grid points.  The
-    values are measured serial seconds per computed (machine × RENO) cell.
+    Lives in the result store's ``costs`` meta document — for the disk
+    tier that is the historical ``$REPRO_CACHE_DIR/costs.json``; through
+    the sqlite or HTTP tiers the same document is shared fleet-wide, so
+    one worker's probe timing spares every other worker the probe.  Keys
+    are per workload task — name, scale, timing collection and
+    instruction budget — mirroring how the outcome cache distinguishes
+    grid points; values are measured serial seconds per computed
+    (machine × RENO) cell.
 
     :class:`AutoExecutor` records a cost every time its in-process probe
     actually computes cells, and on later runs uses the recorded costs to
     pick the serial loop or the process pool *without any probe*.  Costs are
     advisory (a stale entry can only cost wall-clock time, never results),
-    so the store degrades gracefully: unreadable files read as empty and
-    failed writes are ignored.
+    so the store degrades gracefully: unreadable documents read as empty
+    and failed writes are ignored.
     """
 
-    def __init__(self, root: str | Path):
-        """Create a model stored under the cache root directory ``root``."""
-        self.path = Path(root) / COSTS_FILENAME
+    def __init__(self, store):
+        """Create a model over ``store`` — a result store, or a cache-root
+        path/str (the historical form), which opens the disk tier there."""
+        if isinstance(store, (str, Path)):
+            store = open_store(store)
+        self._store = store
+        root = getattr(store, "root", None)
+        #: Path of the backing ``costs.json`` for disk-tier models (the
+        #: historical attribute; None for shared tiers, which have no file).
+        self.path = Path(root) / COSTS_FILENAME if root is not None else None
 
     @staticmethod
     def key(task: WorkloadTask) -> str:
@@ -378,14 +396,12 @@ class CostModel:
         ``|backend=`` key component; every v1 timing was measured on the
         python reference loop, so such keys are read as
         ``|backend=python`` entries.  The migration is pure-read — the
-        file itself upgrades on the next :meth:`record`, and a v1 key never
-        shadows a real v2 entry.
+        document itself upgrades on the next :meth:`record`, and a v1 key
+        never shadows a real v2 entry.
         """
         try:
-            payload = json.loads(self.path.read_text())
-        except (OSError, ValueError):
-            return {}
-        if not isinstance(payload, dict):
+            payload = self._store.get_meta(COSTS_META)
+        except Exception:             # noqa: BLE001 - advisory data only
             return {}
         costs: dict[str, float] = {}
         migrated: dict[str, float] = {}
@@ -403,23 +419,17 @@ class CostModel:
     def record(self, task: WorkloadTask, seconds_per_cell: float) -> None:
         """Merge one measured cost into the store (atomic, best-effort).
 
-        The read-modify-write cycle runs under a cross-process file lock
-        (:func:`repro.harness.cache.file_lock`) so parallel Sessions sharing
-        one cache directory never lose each other's entries; the write
-        itself is a temp-file + rename so readers never see a torn file.
+        The merge happens store-side (:meth:`~repro.store.base.ResultStore.
+        merge_meta`): the disk tier runs it under a cross-process file
+        lock, the sqlite tier inside a transaction, and the HTTP tier on
+        the server — so parallel Sessions and fleet workers sharing one
+        store never lose each other's entries.
         """
-        with file_lock(self.path):
-            costs = self.load()
-            costs[self.key(task)] = seconds_per_cell
-            try:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                descriptor, temp_name = tempfile.mkstemp(
-                    dir=self.path.parent, suffix=".tmp")
-                with os.fdopen(descriptor, "w") as handle:
-                    json.dump(costs, handle, indent=0, sort_keys=True)
-                os.replace(temp_name, self.path)
-            except OSError:
-                pass
+        try:
+            self._store.merge_meta(
+                COSTS_META, {self.key(task): seconds_per_cell})
+        except Exception:             # noqa: BLE001 - advisory data only
+            pass
 
 
 # ---------------------------------------------------------------------------
@@ -624,7 +634,7 @@ class AutoExecutor:
         # checked: a fully warm leading block means the grid is probably
         # warm, and the probe loop below (which consumes all-hit blocks
         # in-process) handles that case without ever spawning workers.
-        model = CostModel(cache.root) if cache is not None else None
+        model = CostModel(cache) if cache is not None else None
         if model is not None:
             costs = model.load()
             if costs:
@@ -774,7 +784,7 @@ def execute_grid(
     """
     executor = resolve_executor(jobs, executor)
     cache = resolve_cache(cache)
-    cache_root = str(cache.root) if cache is not None else None
+    cache_root = store_locator(cache)
     tasks = build_tasks(
         workloads,
         machines,

@@ -13,6 +13,9 @@ correctness invariants *as a class*, before any test runs:
   (:mod:`repro.lint.schema_freeze`);
 * ``snapshot-coverage`` — every mutable ``__init__`` attribute is
   snapshotted or explicitly exempt (:mod:`repro.lint.snapshot`);
+* ``store-schema`` — the result-store wire contract and auth constants
+  are frozen against the baseline's ``"store"`` section
+  (:mod:`repro.lint.store_schema`);
 
 plus the folded-in documentation gates (``docstrings``, ``docs``).  Run
 it with ``python -m repro lint [paths] [--rule R] [--json]``; see

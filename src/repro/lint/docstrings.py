@@ -20,7 +20,7 @@ from repro.lint.base import Checker, Finding, register_checker
 
 #: Packages the coverage gate walks (repo-relative).
 DEFAULT_PACKAGES = ("src/repro/uarch", "src/repro/harness", "src/repro/api",
-                    "src/repro/lint")
+                    "src/repro/lint", "src/repro/store")
 
 #: Minimum documented fraction (percent) before findings fire.
 DEFAULT_THRESHOLD = 90.0

@@ -28,6 +28,7 @@ import repro.lint.docstrings    # noqa: F401  (registration import)
 import repro.lint.locks         # noqa: F401  (registration import)
 import repro.lint.schema_freeze # noqa: F401  (registration import)
 import repro.lint.snapshot      # noqa: F401  (registration import)
+import repro.lint.store_schema  # noqa: F401  (registration import)
 from repro.lint.base import (
     LINT_SCHEMA_VERSION,
     SUPPRESSION_RULE,
@@ -43,6 +44,13 @@ from repro.lint.schema_freeze import (
     SchemaFreezeChecker,
     load_schema,
     schema_to_baseline,
+)
+from repro.lint.store_schema import (
+    BASELINE_KEY,
+    STORE_MODULE,
+    StoreSchemaChecker,
+    load_store_schema,
+    store_schema_to_baseline,
 )
 
 #: The repo root this package was loaded from (``src/repro/lint`` -> repo).
@@ -103,8 +111,9 @@ def run_lint(
                   for p in (paths or ["src"])]
     checkers = select_checkers(rules)
     if baseline is not None:
-        checkers = [SchemaFreezeChecker(baseline)
-                    if isinstance(c, SchemaFreezeChecker) else c
+        checkers = [type(c)(baseline)
+                    if isinstance(c, (SchemaFreezeChecker, StoreSchemaChecker))
+                    else c
                     for c in checkers]
     file_checkers = [c for c in checkers if c.scope == "file"]
     project_checkers = [c for c in checkers if c.scope == "project"]
@@ -183,11 +192,12 @@ def _rel(path: Path, root: Path) -> str:
 
 
 def schema_is_dirty(root: Path) -> bool | None:
-    """Whether the schema module has uncommitted edits (None = no git)."""
+    """Whether either frozen schema module has uncommitted edits
+    (None = no git)."""
     try:
         result = subprocess.run(
             ["git", "-C", str(root), "status", "--porcelain", "--",
-             SCHEMA_MODULE],
+             SCHEMA_MODULE, STORE_MODULE],
             capture_output=True, text=True, timeout=30)
     except (OSError, subprocess.TimeoutExpired):
         return None
@@ -199,49 +209,86 @@ def schema_is_dirty(root: Path) -> bool | None:
 def update_baseline(root: Path | str | None = None, *,
                     baseline: str = DEFAULT_BASELINE,
                     force: bool = False) -> Path:
-    """Regenerate the committed schema baseline from the live module.
+    """Regenerate the committed schema baseline from the live modules.
 
-    Refuses to snapshot a schema with uncommitted edits (a dirty module
-    would freeze unreviewed changes as "the contract") unless ``force``;
-    also refuses an *additive* change that arrives without a
-    ``WIRE_SCHEMA_VERSION`` bump, which is exactly the drift the checker
-    exists to catch.  Returns the baseline path written.
+    One document, two sections: the wire schema
+    (:data:`~repro.lint.schema_freeze.SCHEMA_MODULE`) at the top level
+    and the store contract (:data:`~repro.lint.store_schema.STORE_MODULE`)
+    under ``"store"``.  Refuses to snapshot a schema with uncommitted
+    edits (a dirty module would freeze unreviewed changes as "the
+    contract") unless ``force``; also refuses an *additive* change that
+    arrives without the matching version bump (``WIRE_SCHEMA_VERSION`` /
+    ``STORE_SCHEMA_VERSION``) and any edit to the frozen store auth
+    constants — exactly the drift the checkers exist to catch.  Returns
+    the baseline path written.
     """
     root = Path(root).resolve() if root is not None else REPO_ROOT
     loaded = load_schema(root)
     if loaded is None:
         raise LintUsageError(f"no schema module at {root / SCHEMA_MODULE}")
     current, _ = loaded
+    store_loaded = load_store_schema(root)
     if not force and schema_is_dirty(root):
         raise LintUsageError(
-            f"{SCHEMA_MODULE} has uncommitted edits; refusing to freeze an "
-            f"unreviewed schema as the baseline (commit first, or pass "
-            f"--force)")
+            f"{SCHEMA_MODULE} or {STORE_MODULE} has uncommitted edits; "
+            f"refusing to freeze an unreviewed schema as the baseline "
+            f"(commit first, or pass --force)")
     baseline_file = root / baseline
-    if baseline_file.is_file() and not force:
+    old = None
+    if baseline_file.is_file():
         try:
             old = json.loads(baseline_file.read_text())
         except ValueError:
             old = None
-        if old is not None \
-                and old.get("wire_schema_version") == current["wire_schema_version"]:
-            old_fields = {
-                (name, field["name"])
-                for name, record in old.get("classes", {}).items()
-                for field in record["fields"]}
-            new_fields = {
-                (name, field["name"])
-                for name, record in current["classes"].items()
-                for field in record["fields"]}
-            added = new_fields - old_fields
-            if added:
-                names = ", ".join(sorted(f"{c}.{f}" for c, f in added))
-                raise LintUsageError(
-                    f"schema additions ({names}) without a "
-                    f"WIRE_SCHEMA_VERSION bump; bump the version in "
-                    f"{SCHEMA_MODULE} first (or pass --force)")
+    if old is not None and not force:
+        _check_unbumped_additions(
+            old, current,
+            version_key="wire_schema_version",
+            version_constant="WIRE_SCHEMA_VERSION", module=SCHEMA_MODULE)
+        if store_loaded is not None:
+            old_store = old.get(BASELINE_KEY)
+            if isinstance(old_store, dict):
+                store_current, _ = store_loaded
+                _check_unbumped_additions(
+                    old_store, store_current,
+                    version_key="store_schema_version",
+                    version_constant="STORE_SCHEMA_VERSION",
+                    module=STORE_MODULE)
+                for name, frozen in old_store.get("auth", {}).items():
+                    live = store_current["auth"].get(name)
+                    if frozen is not None and live != frozen:
+                        raise LintUsageError(
+                            f"{name} changed {frozen!r} -> {live!r}; the "
+                            f"store auth header/scheme is frozen "
+                            f"unconditionally — add a new header alongside "
+                            f"the old one instead (or pass --force)")
+    document = schema_to_baseline(current)
+    if store_loaded is not None:
+        document[BASELINE_KEY] = store_schema_to_baseline(store_loaded[0])
+    elif old is not None and isinstance(old.get(BASELINE_KEY), dict):
+        document[BASELINE_KEY] = old[BASELINE_KEY]
     baseline_file.parent.mkdir(parents=True, exist_ok=True)
     baseline_file.write_text(
-        json.dumps(schema_to_baseline(current), indent=2, sort_keys=True)
-        + "\n")
+        json.dumps(document, indent=2, sort_keys=True) + "\n")
     return baseline_file
+
+
+def _check_unbumped_additions(old: dict, current: dict, *, version_key: str,
+                              version_constant: str, module: str) -> None:
+    """Refuse additive schema changes arriving without a version bump."""
+    if old.get(version_key) != current[version_key]:
+        return
+    old_fields = {
+        (name, field["name"])
+        for name, record in old.get("classes", {}).items()
+        for field in record["fields"]}
+    new_fields = {
+        (name, field["name"])
+        for name, record in current["classes"].items()
+        for field in record["fields"]}
+    added = new_fields - old_fields
+    if added:
+        names = ", ".join(sorted(f"{c}.{f}" for c, f in added))
+        raise LintUsageError(
+            f"schema additions ({names}) without a {version_constant} bump; "
+            f"bump the version in {module} first (or pass --force)")

@@ -51,6 +51,33 @@ def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
     return False
 
 
+def dataclass_fields(node: ast.ClassDef) -> list[dict]:
+    """The annotated fields of one dataclass, in declaration order."""
+    fields = []
+    for stmt in node.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            fields.append({
+                "name": stmt.target.id,
+                "type": ast.unparse(stmt.annotation),
+                "default": (ast.unparse(stmt.value)
+                            if stmt.value is not None else None),
+                "line": stmt.lineno,
+            })
+    return fields
+
+
+def module_constants(tree: ast.Module, names: frozenset[str]) -> dict:
+    """Module-level ``NAME = <constant>`` assignments among ``names``."""
+    found: dict[str, object] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in names:
+                    found[target.id] = node.value.value
+    return found
+
+
 def extract_schema(tree: ast.Module) -> dict:
     """The frozen view of one schema module: version + dataclass shapes.
 
@@ -59,30 +86,15 @@ def extract_schema(tree: ast.Module) -> dict:
     — exactly the structure stored in the baseline (minus the line
     numbers, which are stripped before writing).
     """
-    version: int | None = None
+    constants = module_constants(tree, frozenset({VERSION_CONSTANT}))
+    version = constants.get(VERSION_CONSTANT)
     classes: dict[str, dict] = {}
     for node in tree.body:
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if (isinstance(target, ast.Name)
-                        and target.id == VERSION_CONSTANT
-                        and isinstance(node.value, ast.Constant)
-                        and isinstance(node.value.value, int)):
-                    version = node.value.value
-        elif isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
-            fields = []
-            for stmt in node.body:
-                if (isinstance(stmt, ast.AnnAssign)
-                        and isinstance(stmt.target, ast.Name)):
-                    fields.append({
-                        "name": stmt.target.id,
-                        "type": ast.unparse(stmt.annotation),
-                        "default": (ast.unparse(stmt.value)
-                                    if stmt.value is not None else None),
-                        "line": stmt.lineno,
-                    })
-            classes[node.name] = {"line": node.lineno, "fields": fields}
-    return {"wire_schema_version": version, "classes": classes}
+        if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+            classes[node.name] = {"line": node.lineno,
+                                  "fields": dataclass_fields(node)}
+    return {"wire_schema_version": version if isinstance(version, int) else None,
+            "classes": classes}
 
 
 def schema_to_baseline(schema: dict) -> dict:
@@ -108,16 +120,23 @@ def load_schema(root: Path) -> tuple[dict, str] | None:
 
 
 def diff_schema(current: dict, baseline: dict, rel: str,
-                rule: str) -> list[Finding]:
-    """Every finding produced by comparing ``current`` to ``baseline``."""
+                rule: str, *,
+                version_key: str = "wire_schema_version",
+                version_constant: str = VERSION_CONSTANT) -> list[Finding]:
+    """Every finding produced by comparing ``current`` to ``baseline``.
+
+    The class/field diff is contract-agnostic; ``version_key`` /
+    ``version_constant`` let other frozen contracts (the store schema)
+    reuse it with their own version stamp.
+    """
     findings: list[Finding] = []
 
     def flag(line: int, message: str) -> None:
         findings.append(Finding(path=rel, line=line, rule=rule,
                                 message=message))
 
-    current_version = current["wire_schema_version"]
-    baseline_version = baseline.get("wire_schema_version")
+    current_version = current[version_key]
+    baseline_version = baseline.get(version_key)
     baseline_classes: dict = baseline.get("classes", {})
     additions: list[str] = []
 
@@ -167,12 +186,12 @@ def diff_schema(current: dict, baseline: dict, rel: str,
             additions.append(name)
 
     if current_version != baseline_version:
-        flag(1, f"{VERSION_CONSTANT} is {current_version} but the committed "
+        flag(1, f"{version_constant} is {current_version} but the committed "
                 f"baseline records {baseline_version}; regenerate it with "
                 f"`python -m repro lint --update-baseline`")
     elif additions:
-        flag(1, f"additive wire-schema change ({', '.join(sorted(additions))}) "
-                f"without a {VERSION_CONSTANT} bump; bump the version and "
+        flag(1, f"additive schema change ({', '.join(sorted(additions))}) "
+                f"without a {version_constant} bump; bump the version and "
                 f"regenerate the baseline with `python -m repro lint "
                 f"--update-baseline`")
     return findings

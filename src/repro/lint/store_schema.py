@@ -1,0 +1,159 @@
+"""The ``store-schema`` checker: the result-store wire contract is frozen.
+
+The store protocol (:mod:`repro.store.schema`) is what ``repro
+store-serve`` servers, :class:`~repro.store.http.HTTPStore` clients and
+cross-host fleet workers of different package versions speak to each
+other.  This checker extracts every reply dataclass — field names,
+annotations, defaults, order — plus ``STORE_SCHEMA_VERSION`` and the
+auth constants (``AUTH_HEADER`` / ``AUTH_SCHEME``) from the module's AST
+and diffs them against the ``"store"`` section of the committed baseline
+(``scripts/schema_baseline.json``, shared with the ``schema-freeze``
+rule):
+
+* a **removed** class or field, a **type change**, a **default change**
+  or a **reorder** always fails — deployed peers would misread replies;
+* an **addition** is legal only together with a ``STORE_SCHEMA_VERSION``
+  bump, recorded by regenerating the baseline (``python -m repro lint
+  --update-baseline``) — the same evolution policy as the wire schema;
+* a changed **auth header or scheme** *always* fails: every deployed
+  client would silently start answering 401s, and no version bump makes
+  that compatible.  Changing auth means a new header next to the old
+  one, not an edit.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.lint.base import Checker, Finding, register_checker
+from repro.lint.schema_freeze import (
+    DEFAULT_BASELINE,
+    _is_dataclass_decorated,
+    dataclass_fields,
+    diff_schema,
+    module_constants,
+)
+
+#: Repo-relative location of the store-schema module this checker freezes.
+STORE_MODULE = "src/repro/store/schema.py"
+
+#: The module-level constant naming the store protocol version.
+VERSION_CONSTANT = "STORE_SCHEMA_VERSION"
+
+#: Auth constants frozen *unconditionally* (no version-bump escape).
+AUTH_CONSTANTS = ("AUTH_HEADER", "AUTH_SCHEME")
+
+#: The baseline document key holding this contract's section.
+BASELINE_KEY = "store"
+
+
+def extract_store_schema(tree: ast.Module) -> dict:
+    """The frozen view of the store-schema module.
+
+    Returns ``{"store_schema_version": int | None, "auth": {name: str},
+    "classes": {...}}`` with the same per-class shape as
+    :func:`repro.lint.schema_freeze.extract_schema`.
+    """
+    constants = module_constants(
+        tree, frozenset({VERSION_CONSTANT, *AUTH_CONSTANTS}))
+    version = constants.get(VERSION_CONSTANT)
+    classes: dict[str, dict] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+            classes[node.name] = {"line": node.lineno,
+                                  "fields": dataclass_fields(node)}
+    return {
+        "store_schema_version": version if isinstance(version, int) else None,
+        "auth": {name: constants.get(name) for name in AUTH_CONSTANTS},
+        "classes": classes,
+    }
+
+
+def store_schema_to_baseline(schema: dict) -> dict:
+    """Strip volatile line numbers; the committed ``"store"`` section."""
+    return {
+        "store_schema_version": schema["store_schema_version"],
+        "auth": dict(schema["auth"]),
+        "classes": {
+            name: {"fields": [{key: field[key]
+                               for key in ("name", "type", "default")}
+                              for field in record["fields"]]}
+            for name, record in schema["classes"].items()
+        },
+    }
+
+
+def load_store_schema(root: Path) -> tuple[dict, str] | None:
+    """Parse the repo's store-schema module (None when absent)."""
+    path = root / STORE_MODULE
+    if not path.is_file():
+        return None
+    return extract_store_schema(ast.parse(path.read_text())), STORE_MODULE
+
+
+def diff_store_schema(current: dict, baseline: dict, rel: str,
+                      rule: str) -> list[Finding]:
+    """Every finding from comparing the live store contract to baseline."""
+    findings = diff_schema(current, baseline, rel, rule,
+                           version_key="store_schema_version",
+                           version_constant=VERSION_CONSTANT)
+    baseline_auth = baseline.get("auth", {})
+    for name in AUTH_CONSTANTS:
+        frozen = baseline_auth.get(name)
+        live = current["auth"].get(name)
+        if frozen is not None and live != frozen:
+            findings.append(Finding(
+                path=rel, line=1, rule=rule,
+                message=(f"{name} changed {frozen!r} -> {live!r}; the auth "
+                         f"header/scheme is frozen unconditionally — every "
+                         f"deployed store client would start answering "
+                         f"401s.  Introduce a new header alongside the old "
+                         f"one instead of editing it")))
+    return findings
+
+
+@register_checker
+class StoreSchemaChecker(Checker):
+    """Diff the live store wire contract against the committed baseline."""
+
+    name = "store-schema"
+    description = ("store reply dataclasses and auth constants in "
+                   "repro.store.schema evolve additively only, recorded "
+                   "in the 'store' section of scripts/schema_baseline.json "
+                   "next to a STORE_SCHEMA_VERSION bump; auth header/"
+                   "scheme changes always fail")
+    scope = "project"
+
+    def __init__(self, baseline_path: str = DEFAULT_BASELINE):
+        self.baseline_path = baseline_path
+
+    def check_project(self, root: Path) -> list[Finding]:
+        """Compare ``root``'s store-schema module to its baseline section."""
+        loaded = load_store_schema(root)
+        if loaded is None:
+            return []                    # fixture trees without a store
+        current, rel = loaded
+        baseline_file = root / self.baseline_path
+        if not baseline_file.is_file():
+            return [Finding(
+                path=self.baseline_path, line=0, rule=self.name,
+                message=(f"schema baseline {self.baseline_path} is missing; "
+                         f"generate it with `python -m repro lint "
+                         f"--update-baseline`"))]
+        try:
+            document = json.loads(baseline_file.read_text())
+        except ValueError as error:
+            return [Finding(
+                path=self.baseline_path, line=0, rule=self.name,
+                message=f"baseline is not valid JSON ({error}); regenerate "
+                        f"it with `python -m repro lint --update-baseline`")]
+        section = document.get(BASELINE_KEY)
+        if not isinstance(section, dict):
+            return [Finding(
+                path=self.baseline_path, line=0, rule=self.name,
+                message=(f"baseline has no {BASELINE_KEY!r} section for the "
+                         f"store wire contract; regenerate it with `python "
+                         f"-m repro lint --update-baseline`"))]
+        return diff_store_schema(current, section, rel, self.name)

@@ -1,0 +1,225 @@
+"""``repro.store`` core: the ``ResultStore`` protocol and payload codec.
+
+A *result store* is a content-addressed map from :func:`outcome keys
+<repro.harness.cache.outcome_key>` to slim
+:class:`~repro.core.simulator.SimulationOutcome` payloads, speaking the
+on-disk cache format (:data:`CACHE_FORMAT_VERSION`).  Three tiers
+implement the protocol:
+
+* :class:`repro.store.disk.DiskStore` — the historical local-disk
+  outcome cache (``$REPRO_CACHE_DIR``), now one tier among equals;
+* :class:`repro.store.sqlite.SqliteStore` — a single-file shared tier
+  with LRU eviction, per-entry TTL and a size cap;
+* :class:`repro.store.http.HTTPStore` — a network client for ``python -m
+  repro store-serve``, so fleet workers on other hosts commit outcomes
+  with no shared filesystem.
+
+Stores are named by *locators* — plain strings that travel in
+:class:`~repro.harness.executors.WorkloadTask` payloads and fleet cell
+dicts exactly where a cache-root path used to: a filesystem path opens a
+:class:`DiskStore`, ``sqlite:///path/to.db`` a :class:`SqliteStore`, and
+``http(s)://host:port`` an :class:`HTTPStore`.  :func:`open_store` maps a
+locator to a store and :func:`store_locator` is its inverse.
+
+Beyond ``get``/``put``, stores carry two small cooperative facilities the
+rest of the stack builds on:
+
+* **claims** (:meth:`ResultStore.claim` / :meth:`ResultStore.release`) —
+  named, TTL-guarded in-flight markers.  Sessions claim
+  ``request/<digest>`` before executing a grid, which extends request
+  coalescing across processes and hosts: the second session waits for the
+  first holder instead of simulating, then reads pure store hits.
+* **meta documents** (:meth:`ResultStore.get_meta` /
+  :meth:`ResultStore.merge_meta`) — small shared JSON maps merged
+  server-side (last write per key wins), which is how the
+  :class:`~repro.harness.executors.CostModel` shares probe timings
+  between fleet workers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.core.simulator import SimulationOutcome
+
+#: Bump whenever the pickled payload layout or the key material changes.
+#: v2: ``SimResult`` gained the ``finished`` field (incremental runs).
+#: v3: ``SimStats`` gained ``occupancy`` and ``SimResult`` gained
+#:     ``timeline`` (observability); the key material gained the
+#:     ``record_stats`` mode.
+CACHE_FORMAT_VERSION = 3
+
+#: Environment variable naming the default result store as a locator
+#: (path, ``sqlite://...`` or ``http(s)://...``); takes precedence over
+#: ``$REPRO_CACHE_DIR`` when both are set.
+STORE_ENV = "REPRO_STORE"
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/store/eviction counters for one store instance.
+
+    The first three fields keep the historical
+    :class:`repro.harness.cache.CacheStats` shape (executors merge them
+    across worker processes); the rest are store-tier additions.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    duplicate_puts: int = 0
+    claims: int = 0
+    claim_conflicts: int = 0
+
+    def __call__(self) -> dict:
+        """The counters as a plain dict (``store.stats()`` protocol form)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "duplicate_puts": self.duplicate_puts,
+            "claims": self.claims,
+            "claim_conflicts": self.claim_conflicts,
+        }
+
+
+def encode_payload(outcome: SimulationOutcome) -> bytes:
+    """Serialise a *slim* outcome to the cache-format payload bytes.
+
+    The program and the functional trace are dropped — they are cheap to
+    rebuild relative to the cycle-level simulation and would dominate the
+    payload size; everything the experiment reports read (``stats``,
+    ``cycles``, ``timing.timing_records``) is preserved byte-for-byte.
+    """
+    return pickle.dumps({
+        "version": CACHE_FORMAT_VERSION,
+        "timing": outcome.timing,
+        "reno_config": outcome.reno_config,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_payload(blob: bytes) -> SimulationOutcome | None:
+    """Deserialise payload bytes back into a slim outcome.
+
+    Any failure to unpickle or interpret the payload answers None —
+    entries written by other versions of the codebase can fail in ways
+    well beyond ``UnpicklingError`` (e.g. ``ModuleNotFoundError`` for a
+    renamed class), and a corrupt entry must cost a recomputation, never
+    an experiment.
+    """
+    try:
+        payload = pickle.loads(blob)
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            raise ValueError("cache format version mismatch")
+        return SimulationOutcome(
+            program=None,
+            functional=None,
+            timing=payload["timing"],
+            reno_config=payload["reno_config"],
+            cached=True,
+        )
+    except Exception:                 # noqa: BLE001 - corrupt entry == miss
+        return None
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """The content-addressed result-store protocol (see module docstring).
+
+    Implementations also expose a ``stats`` attribute — a
+    :class:`StoreStats` instance counting this handle's traffic — and a
+    ``locator`` string that round-trips through :func:`open_store`.
+    """
+
+    def get(self, key: str) -> SimulationOutcome | None:
+        """Load the outcome stored under ``key`` (None on a miss)."""
+        ...  # pragma: no cover - protocol definition
+
+    def put(self, key: str, outcome: SimulationOutcome) -> bool:
+        """Store a slim copy of ``outcome`` under ``key``.
+
+        Conditional: the first put of a key wins and returns True; later
+        puts are acknowledged-but-ignored (False) so concurrent workers
+        computing the same point commit exactly once.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` exists (no payload decode)."""
+        ...  # pragma: no cover - protocol definition
+
+    def claim(self, token: str, owner: str, ttl_s: float) -> bool:
+        """Try to acquire the in-flight marker ``token`` for ``owner``.
+
+        True when acquired (or already held by the same owner, renewing
+        the TTL); False while another live owner holds it.  A marker
+        whose TTL lapsed is taken over — a crashed holder must not block
+        coalesced waiters forever.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def release(self, token: str, owner: str) -> None:
+        """Drop the marker ``token`` if ``owner`` still holds it."""
+        ...  # pragma: no cover - protocol definition
+
+    def get_meta(self, name: str) -> dict:
+        """The shared JSON document ``name`` (empty when absent/corrupt)."""
+        ...  # pragma: no cover - protocol definition
+
+    def merge_meta(self, name: str, entries: dict) -> dict:
+        """Merge ``entries`` into document ``name``; return the result."""
+        ...  # pragma: no cover - protocol definition
+
+    def stats_payload(self) -> dict:
+        """The ``/store/stats``-shaped counters + size figures dict."""
+        ...  # pragma: no cover - protocol definition
+
+
+def open_store(locator, token: str | None = None):
+    """Open the result store a locator names (None stays None).
+
+    * ``http://`` / ``https://`` — an :class:`~repro.store.http.HTTPStore`
+      client (``token`` or ``$REPRO_STORE_TOKEN`` authenticates it);
+    * ``sqlite://<path>`` — a :class:`~repro.store.sqlite.SqliteStore`;
+    * any other string or :class:`~pathlib.Path` — a
+      :class:`~repro.store.disk.DiskStore` rooted there;
+    * an object already implementing the protocol passes through.
+    """
+    if locator is None:
+        return None
+    if not isinstance(locator, (str, Path)):
+        if isinstance(locator, ResultStore) or (
+                hasattr(locator, "get") and hasattr(locator, "put")):
+            return locator
+        raise TypeError(f"not a store locator or ResultStore: {locator!r}")
+    text = str(locator)
+    if text.startswith(("http://", "https://")):
+        from repro.store.http import HTTPStore
+
+        return HTTPStore(text, token=token)
+    if text.startswith("sqlite://"):
+        from repro.store.sqlite import SqliteStore
+
+        return SqliteStore(text[len("sqlite://"):])
+    from repro.store.disk import DiskStore
+
+    return DiskStore(text)
+
+
+def store_locator(store) -> str | None:
+    """The locator string that re-opens ``store`` (inverse of
+    :func:`open_store`); None for no store."""
+    if store is None:
+        return None
+    locator = getattr(store, "locator", None)
+    if locator is not None:
+        return str(locator)
+    root = getattr(store, "root", None)
+    if root is not None:
+        return str(root)
+    raise TypeError(f"store {store!r} exposes neither a locator nor a root")

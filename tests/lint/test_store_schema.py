@@ -1,0 +1,143 @@
+"""Fixture tests for the ``store-schema`` checker.
+
+Same shape as the ``schema-freeze`` fixtures: a miniature repo tree is
+written under ``tmp_path`` and linted against a freshly generated
+baseline.  The store contract lives in the same baseline document as the
+wire schema (under ``"store"``), so every fixture tree carries *both*
+schema modules — ``update_baseline`` refuses to run without the wire one.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import LintUsageError, run_lint, update_baseline
+
+WIRE_SCHEMA = """\
+    from dataclasses import dataclass
+
+    WIRE_SCHEMA_VERSION = 3
+
+
+    @dataclass
+    class Ping:
+        job_id: str
+"""
+
+STORE_SCHEMA = """\
+    from dataclasses import dataclass
+
+    STORE_SCHEMA_VERSION = 1
+    AUTH_HEADER = "Authorization"
+    AUTH_SCHEME = "Bearer"
+
+
+    @dataclass
+    class BlobPutReply:
+        stored: bool
+        schema_version: int = 1
+"""
+
+
+def write_tree(tmp_path, store_source, wire_source=WIRE_SCHEMA):
+    for rel, source in (("src/repro/api/schema.py", wire_source),
+                        ("src/repro/store/schema.py", store_source)):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+
+def store_findings(tmp_path):
+    return run_lint(["src"], root=tmp_path, rules=["store-schema"])
+
+
+def test_store_schema_round_trip_is_clean(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    update_baseline(tmp_path)
+    assert store_findings(tmp_path) == []
+
+
+def test_baseline_document_carries_both_contracts(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    baseline = update_baseline(tmp_path)
+    document = json.loads(baseline.read_text())
+    assert document["wire_schema_version"] == 3
+    assert "Ping" in document["classes"]
+    store = document["store"]
+    assert store["store_schema_version"] == 1
+    assert store["auth"] == {"AUTH_HEADER": "Authorization",
+                             "AUTH_SCHEME": "Bearer"}
+    assert "BlobPutReply" in store["classes"]
+
+
+def test_store_schema_flags_field_removal(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    update_baseline(tmp_path)
+    write_tree(tmp_path, STORE_SCHEMA.replace("        stored: bool\n", ""))
+    findings = store_findings(tmp_path)
+    assert any("BlobPutReply.stored was removed" in f.message
+               for f in findings)
+
+
+def test_store_schema_requires_version_bump_for_additions(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    update_baseline(tmp_path)
+    added = STORE_SCHEMA + "        digest: str = \"\"\n"
+    write_tree(tmp_path, added)
+    findings = store_findings(tmp_path)
+    assert len(findings) == 1
+    assert "without a STORE_SCHEMA_VERSION bump" in findings[0].message
+    assert "BlobPutReply.digest" in findings[0].message
+
+    # Bump + regenerate is the sanctioned path back to clean.
+    write_tree(tmp_path, added.replace("STORE_SCHEMA_VERSION = 1",
+                                       "STORE_SCHEMA_VERSION = 2"))
+    update_baseline(tmp_path)
+    assert store_findings(tmp_path) == []
+
+
+def test_auth_change_fails_even_with_a_version_bump(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    update_baseline(tmp_path)
+    write_tree(tmp_path, STORE_SCHEMA
+               .replace('AUTH_HEADER = "Authorization"',
+                        'AUTH_HEADER = "X-Repro-Token"')
+               .replace("STORE_SCHEMA_VERSION = 1",
+                        "STORE_SCHEMA_VERSION = 2"))
+    findings = store_findings(tmp_path)
+    assert any("AUTH_HEADER" in f.message
+               and "frozen unconditionally" in f.message
+               for f in findings)
+
+
+def test_update_baseline_refuses_auth_changes_without_force(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    update_baseline(tmp_path)
+    write_tree(tmp_path, STORE_SCHEMA.replace('AUTH_SCHEME = "Bearer"',
+                                              'AUTH_SCHEME = "Token"'))
+    with pytest.raises(LintUsageError, match="AUTH_SCHEME"):
+        update_baseline(tmp_path)
+    # --force is the explicit override.
+    update_baseline(tmp_path, force=True)
+    assert store_findings(tmp_path) == []
+
+
+def test_missing_store_section_is_a_finding(tmp_path):
+    write_tree(tmp_path, STORE_SCHEMA)
+    baseline = update_baseline(tmp_path)
+    document = json.loads(baseline.read_text())
+    del document["store"]
+    baseline.write_text(json.dumps(document))
+    findings = store_findings(tmp_path)
+    assert len(findings) == 1
+    assert "no 'store' section" in findings[0].message
+
+
+def test_trees_without_a_store_module_are_silent(tmp_path):
+    # Pre-store fixture trees (every schema-freeze test) must stay clean.
+    path = tmp_path / "src/repro/api/schema.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(WIRE_SCHEMA))
+    update_baseline(tmp_path)
+    assert store_findings(tmp_path) == []

@@ -1,0 +1,90 @@
+"""Eviction policy of the sqlite tier: LRU size cap, TTL, claim expiry.
+
+All clock-driven behaviour runs on an injected fake clock, so the tests
+exercise expiry and recency ordering without sleeping.
+"""
+
+import pytest
+
+from repro.core.simulator import simulate_workload
+from repro.store import SqliteStore, encode_payload
+
+
+class FakeClock:
+    """A manually advanced wall clock."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return simulate_workload("micro_addi_chain", max_instructions=2000)
+
+
+def key(index: int) -> str:
+    return f"{index:02x}" * 32
+
+
+def test_lru_eviction_respects_size_cap(tmp_path, outcome):
+    blob_size = len(encode_payload(outcome))
+    clock = FakeClock()
+    store = SqliteStore(tmp_path / "s.db", max_bytes=3 * blob_size,
+                        clock=clock)
+    for index in range(3):
+        assert store.put(key(index), outcome) is True
+        clock.advance(1.0)
+    assert len(store) == 3
+
+    # Touch key 0 so key 1 becomes the least recently *accessed*.
+    assert store.get(key(0)) is not None
+    clock.advance(1.0)
+
+    assert store.put(key(3), outcome) is True
+    assert len(store) == 3
+    assert store.contains(key(0))             # recently touched: kept
+    assert not store.contains(key(1))         # LRU victim
+    assert store.stats.evictions == 1
+
+    # An entry bigger than the whole cap is refused outright.
+    tiny = SqliteStore(tmp_path / "tiny.db", max_bytes=blob_size // 2)
+    assert tiny.put(key(9), outcome) is False
+    assert len(tiny) == 0
+    tiny.close()
+    store.close()
+
+
+def test_ttl_expires_idle_entries(tmp_path, outcome):
+    clock = FakeClock()
+    store = SqliteStore(tmp_path / "s.db", ttl_s=10.0, clock=clock)
+    store.put(key(0), outcome)
+    clock.advance(5.0)
+    assert store.contains(key(0))
+    assert store.get(key(0)) is not None      # access refreshes recency
+    clock.advance(9.0)
+    assert store.contains(key(0))             # 9s idle < 10s TTL
+    clock.advance(2.0)
+    assert not store.contains(key(0))         # 11s idle: expired
+    assert store.get(key(0)) is None
+    assert store.stats.evictions == 1
+    assert len(store) == 0                    # deleted on sight
+    store.close()
+
+
+def test_expired_claims_are_reclaimable(tmp_path):
+    clock = FakeClock()
+    store = SqliteStore(tmp_path / "s.db", clock=clock)
+    assert store.claim("request/x", "alice", ttl_s=10.0) is True
+    assert store.claim("request/x", "bob", ttl_s=10.0) is False
+    assert store.holder("request/x") == "alice"
+    clock.advance(11.0)                       # alice crashed; TTL lapsed
+    assert store.holder("request/x") is None
+    assert store.claim("request/x", "bob", ttl_s=10.0) is True
+    assert store.holder("request/x") == "bob"
+    store.close()
